@@ -1,0 +1,72 @@
+/// \file ablation_lookahead.cpp
+/// \brief A-LOOK: the cumulative value of the paper's scheduling
+/// optimizations (§III, Figs. 3 and 6) — no overlap vs look-ahead vs
+/// look-ahead + split update — at paper scale (model) and on the real
+/// driver at container scale (correctness + trace consistency).
+///
+/// Shape target: score(simple) < score(lookahead) < score(lookahead+split).
+
+#include <iostream>
+
+#include "comm/world.hpp"
+#include "core/driver.hpp"
+#include "sim/scaling.hpp"
+#include "trace/table.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hplx;
+  Options opt(argc, argv);
+
+  const sim::NodeModel node = sim::NodeModel::crusher();
+  sim::ClusterConfig base = sim::crusher_config(node, 1);
+
+  std::printf("A-LOOK (model, single Crusher node N=%ld):\n\n", base.n);
+  trace::Table table(
+      {"pipeline", "score_TF", "pct_of_limit", "hidden_time_%"});
+  for (auto mode : {core::PipelineMode::Simple, core::PipelineMode::Lookahead,
+                    core::PipelineMode::LookaheadSplit}) {
+    sim::ClusterConfig cfg = base;
+    cfg.pipeline = mode;
+    const sim::SimResult r = sim::simulate_hpl(node, cfg);
+    table.row()
+        .add(to_string(mode))
+        .add(r.gflops / 1e3, 1)
+        .add(100.0 * r.gflops / 196000.0, 1)
+        .add(100.0 * r.trace.hidden_time_fraction(0.05), 1);
+  }
+  table.print(std::cout);
+
+  if (!opt.get_bool("skip-real", false)) {
+    const long n = opt.get_int("real-n", 192);
+    const int nb = static_cast<int>(opt.get_int("real-nb", 32));
+    std::printf(
+        "\nA-LOOK (real driver, container scale, N=%ld NB=%d 2x2): "
+        "all modes must pass verification and agree on the residual.\n\n",
+        n, nb);
+    trace::Table real({"pipeline", "residual", "passed", "wall_s"});
+    for (auto mode : {core::PipelineMode::Simple,
+                      core::PipelineMode::Lookahead,
+                      core::PipelineMode::LookaheadSplit}) {
+      core::HplConfig cfg;
+      cfg.n = n;
+      cfg.nb = nb;
+      cfg.p = 2;
+      cfg.q = 2;
+      cfg.pipeline = mode;
+      cfg.fact_threads = 2;
+      core::HplResult result;
+      comm::World::run(4, [&](comm::Communicator& world) {
+        core::HplResult r = core::run_hpl(world, cfg);
+        if (world.rank() == 0) result = std::move(r);
+      });
+      real.row()
+          .add(to_string(mode))
+          .add(result.verify.residual, 4)
+          .add(result.verify.passed ? "yes" : "NO")
+          .add(result.seconds, 3);
+    }
+    real.print(std::cout);
+  }
+  return 0;
+}

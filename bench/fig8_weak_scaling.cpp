@@ -1,0 +1,71 @@
+/// \file fig8_weak_scaling.cpp
+/// \brief Regenerates Fig. 8: measured HPL score on 1, 2, 4, ..., 128
+/// Crusher nodes against ideal weak scaling from the single-node score.
+///
+/// Shape targets (paper §IV.B): >90% weak-scaling efficiency at 128 nodes
+/// (17.75 PFLOPS from a 153 TFLOPS single-node score); grids square or
+/// 2:1; node-local grid 1×8 once Q >= 8; N fills HBM; NB = 512, split 50%.
+
+#include <fstream>
+#include <iostream>
+
+#include "sim/scaling.hpp"
+#include "trace/ascii_chart.hpp"
+#include "trace/table.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hplx;
+  Options opt(argc, argv);
+  const int max_nodes = static_cast<int>(opt.get_int("max-nodes", 128));
+
+  const sim::NodeModel node = sim::NodeModel::crusher();
+  const auto sweep = sim::weak_scaling_sweep(node, max_nodes);
+  const double single = sweep.front().result.gflops;
+
+  std::printf("FIG8: weak scaling on Crusher nodes (NB=512, split=0.5)\n\n");
+  trace::Table table({"nodes", "grid", "local", "N", "T", "score_TF",
+                      "ideal_TF", "eff_%"});
+  trace::Series measured{"measured score (TFLOPS)", {}, 'M'};
+  trace::Series ideal{"ideal weak scaling", {}, '-'};
+  for (const auto& pt : sweep) {
+    const double ideal_tf = single * pt.nodes / 1e3;
+    const double score_tf = pt.result.gflops / 1e3;
+    table.row()
+        .add(static_cast<long>(pt.nodes))
+        .add(std::to_string(pt.cfg.p) + "x" + std::to_string(pt.cfg.q))
+        .add(std::to_string(pt.cfg.p_node) + "x" +
+             std::to_string(pt.cfg.q_node))
+        .add(pt.cfg.n)
+        .add(static_cast<long>(pt.cfg.fact_threads))
+        .add(score_tf, 1)
+        .add(ideal_tf, 1)
+        .add(100.0 * score_tf / ideal_tf, 1);
+    measured.y.push_back(score_tf);
+    ideal.y.push_back(ideal_tf);
+  }
+  table.print(std::cout);
+  if (opt.has("csv")) {
+    std::ofstream csv(opt.get("csv", "fig8.csv"));
+    table.print_csv(csv);
+    std::printf("(CSV written to %s)\n", opt.get("csv", "fig8.csv").c_str());
+  }
+
+  trace::AsciiChart chart(90, 20);
+  chart.set_log_y(true);
+  chart.set_title("\nFIG8: HPL score vs nodes (log-log view; M=measured, -=ideal)");
+  chart.set_x_label("node count (1, 2, 4, ..., log spacing)");
+  chart.add(ideal);
+  chart.add(measured);
+  chart.print(std::cout);
+
+  const auto& last = sweep.back();
+  std::printf("\nSummary (paper values in parentheses):\n");
+  std::printf("  single node score      : %8.1f TFLOPS  (153)\n",
+              single / 1e3);
+  std::printf("  %d-node score         : %8.2f PFLOPS  (17.75 at 128)\n",
+              last.nodes, last.result.gflops / 1e6);
+  std::printf("  weak-scaling efficiency: %8.1f %%       (>90)\n",
+              100.0 * last.result.gflops / (single * last.nodes));
+  return 0;
+}

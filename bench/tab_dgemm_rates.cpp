@@ -1,0 +1,66 @@
+/// \file tab_dgemm_rates.cpp
+/// \brief Reproduces the §IV.A in-text DGEMM calibration: the modeled
+/// DGEMM rate as a function of the blocking factor NB, anchored at
+/// 49 TFLOP/s per MI250X (24.5 per GCD) for NB = 512, plus the derived
+/// node-level limits the paper quotes (196 TF absolute, ~175 TF at 90%).
+///
+/// A second table reports the *real* throughput of hplx's CPU dgemm on
+/// this container for context (the functional engine under the tests).
+
+#include <iostream>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "device/model.hpp"
+#include "trace/table.hpp"
+#include "util/options.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hplx;
+  Options opt(argc, argv);
+
+  const device::DeviceModel gcd = device::DeviceModel::mi250x_gcd();
+
+  std::printf("T-DGEMM: modeled MI250X DGEMM rate vs blocking factor NB\n\n");
+  trace::Table table({"NB", "TF_per_GCD", "TF_per_MI250X", "pct_of_NB512"});
+  const double at512 = gcd.gemm_tflops(512);
+  for (long nb : {64L, 128L, 192L, 256L, 384L, 512L, 768L, 1024L, 2048L}) {
+    const double tf = gcd.gemm_tflops(nb);
+    table.row()
+        .add(nb)
+        .add(tf, 2)
+        .add(2.0 * tf, 2)
+        .add(100.0 * tf / at512, 1);
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nDerived node limits (paper §IV.A):\n"
+      "  DGEMM at NB=512 per MI250X : %6.1f TFLOPS  (49)\n"
+      "  node absolute limit (4x)   : %6.1f TFLOPS  (196)\n"
+      "  90%% running-throughput mark: %6.1f TFLOPS  (175)\n",
+      2.0 * at512, 8.0 * at512, 8.0 * at512 * 0.9);
+
+  if (!opt.get_bool("skip-real", false)) {
+    std::printf("\nReal CPU dgemm on this container (hplx::blas):\n\n");
+    trace::Table real({"m=n", "k", "GFLOP_s"});
+    for (int k : {64, 128, 256}) {
+      const int n = static_cast<int>(opt.get_int("real-n", 384));
+      std::vector<double> a(static_cast<std::size_t>(n) * k, 1.5);
+      std::vector<double> b(static_cast<std::size_t>(k) * n, -0.5);
+      std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+      Timer t;
+      t.start();
+      blas::dgemm(blas::Trans::No, blas::Trans::No, n, n, k, 1.0, a.data(),
+                  n, b.data(), k, 1.0, c.data(), n);
+      const double dt = t.stop();
+      real.row()
+          .add(static_cast<long>(n))
+          .add(static_cast<long>(k))
+          .add(2.0 * n * n * k / dt / 1e9, 2);
+    }
+    real.print(std::cout);
+  }
+  return 0;
+}

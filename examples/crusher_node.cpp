@@ -1,0 +1,61 @@
+/// \file crusher_node.cpp
+/// \brief The paper's single-node Crusher run, end to end: a *real* solve
+/// at container scale (scaled-down N, same 4×2 grid and pipeline) to show
+/// the actual code path, followed by the calibrated paper-scale projection
+/// (N = 256,000) with its per-iteration regimes — the workload of §IV.A.
+///
+///   ./crusher_node --real-n=256 --real-nb=32
+
+#include <cstdio>
+
+#include "comm/world.hpp"
+#include "core/core_sharing.hpp"
+#include "core/driver.hpp"
+#include "sim/scaling.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hplx;
+  Options opt(argc, argv);
+
+  // ---- Part 1: real execution, Crusher's grid shape, container scale.
+  core::HplConfig cfg;
+  cfg.n = opt.get_int("real-n", 256);
+  cfg.nb = static_cast<int>(opt.get_int("real-nb", 32));
+  cfg.p = 4;
+  cfg.q = 2;
+  cfg.fact_threads =
+      core::compute_core_sharing(8, 4, 2).threads_for(0);  // tiny "socket"
+  cfg.pipeline = core::PipelineMode::LookaheadSplit;
+  cfg.split_fraction = 0.5;
+  cfg.bcast = comm::BcastAlgo::Ring1Mod;
+
+  std::printf(
+      "Part 1 — real 4x2 solve (8 thread-ranks, one simulated GCD each), "
+      "N=%ld NB=%d T=%d:\n",
+      cfg.n, cfg.nb, cfg.fact_threads);
+  core::HplResult real;
+  comm::World::run(8, [&](comm::Communicator& world) {
+    core::HplResult r = core::run_hpl(world, cfg);
+    if (world.rank() == 0) real = std::move(r);
+  });
+  std::printf("  residual %.6f -> %s, %zu iterations traced\n",
+              real.verify.residual, real.verify.passed ? "PASSED" : "FAILED",
+              real.trace.iterations.size());
+
+  // ---- Part 2: paper-scale projection.
+  const sim::NodeModel node = sim::NodeModel::crusher();
+  const sim::ClusterConfig paper = sim::crusher_config(node, 1);
+  const sim::SimResult sim = sim::simulate_hpl(node, paper);
+  std::printf(
+      "\nPart 2 — paper-scale projection (N=%ld NB=%d grid=%dx%d T=%d):\n"
+      "  score %.1f TFLOPS (%.0f%% of the 4x49 TF DGEMM limit; paper: 153, "
+      "78%%)\n"
+      "  hidden-regime throughput %.1f TFLOPS (paper: ~175)\n"
+      "  all communication hidden for %.0f%% of runtime (paper: ~75%%)\n",
+      paper.n, paper.nb, paper.p, paper.q, paper.fact_threads,
+      sim.gflops / 1e3, 100.0 * sim.gflops / 196000.0,
+      sim.hidden_regime_gflops / 1e3,
+      100.0 * sim.trace.hidden_time_fraction(0.05));
+  return real.verify.passed ? 0 : 1;
+}

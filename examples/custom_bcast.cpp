@@ -1,0 +1,104 @@
+/// \file custom_bcast.cpp
+/// \brief Plugging a custom communication routine into the solver — the
+/// extension point the paper's discussion advertises ("the code is
+/// designed to be modular so that users can easily implement their own
+/// custom routines and further optimize for their target systems").
+///
+/// The example implements a *segmented pipeline broadcast*: the panel is
+/// cut into fixed-size segments that flow down the ring, so every hop
+/// overlaps with the next segment's injection (a common custom choice on
+/// torus-like topologies). It is installed via HplConfig::custom_bcast and
+/// verified against the built-in algorithms on the same problem.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "core/driver.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+using namespace hplx;
+
+/// Ring broadcast in fixed segments: rank r receives segment s from r-1
+/// and forwards it to r+1 while already receiving segment s+1.
+void segmented_ring_bcast(comm::Communicator& row, void* buf,
+                          std::size_t bytes, int root) {
+  const int n = row.size();
+  if (n == 1 || bytes == 0) return;
+  constexpr std::size_t kSegment = 1 << 16;
+  constexpr int kTag = 77;
+
+  const int me = row.rank();
+  const int vr = (me - root + n) % n;
+  const int next = (me + 1) % n;
+  const int prev = (me - 1 + n) % n;
+  std::byte* base = static_cast<std::byte*>(buf);
+
+  for (std::size_t off = 0; off < bytes; off += kSegment) {
+    const std::size_t len = std::min(kSegment, bytes - off);
+    if (vr > 0) row.recv_bytes(base + off, len, prev, kTag);
+    if (vr + 1 < n) row.send_bytes(base + off, len, next, kTag);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+
+  core::HplConfig cfg;
+  cfg.n = opt.get_int("n", 192);
+  cfg.nb = static_cast<int>(opt.get_int("nb", 32));
+  cfg.p = 2;
+  cfg.q = 3;  // a wide row so the broadcast actually matters
+  cfg.fact_threads = 2;
+
+  auto solve = [&cfg]() {
+    core::HplResult out;
+    comm::World::run(cfg.p * cfg.q, [&](comm::Communicator& world) {
+      core::HplResult r = core::run_hpl(world, cfg);
+      if (world.rank() == 0) out = std::move(r);
+    });
+    return out;
+  };
+
+  // Baseline: the built-in modified one-ring.
+  cfg.bcast = comm::BcastAlgo::Ring1Mod;
+  const core::HplResult builtin = solve();
+  std::printf("built-in 1ringM : residual %.6f -> %s\n",
+              builtin.verify.residual,
+              builtin.verify.passed ? "PASSED" : "FAILED");
+
+  // Custom: the segmented pipeline ring, plugged into the same solver.
+  cfg.custom_bcast = segmented_ring_bcast;
+  const core::HplResult custom = solve();
+  std::printf("custom segmented: residual %.6f -> %s\n",
+              custom.verify.residual,
+              custom.verify.passed ? "PASSED" : "FAILED");
+
+  // Library-provided topology-aware broadcast (§V's future-work
+  // direction), treating every 2 consecutive row ranks as one "node".
+  cfg.custom_bcast = [](comm::Communicator& row, void* buf,
+                        std::size_t bytes, int root) {
+    comm::bcast_two_level(row, buf, bytes, root, /*ranks_per_node=*/2);
+  };
+  const core::HplResult two_level = solve();
+  std::printf("two-level (node-aware): residual %.6f -> %s\n",
+              two_level.verify.residual,
+              two_level.verify.passed ? "PASSED" : "FAILED");
+
+  const bool agree = builtin.verify.residual == custom.verify.residual &&
+                     builtin.verify.residual == two_level.verify.residual;
+  std::printf(
+      "\nresiduals %s — a custom broadcast changes only the wire schedule, "
+      "never the numerics.\n",
+      agree ? "agree bitwise" : "DISAGREE (bug!)");
+  return (builtin.verify.passed && custom.verify.passed &&
+          two_level.verify.passed && agree)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,56 @@
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "util/error.hpp"
+
+namespace hplx::blas {
+
+double dlange_inf(int m, int n, const double* a, int lda) {
+  if (m <= 0 || n <= 0) return 0.0;
+  HPLX_CHECK(lda >= m);
+  std::vector<double> rowsum(static_cast<std::size_t>(m), 0.0);
+  for (int j = 0; j < n; ++j) {
+    const double* acol = a + static_cast<long>(j) * lda;
+    for (int i = 0; i < m; ++i) rowsum[static_cast<std::size_t>(i)] += std::fabs(acol[i]);
+  }
+  double best = 0.0;
+  for (double v : rowsum) best = std::max(best, v);
+  return best;
+}
+
+double dlange_one(int m, int n, const double* a, int lda) {
+  if (m <= 0 || n <= 0) return 0.0;
+  HPLX_CHECK(lda >= m);
+  double best = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double* acol = a + static_cast<long>(j) * lda;
+    double colsum = 0.0;
+    for (int i = 0; i < m; ++i) colsum += std::fabs(acol[i]);
+    best = std::max(best, colsum);
+  }
+  return best;
+}
+
+double dlange_max(int m, int n, const double* a, int lda) {
+  if (m <= 0 || n <= 0) return 0.0;
+  HPLX_CHECK(lda >= m);
+  double best = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double* acol = a + static_cast<long>(j) * lda;
+    for (int i = 0; i < m; ++i) best = std::max(best, std::fabs(acol[i]));
+  }
+  return best;
+}
+
+void dlacpy(int m, int n, const double* a, int lda, double* b, int ldb) {
+  if (m <= 0 || n <= 0) return;
+  HPLX_CHECK(lda >= m && ldb >= m);
+  for (int j = 0; j < n; ++j) {
+    const double* acol = a + static_cast<long>(j) * lda;
+    double* bcol = b + static_cast<long>(j) * ldb;
+    for (int i = 0; i < m; ++i) bcol[i] = acol[i];
+  }
+}
+
+}  // namespace hplx::blas

@@ -1,0 +1,75 @@
+#pragma once
+/// \file blas.hpp
+/// \brief hplx's from-scratch CPU BLAS subset (column-major, double).
+///
+/// This plays the role BLIS plays in the paper: the dense kernels invoked by
+/// the CPU-side panel factorization (§III.A) and by reference checks. The
+/// subset is exactly what HPL needs — nothing more. Semantics follow the
+/// reference BLAS: column-major storage, explicit leading dimensions,
+/// `inc` strides on vectors, alpha/beta scaling conventions (in particular
+/// beta == 0 writes C without reading it, so NaNs in uninitialized output
+/// do not propagate).
+
+namespace hplx::blas {
+
+enum class Trans { No, Yes };
+enum class Side { Left, Right };
+enum class Uplo { Upper, Lower };
+enum class Diag { NonUnit, Unit };
+
+// ---------------------------------------------------------------- level 1
+
+/// Index of the element of largest absolute value in x (0-based).
+/// n == 0 returns -1. NaN-insensitive: comparisons use fabs and NaN never
+/// wins, matching HPL's tolerance of generated matrices (which contain no
+/// NaNs by construction).
+int idamax(int n, const double* x, int incx);
+
+void dswap(int n, double* x, int incx, double* y, int incy);
+void dscal(int n, double alpha, double* x, int incx);
+void daxpy(int n, double alpha, const double* x, int incx, double* y,
+           int incy);
+void dcopy(int n, const double* x, int incx, double* y, int incy);
+double ddot(int n, const double* x, int incx, const double* y, int incy);
+
+// ---------------------------------------------------------------- level 2
+
+/// A := A + alpha * x * y^T   (A is m×n, lda >= m)
+void dger(int m, int n, double alpha, const double* x, int incx,
+          const double* y, int incy, double* a, int lda);
+
+/// y := alpha*op(A)*x + beta*y
+void dgemv(Trans trans, int m, int n, double alpha, const double* a, int lda,
+           const double* x, int incx, double beta, double* y, int incy);
+
+/// Solve op(A)*x = b in place (x overwrites b). A is n×n triangular.
+void dtrsv(Uplo uplo, Trans trans, Diag diag, int n, const double* a, int lda,
+           double* x, int incx);
+
+// ---------------------------------------------------------------- level 3
+
+/// C := alpha*op(A)*op(B) + beta*C.  op(A) is m×k, op(B) is k×n.
+void dgemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+           const double* a, int lda, const double* b, int ldb, double beta,
+           double* c, int ldc);
+
+/// Solve op(A)*X = alpha*B (Side::Left) or X*op(A) = alpha*B (Side::Right),
+/// X overwrites B. A is triangular (m×m for Left, n×n for Right).
+void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+           double alpha, const double* a, int lda, double* b, int ldb);
+
+// ------------------------------------------------------------- auxiliary
+
+/// Infinity norm (max row sum) of an m×n matrix.
+double dlange_inf(int m, int n, const double* a, int lda);
+
+/// One norm (max column sum) of an m×n matrix.
+double dlange_one(int m, int n, const double* a, int lda);
+
+/// Max |a(i,j)|.
+double dlange_max(int m, int n, const double* a, int lda);
+
+/// B := A (m×n dense copy).
+void dlacpy(int m, int n, const double* a, int lda, double* b, int ldb);
+
+}  // namespace hplx::blas

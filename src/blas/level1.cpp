@@ -1,0 +1,56 @@
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "util/error.hpp"
+
+namespace hplx::blas {
+
+int idamax(int n, const double* x, int incx) {
+  if (n <= 0) return -1;
+  HPLX_CHECK(incx != 0);
+  int best = 0;
+  double bestval = std::fabs(x[0]);
+  for (int i = 1; i < n; ++i) {
+    const double v = std::fabs(x[static_cast<long>(i) * incx]);
+    if (v > bestval) {
+      bestval = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void dswap(int n, double* x, int incx, double* y, int incy) {
+  for (int i = 0; i < n; ++i) {
+    double* xi = x + static_cast<long>(i) * incx;
+    double* yi = y + static_cast<long>(i) * incy;
+    const double t = *xi;
+    *xi = *yi;
+    *yi = t;
+  }
+}
+
+void dscal(int n, double alpha, double* x, int incx) {
+  for (int i = 0; i < n; ++i) x[static_cast<long>(i) * incx] *= alpha;
+}
+
+void daxpy(int n, double alpha, const double* x, int incx, double* y,
+           int incy) {
+  if (alpha == 0.0) return;
+  for (int i = 0; i < n; ++i)
+    y[static_cast<long>(i) * incy] += alpha * x[static_cast<long>(i) * incx];
+}
+
+void dcopy(int n, const double* x, int incx, double* y, int incy) {
+  for (int i = 0; i < n; ++i)
+    y[static_cast<long>(i) * incy] = x[static_cast<long>(i) * incx];
+}
+
+double ddot(int n, const double* x, int incx, const double* y, int incy) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i)
+    acc += x[static_cast<long>(i) * incx] * y[static_cast<long>(i) * incy];
+  return acc;
+}
+
+}  // namespace hplx::blas

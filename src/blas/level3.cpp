@@ -1,0 +1,243 @@
+#include <algorithm>
+
+#include "blas/blas.hpp"
+#include "util/error.hpp"
+
+namespace hplx::blas {
+
+namespace {
+
+// Cache-blocking parameters for the no-transpose dgemm path. Sized so one
+// A block (MC×KC doubles = 256 KiB) plus the B panel stripe stays well
+// inside L2 on commodity cores. These are correctness-neutral.
+constexpr int kMC = 128;
+constexpr int kKC = 256;
+constexpr int kNC = 512;
+
+/// C(m×n) += A(m×k) * B(k×n), all column-major, no scaling. The j-k-i loop
+/// keeps the C and A accesses stride-1 and lets the compiler vectorize the
+/// innermost update.
+void gemm_nn_block(int m, int n, int k, const double* a, int lda,
+                   const double* b, int ldb, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* ccol = c + static_cast<long>(j) * ldc;
+    const double* bcol = b + static_cast<long>(j) * ldb;
+    int p = 0;
+    // Unroll over 4 rank-1 contributions to cut loop overhead and expose
+    // independent FMA chains.
+    for (; p + 4 <= k; p += 4) {
+      const double b0 = bcol[p + 0];
+      const double b1 = bcol[p + 1];
+      const double b2 = bcol[p + 2];
+      const double b3 = bcol[p + 3];
+      const double* a0 = a + static_cast<long>(p + 0) * lda;
+      const double* a1 = a + static_cast<long>(p + 1) * lda;
+      const double* a2 = a + static_cast<long>(p + 2) * lda;
+      const double* a3 = a + static_cast<long>(p + 3) * lda;
+      for (int i = 0; i < m; ++i) {
+        ccol[i] += a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
+      }
+    }
+    for (; p < k; ++p) {
+      const double bp = bcol[p];
+      if (bp == 0.0) continue;
+      const double* acol = a + static_cast<long>(p) * lda;
+      for (int i = 0; i < m; ++i) ccol[i] += acol[i] * bp;
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+           const double* a, int lda, const double* b, int ldb, double beta,
+           double* c, int ldc) {
+  if (m <= 0 || n <= 0) return;
+  HPLX_CHECK(ldc >= m);
+  HPLX_CHECK(lda >= ((ta == Trans::No) ? std::max(1, m) : std::max(1, k)));
+  HPLX_CHECK(ldb >= ((tb == Trans::No) ? std::max(1, k) : std::max(1, n)));
+
+  // Scale C by beta first; the multiply then always accumulates.
+  for (int j = 0; j < n; ++j) {
+    double* ccol = c + static_cast<long>(j) * ldc;
+    if (beta == 0.0) {
+      for (int i = 0; i < m; ++i) ccol[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (int i = 0; i < m; ++i) ccol[i] *= beta;
+    }
+  }
+  if (k <= 0 || alpha == 0.0) return;
+
+  if (ta == Trans::No && tb == Trans::No && alpha == 1.0) {
+    // Fast path: the shape HPL's trailing update uses. Blocked for cache.
+    for (int jj = 0; jj < n; jj += kNC) {
+      const int nb = std::min(kNC, n - jj);
+      for (int pp = 0; pp < k; pp += kKC) {
+        const int kb = std::min(kKC, k - pp);
+        for (int ii = 0; ii < m; ii += kMC) {
+          const int mb = std::min(kMC, m - ii);
+          gemm_nn_block(mb, nb, kb, a + ii + static_cast<long>(pp) * lda, lda,
+                        b + pp + static_cast<long>(jj) * ldb, ldb,
+                        c + ii + static_cast<long>(jj) * ldc, ldc);
+        }
+      }
+    }
+    return;
+  }
+
+  // General path: correct for every transpose/alpha combination.
+  auto A = [&](int i, int p) -> double {
+    return (ta == Trans::No) ? a[static_cast<long>(p) * lda + i]
+                             : a[static_cast<long>(i) * lda + p];
+  };
+  auto B = [&](int p, int j) -> double {
+    return (tb == Trans::No) ? b[static_cast<long>(j) * ldb + p]
+                             : b[static_cast<long>(p) * ldb + j];
+  };
+  for (int j = 0; j < n; ++j) {
+    double* ccol = c + static_cast<long>(j) * ldc;
+    for (int p = 0; p < k; ++p) {
+      const double t = alpha * B(p, j);
+      if (t == 0.0) continue;
+      for (int i = 0; i < m; ++i) ccol[i] += A(i, p) * t;
+    }
+  }
+}
+
+void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+           double alpha, const double* a, int lda, double* b, int ldb) {
+  if (m <= 0 || n <= 0) return;
+  HPLX_CHECK(ldb >= m);
+  const int na = (side == Side::Left) ? m : n;
+  HPLX_CHECK(lda >= std::max(1, na));
+  const bool unit = (diag == Diag::Unit);
+
+  auto A = [&](int i, int j) -> double {
+    return a[static_cast<long>(j) * lda + i];
+  };
+  auto Bv = [&](int i, int j) -> double& {
+    return b[static_cast<long>(j) * ldb + i];
+  };
+
+  if (alpha != 1.0) {
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) Bv(i, j) *= alpha;
+  }
+
+  if (side == Side::Left) {
+    if (trans == Trans::No) {
+      if (uplo == Uplo::Lower) {
+        // Solve L * X = B: forward substitution down the rows, vectorized
+        // across all n right-hand sides per column of L.
+        for (int p = 0; p < m; ++p) {
+          if (!unit) {
+            const double d = A(p, p);
+            for (int j = 0; j < n; ++j) Bv(p, j) /= d;
+          }
+          for (int j = 0; j < n; ++j) {
+            const double t = Bv(p, j);
+            if (t == 0.0) continue;
+            double* bcol = &Bv(0, j);
+            const double* acol = &a[static_cast<long>(p) * lda];
+            for (int i = p + 1; i < m; ++i) bcol[i] -= acol[i] * t;
+          }
+        }
+      } else {
+        // Solve U * X = B: back substitution.
+        for (int p = m - 1; p >= 0; --p) {
+          if (!unit) {
+            const double d = A(p, p);
+            for (int j = 0; j < n; ++j) Bv(p, j) /= d;
+          }
+          for (int j = 0; j < n; ++j) {
+            const double t = Bv(p, j);
+            if (t == 0.0) continue;
+            double* bcol = &Bv(0, j);
+            const double* acol = &a[static_cast<long>(p) * lda];
+            for (int i = 0; i < p; ++i) bcol[i] -= acol[i] * t;
+          }
+        }
+      }
+    } else {
+      // op(A) = A^T. Solving A^T X = B with A lower is the same as solving
+      // an upper system with A's transpose.
+      if (uplo == Uplo::Lower) {
+        for (int p = m - 1; p >= 0; --p) {
+          for (int j = 0; j < n; ++j) {
+            double acc = Bv(p, j);
+            for (int i = p + 1; i < m; ++i) acc -= A(i, p) * Bv(i, j);
+            Bv(p, j) = unit ? acc : acc / A(p, p);
+          }
+        }
+      } else {
+        for (int p = 0; p < m; ++p) {
+          for (int j = 0; j < n; ++j) {
+            double acc = Bv(p, j);
+            for (int i = 0; i < p; ++i) acc -= A(i, p) * Bv(i, j);
+            Bv(p, j) = unit ? acc : acc / A(p, p);
+          }
+        }
+      }
+    }
+  } else {  // Side::Right: X * op(A) = B
+    if (trans == Trans::No) {
+      if (uplo == Uplo::Upper) {
+        // X * U = B: columns solved left to right.
+        for (int p = 0; p < n; ++p) {
+          for (int q = 0; q < p; ++q) {
+            const double t = A(q, p);
+            if (t == 0.0) continue;
+            for (int i = 0; i < m; ++i) Bv(i, p) -= Bv(i, q) * t;
+          }
+          if (!unit) {
+            const double d = A(p, p);
+            for (int i = 0; i < m; ++i) Bv(i, p) /= d;
+          }
+        }
+      } else {
+        // X * L = B: columns solved right to left.
+        for (int p = n - 1; p >= 0; --p) {
+          for (int q = p + 1; q < n; ++q) {
+            const double t = A(q, p);
+            if (t == 0.0) continue;
+            for (int i = 0; i < m; ++i) Bv(i, p) -= Bv(i, q) * t;
+          }
+          if (!unit) {
+            const double d = A(p, p);
+            for (int i = 0; i < m; ++i) Bv(i, p) /= d;
+          }
+        }
+      }
+    } else {
+      if (uplo == Uplo::Upper) {
+        // X * U^T = B: right to left.
+        for (int p = n - 1; p >= 0; --p) {
+          for (int q = p + 1; q < n; ++q) {
+            const double t = A(p, q);
+            if (t == 0.0) continue;
+            for (int i = 0; i < m; ++i) Bv(i, p) -= Bv(i, q) * t;
+          }
+          if (!unit) {
+            const double d = A(p, p);
+            for (int i = 0; i < m; ++i) Bv(i, p) /= d;
+          }
+        }
+      } else {
+        // X * L^T = B: left to right.
+        for (int p = 0; p < n; ++p) {
+          for (int q = 0; q < p; ++q) {
+            const double t = A(p, q);
+            if (t == 0.0) continue;
+            for (int i = 0; i < m; ++i) Bv(i, p) -= Bv(i, q) * t;
+          }
+          if (!unit) {
+            const double d = A(p, p);
+            for (int i = 0; i < m; ++i) Bv(i, p) /= d;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hplx::blas

@@ -1,0 +1,137 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hplx::comm {
+
+void Request::wait() {
+  if (action_) {
+    action_();
+    action_ = nullptr;
+  }
+}
+
+Communicator::Communicator(std::shared_ptr<Fabric> fabric, int rank)
+    : fabric_(std::move(fabric)), rank_(rank) {
+  HPLX_CHECK(fabric_ != nullptr);
+  HPLX_CHECK(rank_ >= 0 && rank_ < fabric_->size());
+}
+
+namespace {
+void do_send(Fabric& fabric, int src, const void* buf, std::size_t bytes,
+             int dst, int tag) {
+  HPLX_CHECK(dst >= 0 && dst < fabric.size());
+  MessageEnvelope msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), buf, bytes);
+  fabric.mailbox(dst).deposit(std::move(msg));
+}
+
+void do_recv(Fabric& fabric, int self, void* buf, std::size_t bytes, int src,
+             int tag) {
+  MessageEnvelope msg = fabric.mailbox(self).match(src, tag);
+  HPLX_CHECK_MSG(msg.payload.size() == bytes,
+                 "size mismatch in recv: expected " << bytes << " bytes, got "
+                 << msg.payload.size() << " (src=" << msg.src
+                 << ", tag=" << tag << ")");
+  if (bytes > 0) std::memcpy(buf, msg.payload.data(), bytes);
+}
+}  // namespace
+
+void Communicator::send_bytes(const void* buf, std::size_t bytes, int dst,
+                              int tag) {
+  HPLX_CHECK_MSG(tag >= 0 && tag < kMaxUserTag,
+                 "user tag out of range: " << tag);
+  do_send(*fabric_, rank_, buf, bytes, dst, tag);
+}
+
+void Communicator::recv_bytes(void* buf, std::size_t bytes, int src, int tag) {
+  HPLX_CHECK_MSG(tag >= 0 && tag < kMaxUserTag,
+                 "user tag out of range: " << tag);
+  do_recv(*fabric_, rank_, buf, bytes, src, tag);
+}
+
+bool Communicator::iprobe(int src, int tag, std::size_t* bytes) {
+  HPLX_CHECK_MSG(tag >= 0 && tag < kMaxUserTag,
+                 "user tag out of range: " << tag);
+  return fabric_->mailbox(rank_).probe(src, tag, bytes);
+}
+
+bool Communicator::try_recv_bytes(void* buf, std::size_t bytes, int src,
+                                  int tag) {
+  HPLX_CHECK_MSG(tag >= 0 && tag < kMaxUserTag,
+                 "user tag out of range: " << tag);
+  MessageEnvelope msg;
+  if (!fabric_->mailbox(rank_).try_match(src, tag, msg)) return false;
+  HPLX_CHECK_MSG(msg.payload.size() == bytes,
+                 "size mismatch in try_recv: expected " << bytes
+                 << " bytes, got " << msg.payload.size());
+  if (bytes > 0) std::memcpy(buf, msg.payload.data(), bytes);
+  return true;
+}
+
+void Communicator::send_internal(const void* buf, std::size_t bytes, int dst,
+                                 int coll_tag) {
+  do_send(*fabric_, rank_, buf, bytes, dst, kMaxUserTag + coll_tag);
+}
+
+void Communicator::recv_internal(void* buf, std::size_t bytes, int src,
+                                 int coll_tag) {
+  do_recv(*fabric_, rank_, buf, bytes, src, kMaxUserTag + coll_tag);
+}
+
+Communicator Communicator::split(int color, int key) {
+  Fabric& f = *fabric_;
+  const std::uint64_t seq = split_seq_++;
+  const int n = f.size();
+
+  std::unique_lock<std::mutex> lock(f.split_mutex());
+  Fabric::SplitSlot& slot = f.split_slot(seq);
+  slot.color[static_cast<std::size_t>(rank_)] = color;
+  slot.key[static_cast<std::size_t>(rank_)] = key;
+  slot.arrived[static_cast<std::size_t>(rank_)] = 1;
+  slot.arrivals += 1;
+
+  if (slot.arrivals == n) {
+    // Last arriver computes the whole partition.
+    // Group ranks by color; order within a group by (key, old rank).
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const auto au = static_cast<std::size_t>(a);
+      const auto bu = static_cast<std::size_t>(b);
+      if (slot.color[au] != slot.color[bu]) return slot.color[au] < slot.color[bu];
+      if (slot.key[au] != slot.key[bu]) return slot.key[au] < slot.key[bu];
+      return a < b;
+    });
+    std::size_t i = 0;
+    while (i < order.size()) {
+      std::size_t j = i;
+      const int c = slot.color[static_cast<std::size_t>(order[i])];
+      while (j < order.size() &&
+             slot.color[static_cast<std::size_t>(order[j])] == c)
+        ++j;
+      auto child = std::make_shared<Fabric>(static_cast<int>(j - i));
+      for (std::size_t k = i; k < j; ++k) {
+        const auto member = static_cast<std::size_t>(order[k]);
+        slot.child_of_rank[member] = child;
+        slot.child_rank_of_rank[member] = static_cast<int>(k - i);
+      }
+      i = j;
+    }
+    slot.ready = true;
+    f.split_cv().notify_all();
+  } else {
+    f.split_cv().wait(lock, [&] { return slot.ready; });
+  }
+
+  auto child = slot.child_of_rank[static_cast<std::size_t>(rank_)];
+  const int child_rank = slot.child_rank_of_rank[static_cast<std::size_t>(rank_)];
+  lock.unlock();
+  return Communicator(child, child_rank);
+}
+
+}  // namespace hplx::comm

@@ -1,0 +1,89 @@
+#include "comm/fabric.hpp"
+
+#include "util/error.hpp"
+
+namespace hplx::comm {
+
+void Mailbox::deposit(MessageEnvelope msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+namespace {
+bool matches(const MessageEnvelope& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) && m.tag == tag;
+}
+}  // namespace
+
+MessageEnvelope Mailbox::match(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, src, tag)) {
+        MessageEnvelope out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::try_match(int src, int tag, MessageEnvelope& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Mailbox::probe(int src, int tag, std::size_t* bytes) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& m : queue_) {
+    if (matches(m, src, tag)) {
+      if (bytes != nullptr) *bytes = m.payload.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+Fabric::Fabric(int size) : size_(size) {
+  HPLX_CHECK(size >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Mailbox& Fabric::mailbox(int rank) {
+  HPLX_CHECK(rank >= 0 && rank < size_);
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+Fabric::SplitSlot& Fabric::split_slot(std::uint64_t seq) {
+  // Caller holds split_mutex_.
+  while (split_slots_.size() <= seq) {
+    auto slot = std::make_unique<SplitSlot>();
+    slot->color.assign(static_cast<std::size_t>(size_), 0);
+    slot->key.assign(static_cast<std::size_t>(size_), 0);
+    slot->arrived.assign(static_cast<std::size_t>(size_), 0);
+    slot->child_of_rank.assign(static_cast<std::size_t>(size_), nullptr);
+    slot->child_rank_of_rank.assign(static_cast<std::size_t>(size_), -1);
+    split_slots_.push_back(std::move(slot));
+  }
+  return *split_slots_[seq];
+}
+
+}  // namespace hplx::comm

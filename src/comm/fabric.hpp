@@ -1,0 +1,91 @@
+#pragma once
+/// \file fabric.hpp
+/// \brief Shared-memory transport backing a communicator: one mailbox per
+/// rank, tagged FIFO matching.
+///
+/// This is the layer below Communicator. A Fabric owns `size` mailboxes.
+/// Sends are eager and buffered: the payload is copied into the destination
+/// mailbox and the sender never blocks (the MPI analogue is a buffered
+/// send). Receives block until a message matching (source, tag) arrives.
+/// Matching is FIFO among messages with the same (source, tag), which gives
+/// the same non-overtaking guarantee MPI provides and is what the
+/// collective algorithms rely on.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hplx::comm {
+
+/// Matches any source rank in recv.
+inline constexpr int kAnySource = -1;
+
+struct MessageEnvelope {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// One rank's incoming-message queue.
+class Mailbox {
+ public:
+  void deposit(MessageEnvelope msg);
+
+  /// Block until a message matching (src, tag) is available and return it.
+  /// src may be kAnySource. FIFO among matches.
+  MessageEnvelope match(int src, int tag);
+
+  /// Non-blocking variant: returns true and fills out if a match exists.
+  bool try_match(int src, int tag, MessageEnvelope& out);
+
+  /// Non-destructive probe: true iff a match exists; *bytes (optional)
+  /// gets its payload size.
+  bool probe(int src, int tag, std::size_t* bytes) const;
+
+  /// Number of queued messages (diagnostics/tests).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<MessageEnvelope> queue_;
+};
+
+/// The transport shared by all ranks of one communicator (and its
+/// split-off children, each of which gets its own Fabric).
+class Fabric {
+ public:
+  explicit Fabric(int size);
+
+  int size() const { return size_; }
+  Mailbox& mailbox(int rank);
+
+  /// Collective coordination scratch used by Communicator::split: the
+  /// nth split on this fabric uses slot n. Guarded by mutex_.
+  struct SplitSlot {
+    std::vector<int> color, key;
+    std::vector<int> arrived;
+    // Child fabrics keyed by color, plus each rank's (child fabric, rank).
+    std::vector<std::shared_ptr<Fabric>> child_of_rank;
+    std::vector<int> child_rank_of_rank;
+    int arrivals = 0;
+    bool ready = false;
+  };
+  SplitSlot& split_slot(std::uint64_t seq);
+  std::mutex& split_mutex() { return split_mutex_; }
+  std::condition_variable& split_cv() { return split_cv_; }
+
+ private:
+  const int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex split_mutex_;
+  std::condition_variable split_cv_;
+  std::vector<std::unique_ptr<SplitSlot>> split_slots_;
+};
+
+}  // namespace hplx::comm

@@ -1,0 +1,39 @@
+#include "comm/world.hpp"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace hplx::comm {
+
+void World::run(int nranks, const std::function<void(Communicator&)>& fn) {
+  HPLX_CHECK(nranks >= 1);
+  auto fabric = std::make_shared<Fabric>(nranks);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto body = [&](int rank) {
+    try {
+      Communicator comm(fabric, rank);
+      fn(comm);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) threads.emplace_back(body, r);
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace hplx::comm

@@ -1,0 +1,22 @@
+#pragma once
+/// \file world.hpp
+/// \brief Entry point for rank teams: spawn R ranks as threads and run a
+/// function on each, the analogue of mpirun + MPI_Init.
+
+#include <functional>
+
+#include "comm/communicator.hpp"
+
+namespace hplx::comm {
+
+class World {
+ public:
+  /// Launch `nranks` ranks, each on its own thread, and call
+  /// fn(communicator) on every rank. Blocks until all ranks return.
+  /// The first exception thrown by any rank is rethrown here after all
+  /// threads are joined.
+  static void run(int nranks,
+                  const std::function<void(Communicator&)>& fn);
+};
+
+}  // namespace hplx::comm

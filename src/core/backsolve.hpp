@@ -1,0 +1,27 @@
+#pragma once
+/// \file backsolve.hpp
+/// \brief Distributed upper-triangular solve (HPL_pdtrsv).
+///
+/// After the factorization the augmented system has become U·x = b̂: the
+/// upper triangle U lives in the distributed matrix and b̂ — the original
+/// b carried along as column N, swapped and updated like any trailing
+/// column — lives on the process column owning global column N. The solve
+/// walks diagonal blocks bottom-up: the diagonal owner solves its NB×NB
+/// triangle on the host, broadcasts the x segment down its process
+/// column, every rank in that column applies its local U·x_k contribution
+/// on the device, and the partial results flow back to b̂'s owners.
+
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "device/stream.hpp"
+#include "grid/process_grid.hpp"
+
+namespace hplx::core {
+
+/// Collective over the grid. Returns the full solution vector (length n),
+/// replicated on every rank. Adds communication time to *mpi_seconds.
+std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
+                              device::Stream& stream, double* mpi_seconds);
+
+}  // namespace hplx::core

@@ -1,0 +1,95 @@
+#pragma once
+/// \file config.hpp
+/// \brief Run configuration for the hplx solver — the analogue of HPL.dat
+/// plus rocHPL's extensions (split fraction, thread count).
+
+#include <cstdint>
+#include <functional>
+
+#include "comm/collectives.hpp"
+#include "device/model.hpp"
+
+namespace hplx::core {
+
+/// Panel factorization variant (HPL's PFACT/RFACT inputs). The paper's
+/// evaluated configuration is the recursive factorization with two
+/// subdivisions, right-looking base blocks of 16 (§III.A / Fig. 5). All
+/// three of HPL's unblocked bases are implemented; the recursion's base
+/// is selected by HplConfig::rfact_base.
+enum class FactVariant {
+  Left,            ///< unblocked left-looking (fully deferred updates)
+  Crout,           ///< unblocked Crout (deferred trailing updates)
+  Right,           ///< unblocked right-looking (pivot, scale, rank-1 update)
+  RecursiveRight,  ///< recursive panel factorization (right-looking
+                   ///< recursion over the rfact_base variant)
+};
+
+const char* to_string(FactVariant v);
+
+/// How the per-iteration pipeline is scheduled (§III, Figs. 3 and 6).
+enum class PipelineMode {
+  Simple,          ///< factor, broadcast, swap, update — no overlap
+  Lookahead,       ///< Fig. 3: FACT/LBCAST hidden behind UPDATE
+  LookaheadSplit,  ///< Fig. 6: split update also hides row-swap comm
+};
+
+const char* to_string(PipelineMode m);
+
+/// Row-swapping communication algorithm (HPL's SWAP input). SpreadRoll is
+/// the scatterv+allgatherv structure of Fig. 2c; BinaryExchange trades
+/// bandwidth optimality for log2(P) latency hops; Mix switches to
+/// BinaryExchange once the trailing window is at most `swap_threshold`
+/// columns wide (the latency-bound tail).
+enum class RowSwapAlgo { SpreadRoll, BinaryExchange, Mix };
+
+const char* to_string(RowSwapAlgo a);
+
+struct HplConfig {
+  long n = 1024;   ///< global problem size N
+  int nb = 64;     ///< blocking factor NB
+  int p = 1;       ///< process grid rows P
+  int q = 1;       ///< process grid columns Q
+  /// HPL's PMAP: how world ranks map onto the grid. Row-major is the
+  /// classic HPL default; the mapping is a relabeling only and never
+  /// changes results.
+  bool row_major_grid = false;
+  std::uint64_t seed = 42;
+
+  PipelineMode pipeline = PipelineMode::LookaheadSplit;
+  /// Fraction of local columns placed in the *right* section of the split
+  /// update (§III.C). The paper finds 0.5 optimal on a Frontier node.
+  double split_fraction = 0.5;
+
+  comm::BcastAlgo bcast = comm::BcastAlgo::Ring1Mod;
+
+  RowSwapAlgo swap = RowSwapAlgo::SpreadRoll;
+  /// Column-width threshold for RowSwapAlgo::Mix.
+  long swap_threshold = 64;
+
+  /// Optional user-supplied panel broadcast, overriding `bcast`. The
+  /// paper's discussion notes rocHPL keeps its communication routines
+  /// modular "so that users can easily implement their own custom
+  /// routines"; this is that extension point. Must behave like a
+  /// broadcast: collective over the row communicator, `bytes` from `root`
+  /// delivered to every rank.
+  std::function<void(comm::Communicator& row_comm, void* buf,
+                     std::size_t bytes, int root)>
+      custom_bcast;
+
+  FactVariant fact = FactVariant::RecursiveRight;
+  /// Base variant used at the recursion leaves (HPL's PFACT).
+  FactVariant rfact_base = FactVariant::Right;
+  int rfact_nbmin = 16;  ///< recursion cutoff (paper: base block of 16)
+  int rfact_ndiv = 2;    ///< recursion subdivisions (paper: 2)
+  /// CPU threads per FACT call (the T of §III.A/§III.B), including the
+  /// main thread.
+  int fact_threads = 1;
+
+  /// Per-rank simulated accelerator: capacity and cost model.
+  std::size_t hbm_bytes = 1ull << 32;  // tests use small N; 4 GiB default
+  device::DeviceModel dev_model = device::DeviceModel::mi250x_gcd();
+
+  bool verify = true;  ///< run the residual check after the solve
+};
+
+}  // namespace hplx::core

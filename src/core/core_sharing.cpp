@@ -1,0 +1,53 @@
+#include "core/core_sharing.hpp"
+
+#include "util/error.hpp"
+
+namespace hplx::core {
+
+int CoreSharingPlan::cores_engaged_per_fact() const {
+  return p + (cores - p * q);
+}
+
+CoreSharingPlan compute_core_sharing(int cores, int p, int q) {
+  HPLX_CHECK(p >= 1 && q >= 1);
+  HPLX_CHECK_MSG(cores >= p * q,
+                 "need at least one root core per rank: " << cores
+                 << " cores for a " << p << "x" << q << " local grid");
+  CoreSharingPlan plan;
+  plan.cores = cores;
+  plan.p = p;
+  plan.q = q;
+
+  const int pool = cores - p * q;
+  const int base = pool / p;
+  const int extra = pool % p;
+
+  // Pool core ids start after the p*q root cores. Group r gets a
+  // contiguous run; low rows absorb the remainder.
+  std::vector<std::vector<int>> group(static_cast<std::size_t>(p));
+  int next = p * q;
+  for (int r = 0; r < p; ++r) {
+    const int sz = base + (r < extra ? 1 : 0);
+    group[static_cast<std::size_t>(r)].reserve(static_cast<std::size_t>(sz));
+    for (int k = 0; k < sz; ++k) group[static_cast<std::size_t>(r)].push_back(next++);
+  }
+
+  plan.threads_of_row.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    plan.threads_of_row[static_cast<std::size_t>(r)] =
+        1 + static_cast<int>(group[static_cast<std::size_t>(r)].size());
+
+  plan.cores_of_rank.resize(static_cast<std::size_t>(p) * q);
+  for (int c = 0; c < q; ++c) {
+    for (int r = 0; r < p; ++r) {
+      const int rank = r + c * p;
+      auto& mine = plan.cores_of_rank[static_cast<std::size_t>(rank)];
+      mine.push_back(rank);  // root core
+      mine.insert(mine.end(), group[static_cast<std::size_t>(r)].begin(),
+                  group[static_cast<std::size_t>(r)].end());
+    }
+  }
+  return plan;
+}
+
+}  // namespace hplx::core

@@ -1,0 +1,56 @@
+#pragma once
+/// \file core_sharing.hpp
+/// \brief CPU core time-sharing between node-local ranks (§III.B).
+///
+/// rocHPL ships a wrapper script that computes OpenMP bindings so that
+/// *every* panel factorization can use far more cores than a static
+/// partition would allow: at any iteration only the P ranks of one process
+/// column are factoring, so the C − P·Q non-root cores can be time-shared
+/// between the Q ranks of each process row. This header reproduces that
+/// computation as a pure, testable function.
+///
+/// Layout produced for a node with C cores and a node-local p×q grid:
+///  - each of the p·q ranks is bound to a distinct "root" core
+///    (core id = its node-local rank);
+///  - the remaining pool of C̄ = C − p·q cores is partitioned into p
+///    groups; group r is assigned to node-local process row r;
+///  - rank (r, c) uses T = 1 + |group r| threads, bound to its root core
+///    plus all of group r's cores. Ranks in the same process row therefore
+///    share (oversubscribe) the pool cores — harmless, because only one
+///    process column factors at a time.
+///
+/// Extremes (paper): a p×1 local grid degenerates to a plain partition
+/// (every rank factors simultaneously); a 1×q local grid maximizes
+/// sharing (T = 1 + C̄).
+
+#include <vector>
+
+namespace hplx::core {
+
+struct CoreSharingPlan {
+  int cores = 0;  ///< C
+  int p = 0;      ///< node-local grid rows
+  int q = 0;      ///< node-local grid columns
+
+  /// Threads used by rank (r, c) in FACT: 1 + |pool group r|. Indexed by r.
+  std::vector<int> threads_of_row;
+
+  /// Core ids bound by rank (r, c): root core first, then group r's pool
+  /// cores. Indexed by node-local rank (col-major: rank = r + c*p).
+  std::vector<std::vector<int>> cores_of_rank;
+
+  int threads_for(int row) const { return threads_of_row.at(static_cast<std::size_t>(row)); }
+  int local_rank(int row, int col) const { return row + col * p; }
+
+  /// Total distinct cores engaged during one FACT phase (P ranks of one
+  /// process column factoring at once): p roots + the whole pool
+  /// = p + C̄ (the paper's P·T = P + C̄).
+  int cores_engaged_per_fact() const;
+};
+
+/// Compute the plan. Requires cores >= p*q. Pool remainders (C̄ % p) are
+/// given to the lowest-numbered rows, so |group r| is either ⌊C̄/p⌋ or
+/// ⌈C̄/p⌉.
+CoreSharingPlan compute_core_sharing(int cores, int p, int q);
+
+}  // namespace hplx::core

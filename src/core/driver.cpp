@@ -1,0 +1,529 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "core/backsolve.hpp"
+#include "core/matrix.hpp"
+#include "core/panel_bcast.hpp"
+#include "core/pfact.hpp"
+#include "core/rowswap.hpp"
+#include "core/update.hpp"
+#include "device/kernels.hpp"
+#include "grid/process_grid.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace hplx::core {
+
+namespace {
+
+constexpr int kTagTrace = 201;
+
+/// Per-iteration phase accumulators (the Fig. 7 timers).
+struct IterStats {
+  double fact = 0.0;
+  double mpi = 0.0;
+};
+
+class Solver {
+ public:
+  Solver(comm::Communicator& world, const HplConfig& cfg)
+      : cfg_(cfg),
+        grid_(world, cfg.p, cfg.q,
+              cfg.row_major_grid ? grid::GridOrder::RowMajor
+                                 : grid::GridOrder::ColMajor),
+        dev_("gcd" + std::to_string(world.rank()), cfg.hbm_bytes,
+             cfg.dev_model),
+        a_(dev_, grid_, cfg.n, cfg.nb, cfg.seed),
+        compute_(dev_, "compute"),
+        data_(dev_, "data"),
+        team_(std::max(1, cfg.fact_threads)) {
+    const std::size_t ucap = static_cast<std::size_t>(cfg.nb) *
+                             static_cast<std::size_t>(std::max<long>(a_.nloc(), 1));
+    u_main_ = dev_.alloc(ucap);
+    u_la_ = dev_.alloc(ucap);
+    u_left_ = dev_.alloc(ucap);
+    u_right_ = dev_.alloc(ucap);
+    rs_right_ = std::make_unique<RowSwapper>();
+    rs_right_next_ = std::make_unique<RowSwapper>();
+  }
+
+  HplResult solve() {
+    HplResult result;
+    Timer wall;
+    wall.start();
+
+    switch (cfg_.pipeline) {
+      case PipelineMode::Simple:
+        solve_simple();
+        break;
+      case PipelineMode::Lookahead:
+        solve_lookahead(/*split=*/false);
+        break;
+      case PipelineMode::LookaheadSplit:
+        solve_lookahead(/*split=*/true);
+        break;
+    }
+
+    if (std::getenv("HPLX_DEBUG_DUMP") != nullptr) {
+      compute_.synchronize();
+      data_.synchronize();
+      for (long jl = 0; jl < a_.nloc(); ++jl)
+        for (long il = 0; il < a_.mloc(); ++il)
+          std::fprintf(stderr, "DUMP %d %ld %ld %.17g\n",
+                       grid_.all_comm().rank(), il, jl, *a_.at(il, jl));
+    }
+
+    // Backsolve U x = b̂ and (optionally) verify against regenerated data.
+    double solve_mpi = 0.0;
+    const std::vector<double> x =
+        backsolve(grid_, a_, compute_, &solve_mpi);
+    mpi_total_ += solve_mpi;
+
+    result.seconds = wall.stop();
+    result.gflops =
+        trace::hpl_flops(static_cast<double>(cfg_.n)) / result.seconds / 1e9;
+
+    if (cfg_.verify) {
+      result.verify =
+          verify_solution(grid_, cfg_.n, cfg_.nb, cfg_.seed, x);
+    }
+
+    result.fact_seconds = fact_total_;
+    result.mpi_seconds = mpi_total_;
+    result.transfer_seconds = data_.real_busy_seconds();
+    result.gpu_seconds = compute_.real_busy_seconds();
+    collect_trace(result);
+    return result;
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers
+
+  long col_of(long g) const { return a_.col_offset(g); }
+  long row_of(long g) const { return a_.row_offset(g); }
+  int jb_at(long j) const {
+    return static_cast<int>(std::min<long>(cfg_.nb, cfg_.n - j));
+  }
+  bool my_col(long j) const {
+    return a_.cols().owner(j) == grid_.mycol();
+  }
+  bool my_row(long j) const {
+    return a_.rows().owner(j) == grid_.myrow();
+  }
+
+  /// Stage the panel to the host, factor it with the thread team, write
+  /// the factors back, and fill `panel` for broadcasting.
+  void fact_and_pack(long j, int jb, PanelData& panel, IterStats& st) {
+    const long ii = row_of(j);
+    const long mw = a_.mloc() - ii;
+    const long jlp = col_of(j);
+    const bool is_curr = my_row(j);
+    const long ml2 = mw - (is_curr ? jb : 0);
+
+    glob_.resize(static_cast<std::size_t>(std::max<long>(mw, 1)));
+    for (long i = 0; i < mw; ++i)
+      glob_[static_cast<std::size_t>(i)] =
+          a_.rows().to_global(ii + i, grid_.myrow());
+
+    const long ldw = std::max<long>(mw, 1);
+    w_.resize(static_cast<std::size_t>(ldw) * jb);
+    if (mw > 0) {
+      device::copy_matrix_d2h(data_, mw, jb, a_.at(ii, jlp), a_.lda(),
+                              w_.data(), ldw);
+      data_.synchronize();
+    }
+
+    panel.j = j;
+    panel.resize(jb, ml2);
+    PanelTask task;
+    task.j = j;
+    task.jb = jb;
+    task.w = w_.data();
+    task.mw = mw;
+    task.ldw = ldw;
+    task.glob = glob_.data();
+    task.top = panel.top.data();
+    task.ldtop = jb;
+    task.ipiv = panel.ipiv.data();
+    task.is_curr = is_curr;
+    task.tile_rows = cfg_.nb;
+
+    FactTimers ft;
+    panel_factorize(grid_.col_comm(), cfg_, team_, task, &ft);
+    st.fact += ft.compute_s;
+    st.mpi += ft.comm_s;
+
+    // Write the factors back: L2 rows below the top block, and (on the
+    // diagonal row) the factored top block itself.
+    const long l2_start = is_curr ? jb : 0;
+    if (ml2 > 0) {
+      device::copy_matrix_h2d(data_, ml2, jb, w_.data() + l2_start, ldw,
+                              a_.at(ii + l2_start, jlp), a_.lda());
+    }
+    if (is_curr) {
+      device::copy_matrix_h2d(data_, jb, jb, panel.top.data(), jb,
+                              a_.at(ii, jlp), a_.lda());
+    }
+    data_.synchronize();
+
+    // Pack L2 for the row broadcast (ld mw -> ld ml2).
+    for (int c = 0; c < jb; ++c) {
+      std::memcpy(panel.l2.data() + static_cast<std::size_t>(c) * ml2,
+                  w_.data() + l2_start + static_cast<std::size_t>(c) * ldw,
+                  static_cast<std::size_t>(ml2) * sizeof(double));
+    }
+  }
+
+  /// Prepare `panel` on every rank for column `j` (factor on the owning
+  /// column, receive elsewhere), then broadcast along the row.
+  void make_panel(long j, PanelData& panel, IterStats& st) {
+    const int jb = jb_at(j);
+    const long ml2 = a_.mloc() - row_of(j + jb);
+    if (my_col(j)) {
+      fact_and_pack(j, jb, panel, st);
+    } else {
+      panel.j = j;
+      panel.resize(jb, ml2);
+    }
+    panel_broadcast(grid_.row_comm(), cfg_.bcast, a_.cols().owner(j), panel,
+                    &st.mpi, &cfg_.custom_bcast);
+  }
+
+  void record_iteration(long j, int iter, double total, double gpu,
+                        const IterStats& st, double transfer) {
+    fact_total_ += st.fact;
+    mpi_total_ += st.mpi;
+    if (my_col(j) && my_row(j)) {
+      trace::IterationRecord rec;
+      rec.iteration = iter;
+      rec.column = j;
+      rec.total_s = total;
+      rec.gpu_s = gpu;
+      rec.fact_s = st.fact;
+      rec.mpi_s = st.mpi;
+      rec.transfer_s = transfer;
+      my_records_.push_back(rec);
+    }
+  }
+
+  // ------------------------------------------------------ simple pipeline
+
+  void solve_simple() {
+    PanelData panel;
+    int iter = 0;
+    for (long j = 0; j < cfg_.n; j += cfg_.nb, ++iter) {
+      const int jb = jb_at(j);
+      IterStats st;
+      Timer t_iter;
+      t_iter.start();
+      const double gpu0 = compute_.real_busy_seconds();
+      const double xfer0 = data_.real_busy_seconds();
+
+      make_panel(j, panel, st);
+      apply_full_rowswap_and_update(j, jb, panel, st);
+      compute_.synchronize();
+
+      record_iteration(j, iter, t_iter.stop(),
+                       compute_.real_busy_seconds() - gpu0, st,
+                       data_.real_busy_seconds() - xfer0);
+    }
+  }
+
+  void apply_full_rowswap_and_update(long j, int jb, PanelData& panel,
+                                     IterStats& st) {
+    const auto plan = build_rowswap_plan(j, jb, panel.ipiv.data());
+    const long jl0 = col_of(j + jb);
+    const long njl = a_.nloc() - jl0;
+    rs_main_.prepare(plan, a_, grid_.myrow(), jl0, njl, cfg_.swap,
+                     cfg_.swap_threshold);
+    rs_main_.gather(compute_, a_);
+    rs_main_.communicate(grid_.col_comm(), compute_, &st.mpi);
+    rs_main_.scatter(compute_, a_, u_main_.data(), cfg_.nb);
+    enqueue_u_update(compute_, a_, panel, u_main_.data(), cfg_.nb, jl0, njl,
+                     my_row(j), row_of(j));
+    enqueue_tail_gemm(compute_, a_, panel, u_main_.data(), cfg_.nb, jl0, njl,
+                      row_of(j + jb));
+  }
+
+  // -------------------------------------------- lookahead (+split) driver
+
+  void solve_lookahead(bool split) {
+    PanelData panel_a, panel_b;
+    PanelData* cur = &panel_a;
+    PanelData* nxt = &panel_b;
+
+    // Prologue: factor + broadcast panel 0 (exposed, once).
+    {
+      IterStats st;
+      make_panel(0, *cur, st);
+      fact_total_ += st.fact;
+      mpi_total_ += st.mpi;
+    }
+
+    // Split-update state: the right section starts at local column
+    // csplit_ (a multiple of NB); its row swaps run one iteration ahead.
+    bool pending_right = false;
+    if (split) {
+      const long want_left = static_cast<long>(
+          static_cast<double>(a_.nloc()) * (1.0 - cfg_.split_fraction));
+      csplit_ = std::clamp<long>((want_left / cfg_.nb) * cfg_.nb, 0,
+                                 a_.nloc());
+      IterStats st;
+      const auto plan0 = build_rowswap_plan(0, jb_at(0), cur->ipiv.data());
+      right_start_ = std::max<long>(csplit_, col_of(jb_at(0)));
+      rs_right_->prepare(plan0, a_, grid_.myrow(), right_start_,
+                         a_.nloc() - right_start_, cfg_.swap,
+                         cfg_.swap_threshold);
+      rs_right_->gather(compute_, a_);
+      rs_right_->communicate(grid_.col_comm(), compute_, &st.mpi);
+      pending_right = true;
+      mpi_total_ += st.mpi;
+    }
+
+    int iter = 0;
+    for (long j = 0; j < cfg_.n; j += cfg_.nb, ++iter) {
+      IterStats st;
+      Timer t_iter;
+      t_iter.start();
+      const double gpu0 = compute_.real_busy_seconds();
+      const double xfer0 = data_.real_busy_seconds();
+
+      const bool left_remains = split && col_of(j + jb_at(j)) < right_start_;
+      if (left_remains) {
+        pending_right = iterate_split(j, *cur, *nxt, st, pending_right);
+      } else {
+        iterate_lookahead(j, *cur, *nxt, st, pending_right);
+        pending_right = false;
+      }
+      compute_.synchronize();
+      std::swap(cur, nxt);
+
+      record_iteration(j, iter, t_iter.stop(),
+                       compute_.real_busy_seconds() - gpu0, st,
+                       data_.real_busy_seconds() - xfer0);
+    }
+  }
+
+  /// One Fig. 3 iteration: row swap exposed, FACT/LBCAST of the next panel
+  /// hidden behind the trailing update. When `use_pending` is set, the row
+  /// swap of the whole window was already communicated by the split-update
+  /// machinery and only needs scattering.
+  void iterate_lookahead(long j, PanelData& cur, PanelData& nxt,
+                         IterStats& st, bool use_pending) {
+    const int jb = jb_at(j);
+    const long next = j + jb;
+    const bool has_next = next < cfg_.n;
+    const int jb_next = has_next ? jb_at(next) : 0;
+    const long jl0 = col_of(j + jb);
+    const long njl = a_.nloc() - jl0;
+    const long la_cols =
+        (has_next && my_col(next)) ? col_of(next + jb_next) - jl0 : 0;
+
+    double* u = u_main_.data();
+    if (use_pending) {
+      HPLX_CHECK(right_start_ == jl0);
+      rs_right_->scatter(compute_, a_, u_right_.data(), cfg_.nb);
+      u = u_right_.data();
+    } else {
+      const auto plan = build_rowswap_plan(j, jb, cur.ipiv.data());
+      rs_main_.prepare(plan, a_, grid_.myrow(), jl0, njl, cfg_.swap,
+                     cfg_.swap_threshold);
+      rs_main_.gather(compute_, a_);
+      rs_main_.communicate(grid_.col_comm(), compute_, &st.mpi);
+      rs_main_.scatter(compute_, a_, u, cfg_.nb);
+    }
+
+    enqueue_u_update(compute_, a_, cur, u, cfg_.nb, jl0, njl, my_row(j),
+                     row_of(j));
+
+    if (la_cols > 0) {
+      // Update the look-ahead columns first, then ship them to the host
+      // for FACT while the big DGEMM still runs (Fig. 3).
+      enqueue_tail_gemm(compute_, a_, cur, u, cfg_.nb, jl0, la_cols,
+                        row_of(j + jb));
+      device::Event la_done = compute_.record();
+      // The U buffer spans the whole window; the remaining columns start
+      // la_cols past its origin.
+      enqueue_tail_gemm(compute_, a_, cur, u + la_cols * cfg_.nb, cfg_.nb,
+                        jl0 + la_cols, njl - la_cols, row_of(j + jb));
+      data_.wait_event(la_done);
+      fact_and_pack(next, jb_next, nxt, st);
+    } else {
+      enqueue_tail_gemm(compute_, a_, cur, u, cfg_.nb, jl0, njl,
+                        row_of(j + jb));
+      if (has_next) {
+        nxt.j = next;
+        nxt.resize(jb_next, a_.mloc() - row_of(next + jb_next));
+      }
+    }
+    if (has_next) {
+      panel_broadcast(grid_.row_comm(), cfg_.bcast, a_.cols().owner(next),
+                      nxt, &st.mpi, &cfg_.custom_bcast);
+    }
+  }
+
+  /// One Fig. 6 iteration: the right-section row swap of this panel was
+  /// communicated last iteration; UPDATE2 hides FACT/LBCAST/RS1, UPDATE1
+  /// hides the next panel's RS2. Returns whether a pending right swap
+  /// exists for the next iteration.
+  bool iterate_split(long j, PanelData& cur, PanelData& nxt, IterStats& st,
+                     bool have_pending) {
+    HPLX_CHECK(have_pending);
+    const int jb = jb_at(j);
+    const long next = j + jb;
+    const bool has_next = next < cfg_.n;
+    const int jb_next = has_next ? jb_at(next) : 0;
+    const long jl0 = col_of(j + jb);
+    const long la_cols =
+        (has_next && my_col(next)) ? col_of(next + jb_next) - jl0 : 0;
+    const long left_start = jl0 + la_cols;
+    const long left_cols = right_start_ - left_start;
+    HPLX_CHECK(left_cols >= 0);
+    const bool in_diag = my_row(j);
+    const long u_row = row_of(j);
+    const long tail = row_of(j + jb);
+
+    const auto plan = build_rowswap_plan(j, jb, cur.ipiv.data());
+
+    // Gather look-ahead + left rows; scatter the pre-communicated right
+    // rows (they must land before UPDATE2 reads the window).
+    rs_la_.prepare(plan, a_, grid_.myrow(), jl0, la_cols, cfg_.swap,
+                   cfg_.swap_threshold);
+    rs_la_.gather(compute_, a_);
+    device::Event la_gathered = compute_.record();
+    rs_left_.prepare(plan, a_, grid_.myrow(), left_start, left_cols,
+                     cfg_.swap, cfg_.swap_threshold);
+    rs_left_.gather(compute_, a_);
+    device::Event left_gathered = compute_.record();
+    rs_right_->scatter(compute_, a_, u_right_.data(), cfg_.nb);
+
+    // Look-ahead: swap, update, stage to host.
+    rs_la_.communicate(grid_.col_comm(), la_gathered, &st.mpi);
+    rs_la_.scatter(compute_, a_, u_la_.data(), cfg_.nb);
+    enqueue_u_update(compute_, a_, cur, u_la_.data(), cfg_.nb, jl0, la_cols,
+                     in_diag, u_row);
+    enqueue_tail_gemm(compute_, a_, cur, u_la_.data(), cfg_.nb, jl0, la_cols,
+                      tail);
+    device::Event la_done = compute_.record();
+
+    // UPDATE2 (right section) — the work that hides everything below.
+    enqueue_u_update(compute_, a_, cur, u_right_.data(), cfg_.nb,
+                     right_start_, a_.nloc() - right_start_, in_diag, u_row);
+    enqueue_tail_gemm(compute_, a_, cur, u_right_.data(), cfg_.nb,
+                      right_start_, a_.nloc() - right_start_, tail);
+
+    // Hidden by UPDATE2: panel transfer + FACT + LBCAST ...
+    if (la_cols > 0) {
+      data_.wait_event(la_done);
+      fact_and_pack(next, jb_next, nxt, st);
+    } else if (has_next) {
+      nxt.j = next;
+      nxt.resize(jb_next, a_.mloc() - row_of(next + jb_next));
+    }
+    if (has_next) {
+      panel_broadcast(grid_.row_comm(), cfg_.bcast, a_.cols().owner(next),
+                      nxt, &st.mpi, &cfg_.custom_bcast);
+    }
+    // ... and the RS1 communication (its rows were gathered up front).
+    rs_left_.communicate(grid_.col_comm(), left_gathered, &st.mpi);
+
+    // After UPDATE2: gather the next panel's right-section rows (RS2).
+    bool pending = false;
+    long next_right_start = right_start_;
+    if (has_next) {
+      const auto plan_next =
+          build_rowswap_plan(next, jb_next, nxt.ipiv.data());
+      next_right_start = std::max<long>(csplit_, col_of(next + jb_next));
+      rs_right_next_->prepare(plan_next, a_, grid_.myrow(), next_right_start,
+                              a_.nloc() - next_right_start, cfg_.swap,
+                              cfg_.swap_threshold);
+      rs_right_next_->gather(compute_, a_);
+      pending = true;
+    }
+    device::Event right_gathered = compute_.record();
+
+    // UPDATE1 (left section): scatter RS1 rows, update.
+    rs_left_.scatter(compute_, a_, u_left_.data(), cfg_.nb);
+    enqueue_u_update(compute_, a_, cur, u_left_.data(), cfg_.nb, left_start,
+                     left_cols, in_diag, u_row);
+    enqueue_tail_gemm(compute_, a_, cur, u_left_.data(), cfg_.nb, left_start,
+                      left_cols, tail);
+
+    // RS2 communication, hidden by UPDATE1.
+    if (has_next) {
+      rs_right_next_->communicate(grid_.col_comm(), right_gathered, &st.mpi);
+      right_start_ = next_right_start;
+      std::swap(rs_right_, rs_right_next_);
+    }
+    return pending;
+  }
+
+  // --------------------------------------------------------------- trace
+
+  void collect_trace(HplResult& result) {
+    comm::Communicator& world = grid_.all_comm();
+    const long count = static_cast<long>(my_records_.size());
+    if (world.rank() == 0) {
+      std::vector<trace::IterationRecord> all = my_records_;
+      for (int r = 1; r < world.size(); ++r) {
+        long c = 0;
+        world.recv(&c, 1, r, kTagTrace);
+        std::vector<trace::IterationRecord> theirs(
+            static_cast<std::size_t>(c));
+        if (c > 0) world.recv(theirs.data(), theirs.size(), r, kTagTrace);
+        all.insert(all.end(), theirs.begin(), theirs.end());
+      }
+      std::sort(all.begin(), all.end(),
+                [](const auto& x, const auto& y) {
+                  return x.iteration < y.iteration;
+                });
+      result.trace.iterations = std::move(all);
+    } else {
+      world.send(&count, 1, 0, kTagTrace);
+      if (count > 0)
+        world.send(my_records_.data(), my_records_.size(), 0, kTagTrace);
+    }
+  }
+
+  const HplConfig& cfg_;
+  grid::ProcessGrid grid_;
+  device::Device dev_;
+  DistMatrix a_;
+  device::Stream compute_;
+  device::Stream data_;
+  ThreadTeam team_;
+
+  device::Buffer u_main_, u_la_, u_left_, u_right_;
+  RowSwapper rs_main_, rs_la_, rs_left_;
+  std::unique_ptr<RowSwapper> rs_right_, rs_right_next_;
+  long csplit_ = 0;
+  long right_start_ = 0;
+
+  std::vector<double> w_;
+  std::vector<long> glob_;
+  std::vector<trace::IterationRecord> my_records_;
+  double fact_total_ = 0.0;
+  double mpi_total_ = 0.0;
+};
+
+}  // namespace
+
+HplResult run_hpl(comm::Communicator& world, const HplConfig& cfg) {
+  HPLX_CHECK_MSG(world.size() == cfg.p * cfg.q,
+                 "run_hpl needs " << cfg.p * cfg.q << " ranks, got "
+                 << world.size());
+  HPLX_CHECK(cfg.n >= 1 && cfg.nb >= 1);
+  Solver solver(world, cfg);
+  return solver.solve();
+}
+
+}  // namespace hplx::core

@@ -1,0 +1,40 @@
+#pragma once
+/// \file driver.hpp
+/// \brief The hplx public entry point: the distributed HPL solve.
+///
+/// run_hpl generates the seeded N×(N+1) augmented system on the simulated
+/// accelerators, LU-factors it with partial pivoting using the configured
+/// pipeline (§III: look-ahead and split update), backsolves, and verifies.
+/// It is collective: every rank of `world` (which must have exactly
+/// cfg.p × cfg.q ranks) calls it with the same configuration.
+
+#include "comm/communicator.hpp"
+#include "core/config.hpp"
+#include "core/verify.hpp"
+#include "trace/records.hpp"
+
+namespace hplx::core {
+
+struct HplResult {
+  double seconds = 0.0;  ///< wall time of factorization + backsolve
+  double gflops = 0.0;   ///< (2/3·N³ + 3/2·N²) / seconds / 1e9
+
+  VerifyResult verify;   ///< residual check (if cfg.verify)
+
+  /// Per-iteration phase breakdown recorded by the rank owning each
+  /// iteration's diagonal panel (Fig. 7's data). Populated on rank 0 with
+  /// the union of all ranks' records.
+  trace::RunTrace trace;
+
+  // Whole-run phase totals (seconds), summed over iterations.
+  double fact_seconds = 0.0;
+  double mpi_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double gpu_seconds = 0.0;
+};
+
+/// Solve. Returns the (identical) result on every rank; the trace is only
+/// populated on rank 0.
+HplResult run_hpl(comm::Communicator& world, const HplConfig& cfg);
+
+}  // namespace hplx::core

@@ -1,0 +1,334 @@
+#include "core/hpldat.hpp"
+
+#include <cctype>
+#include <istream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hplx::core {
+
+namespace {
+
+/// Line-oriented tokenizer over the HPL.dat format: each data line starts
+/// with its value(s); everything after them is free-text comment.
+class DatReader {
+ public:
+  explicit DatReader(std::istream& in) : in_(in) {}
+
+  /// Consume one line and return it verbatim (header lines).
+  std::string line() {
+    std::string out;
+    HPLX_CHECK_MSG(static_cast<bool>(std::getline(in_, out)),
+                   "HPL.dat truncated at line " << lineno_ + 1);
+    ++lineno_;
+    return out;
+  }
+
+  /// Consume one line and return its first whitespace token.
+  std::string token() {
+    std::istringstream ls(line());
+    std::string t;
+    HPLX_CHECK_MSG(static_cast<bool>(ls >> t),
+                   "HPL.dat line " << lineno_ << " is empty");
+    return t;
+  }
+
+  long integer(const char* what) {
+    const std::string t = token();
+    try {
+      return std::stol(t);
+    } catch (...) {
+      HPLX_CHECK_MSG(false, "HPL.dat line " << lineno_ << " (" << what
+                     << "): not an integer: `" << t << "`");
+    }
+    return 0;
+  }
+
+  double real(const char* what) {
+    const std::string t = token();
+    try {
+      return std::stod(t);
+    } catch (...) {
+      HPLX_CHECK_MSG(false, "HPL.dat line " << lineno_ << " (" << what
+                     << "): not a number: `" << t << "`");
+    }
+    return 0;
+  }
+
+  /// Consume one line holding `count` integers.
+  std::vector<long> integers(std::size_t count, const char* what) {
+    std::istringstream ls(line());
+    std::vector<long> out;
+    long v;
+    while (out.size() < count && ls >> v) out.push_back(v);
+    HPLX_CHECK_MSG(out.size() == count,
+                   "HPL.dat line " << lineno_ << " (" << what << "): expected "
+                   << count << " values, found " << out.size());
+    return out;
+  }
+
+  /// Read "# of X" then the list line.
+  std::vector<long> counted_list(const char* what, long max_count = 64) {
+    const long n = integer(what);
+    HPLX_CHECK_MSG(n >= 1 && n <= max_count,
+                   "HPL.dat line " << lineno_ << ": count for " << what
+                   << " out of range: " << n);
+    return integers(static_cast<std::size_t>(n), what);
+  }
+
+  bool eof() {
+    while (in_.good()) {
+      const int c = in_.peek();
+      if (c == std::char_traits<char>::eof()) return true;
+      if (!std::isspace(c)) return false;
+      in_.get();
+    }
+    return true;
+  }
+
+  int lineno() const { return lineno_; }
+
+ private:
+  std::istream& in_;
+  int lineno_ = 0;
+};
+
+FactVariant fact_from_code(long code, const char* what) {
+  switch (code) {
+    case 0: return FactVariant::Left;
+    case 1: return FactVariant::Crout;
+    case 2: return FactVariant::Right;
+    default:
+      HPLX_CHECK_MSG(false, "HPL.dat " << what << " code out of range: "
+                     << code);
+  }
+  return FactVariant::Right;
+}
+
+comm::BcastAlgo bcast_from_code(long code) {
+  switch (code) {
+    case 0: return comm::BcastAlgo::Ring1;
+    case 1: return comm::BcastAlgo::Ring1Mod;
+    case 2: return comm::BcastAlgo::Ring2;
+    case 3: return comm::BcastAlgo::Ring2Mod;
+    case 4: return comm::BcastAlgo::Long;
+    case 5: return comm::BcastAlgo::LongMod;
+    default:
+      HPLX_CHECK_MSG(false, "HPL.dat BCAST code out of range: " << code);
+  }
+  return comm::BcastAlgo::Ring1Mod;
+}
+
+long bcast_to_code(comm::BcastAlgo algo) {
+  switch (algo) {
+    case comm::BcastAlgo::Ring1: return 0;
+    case comm::BcastAlgo::Ring1Mod: return 1;
+    case comm::BcastAlgo::Ring2: return 2;
+    case comm::BcastAlgo::Ring2Mod: return 3;
+    case comm::BcastAlgo::Long: return 4;
+    case comm::BcastAlgo::LongMod: return 5;
+    case comm::BcastAlgo::Binomial: return 1;  // nearest classic code
+  }
+  return 1;
+}
+
+long fact_to_code(FactVariant v) {
+  switch (v) {
+    case FactVariant::Left: return 0;
+    case FactVariant::Crout: return 1;
+    case FactVariant::Right: return 2;
+    case FactVariant::RecursiveRight: return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+HplDat parse_hpldat(std::istream& in) {
+  DatReader r(in);
+  HplDat dat;
+
+  r.line();  // "HPLinpack benchmark input file"
+  r.line();  // institution line
+  dat.output_file = r.token();
+  dat.device_out = static_cast<int>(r.integer("device out"));
+
+  dat.ns = r.counted_list("problem sizes (N)");
+  for (long n : dat.ns)
+    HPLX_CHECK_MSG(n >= 1, "HPL.dat: N must be positive, got " << n);
+
+  for (long nb : r.counted_list("NBs")) {
+    HPLX_CHECK_MSG(nb >= 1, "HPL.dat: NB must be positive, got " << nb);
+    dat.nbs.push_back(static_cast<int>(nb));
+  }
+
+  dat.row_major_mapping = r.integer("PMAP") == 0;
+
+  const long ngrids = r.integer("# of process grids");
+  HPLX_CHECK_MSG(ngrids >= 1 && ngrids <= 64,
+                 "HPL.dat: grid count out of range: " << ngrids);
+  for (long p : r.integers(static_cast<std::size_t>(ngrids), "Ps"))
+    dat.ps.push_back(static_cast<int>(p));
+  for (long q : r.integers(static_cast<std::size_t>(ngrids), "Qs"))
+    dat.qs.push_back(static_cast<int>(q));
+  for (std::size_t i = 0; i < dat.ps.size(); ++i)
+    HPLX_CHECK_MSG(dat.ps[i] >= 1 && dat.qs[i] >= 1,
+                   "HPL.dat: invalid grid " << dat.ps[i] << "x" << dat.qs[i]);
+
+  dat.threshold = r.real("threshold");
+
+  for (long code : r.counted_list("PFACTs"))
+    dat.pfacts.push_back(fact_from_code(code, "PFACT"));
+  for (long v : r.counted_list("NBMINs")) {
+    HPLX_CHECK_MSG(v >= 1, "HPL.dat: NBMIN must be >= 1");
+    dat.nbmins.push_back(static_cast<int>(v));
+  }
+  for (long v : r.counted_list("NDIVs")) {
+    HPLX_CHECK_MSG(v >= 2, "HPL.dat: NDIV must be >= 2");
+    dat.ndivs.push_back(static_cast<int>(v));
+  }
+  for (long code : r.counted_list("RFACTs"))
+    dat.rfacts.push_back(fact_from_code(code, "RFACT"));
+  for (long v : r.counted_list("DEPTHs")) {
+    HPLX_CHECK_MSG(v >= 0 && v <= 1,
+                   "HPL.dat: only look-ahead depths 0 and 1 are supported");
+    dat.depths.push_back(static_cast<int>(v));
+  }
+  for (long code : r.counted_list("BCASTs"))
+    dat.bcasts.push_back(bcast_from_code(code));
+
+  dat.swap_algo = static_cast<int>(r.integer("SWAP"));
+  HPLX_CHECK_MSG(dat.swap_algo >= 0 && dat.swap_algo <= 2,
+                 "HPL.dat: SWAP must be 0, 1 or 2");
+  dat.swap_threshold = static_cast<int>(r.integer("swapping threshold"));
+  dat.l1_transposed = r.integer("L1 form") == 0;
+  dat.u_transposed = r.integer("U form") == 0;
+  dat.equilibration = r.integer("Equilibration") != 0;
+  dat.alignment = static_cast<int>(r.integer("alignment"));
+
+  // Optional rocHPL-style extension lines.
+  if (!r.eof()) {
+    dat.split_fraction = r.real("split fraction");
+    HPLX_CHECK_MSG(dat.split_fraction >= 0.0 && dat.split_fraction < 1.0,
+                   "HPL.dat: split fraction must be in [0, 1)");
+  }
+  if (!r.eof()) {
+    dat.fact_threads = static_cast<int>(r.integer("fact threads"));
+    HPLX_CHECK_MSG(dat.fact_threads >= 1,
+                   "HPL.dat: fact threads must be >= 1");
+  }
+  return dat;
+}
+
+HplDat parse_hpldat_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_hpldat(in);
+}
+
+std::vector<HplConfig> expand_configs(const HplDat& dat) {
+  std::vector<HplConfig> out;
+  for (std::size_t g = 0; g < dat.ps.size(); ++g) {
+    for (long n : dat.ns) {
+      for (int nb : dat.nbs) {
+        for (FactVariant pfact : dat.pfacts) {
+          for (int nbmin : dat.nbmins) {
+            for (int ndiv : dat.ndivs) {
+              for (int depth : dat.depths) {
+                for (comm::BcastAlgo bcast : dat.bcasts) {
+                  // Classic semantics: PFACT is the base variant at the
+                  // recursion leaves (RFACT selects the recursion
+                  // ordering, which hplx always does right-looking — the
+                  // paper's configuration).
+                  HplConfig cfg;
+                  cfg.n = n;
+                  cfg.nb = nb;
+                  cfg.p = dat.ps[g];
+                  cfg.q = dat.qs[g];
+                  cfg.fact = FactVariant::RecursiveRight;
+                  cfg.rfact_base = pfact;
+                  cfg.rfact_nbmin = nbmin;
+                  cfg.rfact_ndiv = ndiv;
+                  cfg.pipeline = depth == 0 ? PipelineMode::Simple
+                                            : PipelineMode::LookaheadSplit;
+                  cfg.bcast = bcast;
+                  cfg.row_major_grid = dat.row_major_mapping;
+                  cfg.swap = dat.swap_algo == 0 ? RowSwapAlgo::BinaryExchange
+                             : dat.swap_algo == 1 ? RowSwapAlgo::SpreadRoll
+                                                  : RowSwapAlgo::Mix;
+                  cfg.swap_threshold = dat.swap_threshold;
+                  cfg.split_fraction = dat.split_fraction;
+                  cfg.fact_threads = dat.fact_threads;
+                  out.push_back(cfg);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string format_hpldat(const HplDat& dat) {
+  std::ostringstream os;
+  auto list = [&os](const auto& values) {
+    for (std::size_t i = 0; i < values.size(); ++i)
+      os << (i ? " " : "") << values[i];
+  };
+
+  os << "HPLinpack benchmark input file\n";
+  os << "hplx reproduction of rocHPL (SC 2023)\n";
+  os << dat.output_file << "  output file name (if any)\n";
+  os << dat.device_out << "  device out (6=stdout,7=stderr,file)\n";
+  os << dat.ns.size() << "  # of problems sizes (N)\n";
+  list(dat.ns);
+  os << "  Ns\n";
+  os << dat.nbs.size() << "  # of NBs\n";
+  list(dat.nbs);
+  os << "  NBs\n";
+  os << (dat.row_major_mapping ? 0 : 1)
+     << "  PMAP process mapping (0=Row-,1=Column-major)\n";
+  os << dat.ps.size() << "  # of process grids (P x Q)\n";
+  list(dat.ps);
+  os << "  Ps\n";
+  list(dat.qs);
+  os << "  Qs\n";
+  os << dat.threshold << "  threshold\n";
+
+  auto codes = [&os](const std::vector<FactVariant>& vs) {
+    for (std::size_t i = 0; i < vs.size(); ++i)
+      os << (i ? " " : "") << fact_to_code(vs[i]);
+  };
+  os << dat.pfacts.size() << "  # of panel fact\n";
+  codes(dat.pfacts);
+  os << "  PFACTs (0=left, 1=Crout, 2=Right)\n";
+  os << dat.nbmins.size() << "  # of recursive stopping criterium\n";
+  list(dat.nbmins);
+  os << "  NBMINs (>= 1)\n";
+  os << dat.ndivs.size() << "  # of panels in recursion\n";
+  list(dat.ndivs);
+  os << "  NDIVs\n";
+  os << dat.rfacts.size() << "  # of recursive panel fact.\n";
+  codes(dat.rfacts);
+  os << "  RFACTs (0=left, 1=Crout, 2=Right)\n";
+  os << dat.depths.size() << "  # of lookahead depth\n";
+  list(dat.depths);
+  os << "  DEPTHs (>=0)\n";
+  os << dat.bcasts.size() << "  # of broadcast\n";
+  for (std::size_t i = 0; i < dat.bcasts.size(); ++i)
+    os << (i ? " " : "") << bcast_to_code(dat.bcasts[i]);
+  os << "  BCASTs (0=1rg,1=1rM,2=2rg,3=2rM,4=Lng,5=LnM)\n";
+  os << dat.swap_algo << "  SWAP (0=bin-exch,1=long,2=mix)\n";
+  os << dat.swap_threshold << "  swapping threshold\n";
+  os << (dat.l1_transposed ? 0 : 1) << "  L1 in (0=transposed,1=no) form\n";
+  os << (dat.u_transposed ? 0 : 1) << "  U  in (0=transposed,1=no) form\n";
+  os << (dat.equilibration ? 1 : 0) << "  Equilibration (0=no,1=yes)\n";
+  os << dat.alignment << "  memory alignment in double (> 0)\n";
+  os << dat.split_fraction << "  split fraction (rocHPL extension)\n";
+  os << dat.fact_threads << "  FACT threads (rocHPL extension)\n";
+  return os.str();
+}
+
+}  // namespace hplx::core

@@ -1,0 +1,40 @@
+#include "core/matrix.hpp"
+
+#include "rng/matgen.hpp"
+#include "util/error.hpp"
+
+namespace hplx::core {
+
+DistMatrix::DistMatrix(device::Device& dev, const grid::ProcessGrid& g,
+                       long n, int nb, std::uint64_t seed)
+    : dev_(dev),
+      n_(n),
+      nb_(nb),
+      seed_(seed),
+      myrow_(g.myrow()),
+      mycol_(g.mycol()),
+      nprow_(g.nprow()),
+      npcol_(g.npcol()),
+      rows_(n, nb, g.nprow()),
+      cols_(n + 1, nb, g.npcol()),
+      mloc_(rows_.local_count(myrow_)),
+      nloc_(cols_.local_count(mycol_)),
+      lda_(mloc_ > 0 ? mloc_ : 1),
+      buf_(dev.alloc(static_cast<std::size_t>(lda_) *
+                     static_cast<std::size_t>(nloc_ > 0 ? nloc_ : 1))) {
+  HPLX_CHECK(n >= 1 && nb >= 1);
+  // Generation is an init-time device fill (rocHPL generates on-device);
+  // it is not charged to any stream.
+  rng::generate_local(seed_, n_, n_ + 1, nb_, myrow_, mycol_, nprow_, npcol_,
+                      buf_.data(), lda_);
+}
+
+long DistMatrix::row_offset(long grow) const {
+  return grid::numroc(grow, nb_, myrow_, nprow_);
+}
+
+long DistMatrix::col_offset(long gcol) const {
+  return grid::numroc(gcol, nb_, mycol_, npcol_);
+}
+
+}  // namespace hplx::core

@@ -1,0 +1,64 @@
+#pragma once
+/// \file matrix.hpp
+/// \brief The distributed augmented matrix [A | b] in device memory.
+///
+/// HPL appends the right-hand side b as column N of an N×(N+1) augmented
+/// system (§II), distributes the whole thing 2D block-cyclically, and keeps
+/// it resident in the accelerators' HBM for the entire benchmark (§III).
+/// DistMatrix owns this rank's local tile and the index arithmetic around
+/// it.
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "grid/block_cyclic.hpp"
+#include "grid/process_grid.hpp"
+
+namespace hplx::core {
+
+class DistMatrix {
+ public:
+  /// Allocates the local piece on `dev` (throws if it exceeds HBM) and
+  /// fills it with the seeded random augmented system.
+  DistMatrix(device::Device& dev, const grid::ProcessGrid& g, long n, int nb,
+             std::uint64_t seed);
+
+  long n() const { return n_; }
+  int nb() const { return nb_; }
+  std::uint64_t seed() const { return seed_; }
+
+  const grid::CyclicDim& rows() const { return rows_; }
+  const grid::CyclicDim& cols() const { return cols_; }
+
+  long mloc() const { return mloc_; }   ///< local rows (of N)
+  long nloc() const { return nloc_; }   ///< local cols (of N+1, incl. b)
+  long lda() const { return lda_; }
+
+  double* local() { return buf_.data(); }
+  const double* local() const { return buf_.data(); }
+
+  /// Number of local rows with global index < grow (i.e. the local row
+  /// where the trailing window starting at global row `grow` begins).
+  long row_offset(long grow) const;
+
+  /// Number of local cols with global index < gcol.
+  long col_offset(long gcol) const;
+
+  /// Device pointer to local element (il, jl).
+  double* at(long il, long jl) { return buf_.data() + jl * lda_ + il; }
+
+  device::Device& dev() { return dev_; }
+
+ private:
+  device::Device& dev_;
+  long n_;
+  int nb_;
+  std::uint64_t seed_;
+  int myrow_, mycol_, nprow_, npcol_;
+  grid::CyclicDim rows_;
+  grid::CyclicDim cols_;
+  long mloc_, nloc_, lda_;
+  device::Buffer buf_;
+};
+
+}  // namespace hplx::core

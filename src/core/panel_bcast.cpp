@@ -1,0 +1,82 @@
+#include "core/panel_bcast.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace hplx::core {
+
+void PanelData::resize(int jb_, long ml2_) {
+  jb = jb_;
+  ml2 = ml2_;
+  top.resize(static_cast<std::size_t>(jb_) * jb_);
+  ipiv.resize(static_cast<std::size_t>(jb_));
+  l2.resize(static_cast<std::size_t>(ml2_) * jb_);
+}
+
+namespace {
+/// Wire format: [j, jb, ml2 as doubles-worth of longs][ipiv][top][l2].
+/// Sizes are deterministic on both sides, so the whole panel moves as one
+/// message per hop of the broadcast algorithm.
+std::size_t wire_doubles(int jb, long ml2) {
+  const std::size_t header = 3;
+  const std::size_t ipiv_d = static_cast<std::size_t>(jb);  // longs fit in 8B
+  return header + ipiv_d + static_cast<std::size_t>(jb) * jb +
+         static_cast<std::size_t>(ml2) * jb;
+}
+}  // namespace
+
+void panel_broadcast(comm::Communicator& row_comm, comm::BcastAlgo algo,
+                     int root, PanelData& panel, double* mpi_seconds,
+                     const BcastFn* custom) {
+  HPLX_CHECK(panel.jb >= 1);
+  if (row_comm.size() == 1) return;
+
+  const std::size_t count = wire_doubles(panel.jb, panel.ml2);
+  panel.wire.resize(count);
+
+  const bool is_root = row_comm.rank() == root;
+  if (is_root) {
+    double* w = panel.wire.data();
+    w[0] = static_cast<double>(panel.j);
+    w[1] = static_cast<double>(panel.jb);
+    w[2] = static_cast<double>(panel.ml2);
+    std::memcpy(w + 3, panel.ipiv.data(),
+                static_cast<std::size_t>(panel.jb) * sizeof(long));
+    std::memcpy(w + 3 + panel.jb, panel.top.data(),
+                panel.top.size() * sizeof(double));
+    std::memcpy(w + 3 + panel.jb + panel.top.size(), panel.l2.data(),
+                panel.l2.size() * sizeof(double));
+  }
+
+  Timer timer;
+  timer.start();
+  if (custom != nullptr && *custom) {
+    (*custom)(row_comm, panel.wire.data(), count * sizeof(double), root);
+  } else {
+    comm::bcast(row_comm, panel.wire.data(), count, root, algo);
+  }
+  const double dt = timer.stop();
+  if (mpi_seconds != nullptr) *mpi_seconds += dt;
+
+  if (!is_root) {
+    const double* w = panel.wire.data();
+    HPLX_CHECK_MSG(static_cast<long>(w[0]) == panel.j &&
+                       static_cast<int>(w[1]) == panel.jb &&
+                       static_cast<long>(w[2]) == panel.ml2,
+                   "panel broadcast shape mismatch: got (j=" << w[0]
+                   << ", jb=" << w[1] << ", ml2=" << w[2] << "), expected (j="
+                   << panel.j << ", jb=" << panel.jb << ", ml2=" << panel.ml2
+                   << ")");
+    panel.resize(panel.jb, panel.ml2);
+    std::memcpy(panel.ipiv.data(), w + 3,
+                static_cast<std::size_t>(panel.jb) * sizeof(long));
+    std::memcpy(panel.top.data(), w + 3 + panel.jb,
+                panel.top.size() * sizeof(double));
+    std::memcpy(panel.l2.data(), w + 3 + panel.jb + panel.top.size(),
+                panel.l2.size() * sizeof(double));
+  }
+}
+
+}  // namespace hplx::core

@@ -1,0 +1,414 @@
+#include "core/pfact.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "comm/collectives.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace hplx::core {
+
+const char* to_string(FactVariant v) {
+  switch (v) {
+    case FactVariant::Left: return "left";
+    case FactVariant::Right: return "right";
+    case FactVariant::Crout: return "crout";
+    case FactVariant::RecursiveRight: return "recursive";
+  }
+  return "?";
+}
+
+const char* to_string(PipelineMode m) {
+  switch (m) {
+    case PipelineMode::Simple: return "simple";
+    case PipelineMode::Lookahead: return "lookahead";
+    case PipelineMode::LookaheadSplit: return "lookahead+split";
+  }
+  return "?";
+}
+
+const char* to_string(RowSwapAlgo a) {
+  switch (a) {
+    case RowSwapAlgo::SpreadRoll: return "spread-roll";
+    case RowSwapAlgo::BinaryExchange: return "binary-exchange";
+    case RowSwapAlgo::Mix: return "mix";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Header of the combined pivot exchange message (HPL_pdmxswp analogue).
+/// The payload that follows is 2·jb doubles: the candidate (pivot) row and
+/// the current row. Exactly one rank — the diagonal-block owner — sets
+/// has_cur and supplies the current row; the max-loc winner supplies the
+/// pivot row. One allreduce delivers both to everyone.
+struct PivotHeader {
+  double absmax = -1.0;
+  long slot_glob = std::numeric_limits<long>::max();
+  int has_cur = 0;
+  int pad = 0;
+};
+static_assert(sizeof(PivotHeader) == 24);
+
+struct Shared {
+  const PanelTask& t;
+  const HplConfig& cfg;
+  comm::Communicator& comm;
+  ThreadTeam& team;
+
+  int T;
+  int tile;  // tile height in rows
+
+  // Per-thread local pivot candidates (index into w rows, or -1).
+  std::vector<double> cand_val;
+  std::vector<long> cand_idx;
+
+  // Pivot exchange message: header + pivot row + current row.
+  std::vector<std::byte> msg;
+
+  std::atomic<bool> failed{false};
+  double comm_seconds = 0.0;
+
+  Shared(const PanelTask& task, const HplConfig& config,
+         comm::Communicator& col_comm, ThreadTeam& thread_team)
+      : t(task),
+        cfg(config),
+        comm(col_comm),
+        team(thread_team),
+        T(thread_team.size()),
+        tile(task.tile_rows > 0 ? task.tile_rows : task.jb),
+        cand_val(static_cast<std::size_t>(T), -1.0),
+        cand_idx(static_cast<std::size_t>(T), -1),
+        msg(sizeof(PivotHeader) +
+            2 * static_cast<std::size_t>(task.jb) * sizeof(double)) {}
+
+  PivotHeader* header() { return reinterpret_cast<PivotHeader*>(msg.data()); }
+  double* pivot_row() {
+    return reinterpret_cast<double*>(msg.data() + sizeof(PivotHeader));
+  }
+  double* cur_row() { return pivot_row() + t.jb; }
+
+  /// First active w row at step k: slots with global index >= j+k. On the
+  /// diagonal-owning rank the first jb rows are exactly globals j..j+jb-1;
+  /// on every other rank all rows are in later blocks.
+  long active_start(int k) const { return t.is_curr ? k : 0; }
+
+  double& W(long r, int c) const { return t.w[r + static_cast<long>(c) * t.ldw]; }
+  double& Top(int r, int c) const {
+    return t.top[r + static_cast<long>(c) * t.ldtop];
+  }
+
+  /// Visit thread tid's tile row ranges intersected with [lo, mw).
+  template <typename F>
+  void for_tiles(int tid, long lo, F&& f) const {
+    for (long t0 = 0; t0 * tile < t.mw; ++t0) {
+      if (t0 % T != tid) continue;
+      const long r0 = std::max<long>(lo, t0 * tile);
+      const long r1 = std::min<long>(t.mw, (t0 + 1) * tile);
+      if (r0 < r1) f(r0, r1);
+    }
+  }
+
+  /// Index of the w row with global index g, or -1.
+  long find_slot(long g) const {
+    const long* begin = t.glob;
+    const long* end = t.glob + t.mw;
+    const long* it = std::lower_bound(begin, end, g);
+    return (it != end && *it == g) ? it - begin : -1;
+  }
+};
+
+/// Phase 1 of each column: every thread scans its tiles for the largest
+/// |w(i, k)| among active rows (parallel reduction of §III.A).
+void local_search(Shared& s, int tid, int k) {
+  double best = -1.0;
+  long best_idx = -1;
+  s.for_tiles(tid, s.active_start(k), [&](long r0, long r1) {
+    for (long r = r0; r < r1; ++r) {
+      const double v = std::fabs(s.W(r, k));
+      if (v > best ||
+          (v == best && best_idx >= 0 && s.t.glob[r] < s.t.glob[best_idx])) {
+        best = v;
+        best_idx = r;
+      }
+    }
+  });
+  s.cand_val[static_cast<std::size_t>(tid)] = best;
+  s.cand_idx[static_cast<std::size_t>(tid)] = best_idx;
+}
+
+/// Phase 2, main thread only: merge thread candidates, run the combined
+/// max-loc + row exchange across the process column, store the pivot row
+/// into the replicated top block, and apply the swap-in of the displaced
+/// current row.
+void pivot_exchange(Shared& s, int k) {
+  const int jb = s.t.jb;
+
+  // Merge the T thread-local candidates.
+  double best = -1.0;
+  long best_idx = -1;
+  for (int t = 0; t < s.T; ++t) {
+    const double v = s.cand_val[static_cast<std::size_t>(t)];
+    const long idx = s.cand_idx[static_cast<std::size_t>(t)];
+    if (idx < 0) continue;
+    if (v > best || (v == best && (best_idx < 0 ||
+                                   s.t.glob[idx] < s.t.glob[best_idx]))) {
+      best = v;
+      best_idx = idx;
+    }
+  }
+
+  PivotHeader* h = s.header();
+  *h = PivotHeader{};
+  double* prow = s.pivot_row();
+  double* crow = s.cur_row();
+  std::memset(prow, 0, 2 * static_cast<std::size_t>(jb) * sizeof(double));
+  if (best_idx >= 0) {
+    h->absmax = best;
+    h->slot_glob = s.t.glob[best_idx];
+    for (int c = 0; c < jb; ++c) prow[c] = s.W(best_idx, c);
+  }
+  if (s.t.is_curr) {
+    h->has_cur = 1;
+    for (int c = 0; c < jb; ++c) crow[c] = s.W(k, c);
+  }
+
+  {
+    Timer timer;
+    timer.start();
+    comm::allreduce_bytes(
+        s.comm, s.msg.data(), s.msg.size(),
+        [jb](void* inout, const void* in) {
+          auto* a = static_cast<PivotHeader*>(inout);
+          const auto* b = static_cast<const PivotHeader*>(in);
+          double* arows = reinterpret_cast<double*>(
+              static_cast<std::byte*>(inout) + sizeof(PivotHeader));
+          const double* brows = reinterpret_cast<const double*>(
+              static_cast<const std::byte*>(in) + sizeof(PivotHeader));
+          if (b->absmax > a->absmax ||
+              (b->absmax == a->absmax && b->slot_glob < a->slot_glob)) {
+            a->absmax = b->absmax;
+            a->slot_glob = b->slot_glob;
+            std::memcpy(arows, brows, static_cast<std::size_t>(jb) * sizeof(double));
+          }
+          if (b->has_cur) {
+            a->has_cur = 1;
+            std::memcpy(arows + jb, brows + jb,
+                        static_cast<std::size_t>(jb) * sizeof(double));
+          }
+        });
+    s.comm_seconds += timer.stop();
+  }
+
+  HPLX_CHECK_MSG(h->slot_glob != std::numeric_limits<long>::max(),
+                 "panel column has no candidate rows at step " << k);
+  s.t.ipiv[k] = h->slot_glob;
+
+  // The pivot row becomes row k of the replicated top block.
+  for (int c = 0; c < jb; ++c) s.Top(k, c) = prow[c];
+
+  // Swap-in: the displaced current row replaces the pivot's old slot
+  // (unless the pivot *was* the current row).
+  if (h->slot_glob != s.t.j + k) {
+    const long slot = s.find_slot(h->slot_glob);
+    if (slot >= 0) {
+      for (int c = 0; c < jb; ++c) s.W(slot, c) = crow[c];
+    }
+  }
+
+  if (s.Top(k, k) == 0.0) s.failed.store(true);
+}
+
+/// Phase 3: scale column k of active rows and (right-looking) apply the
+/// rank-1 update over columns (k, cend).
+void scale_and_update(Shared& s, int tid, int k, int cend, bool do_ger) {
+  const double pivk = s.Top(k, k);
+  s.for_tiles(tid, s.active_start(k + 1), [&](long r0, long r1) {
+    const long m = r1 - r0;
+    blas::dscal(static_cast<int>(m), 1.0 / pivk, &s.W(r0, k), 1);
+    if (do_ger && cend > k + 1) {
+      blas::dger(static_cast<int>(m), cend - (k + 1), -1.0, &s.W(r0, k), 1,
+                 &s.Top(k, k + 1), s.t.ldtop, &s.W(r0, k + 1),
+                 static_cast<int>(s.t.ldw));
+    }
+  });
+}
+
+/// Unblocked right-looking base over columns [k0, k0+kb).
+void base_right(Shared& s, int tid, int k0, int kb) {
+  for (int k = k0; k < k0 + kb; ++k) {
+    local_search(s, tid, k);
+    s.team.barrier();
+    if (tid == 0) pivot_exchange(s, k);
+    s.team.barrier();
+    if (s.failed.load()) return;
+    scale_and_update(s, tid, k, k0 + kb, /*do_ger=*/true);
+    s.team.barrier();
+  }
+}
+
+/// Unblocked Crout base over columns [k0, k0+kb): trailing updates are
+/// deferred; each column is brought up to date just before its pivot
+/// search, and the pivot row's trailing entries are patched redundantly by
+/// every rank after the exchange.
+void base_crout(Shared& s, int tid, int k0, int kb) {
+  for (int k = k0; k < k0 + kb; ++k) {
+    if (k > k0) {
+      // Column update: w(:, k) -= W(:, k0..k) · top(k0..k, k).
+      s.for_tiles(tid, s.active_start(k), [&](long r0, long r1) {
+        blas::dgemv(blas::Trans::No, static_cast<int>(r1 - r0), k - k0, -1.0,
+                    &s.W(r0, k0), static_cast<int>(s.t.ldw), &s.Top(k0, k), 1,
+                    1.0, &s.W(r0, k), 1);
+      });
+      s.team.barrier();
+    }
+    local_search(s, tid, k);
+    s.team.barrier();
+    if (tid == 0) {
+      pivot_exchange(s, k);
+      // Patch the stored pivot row's deferred in-block columns:
+      // top(k, c) -= Σ_{m∈[k0,k)} top(k, m)·top(m, c) for c in (k, k0+kb).
+      if (!s.failed.load() && k > k0 && k0 + kb > k + 1) {
+        blas::dgemv(blas::Trans::Yes, k - k0, k0 + kb - (k + 1), -1.0,
+                    &s.Top(k0, k + 1), s.t.ldtop, &s.Top(k, k0),
+                    s.t.ldtop, 1.0, &s.Top(k, k + 1), s.t.ldtop);
+      }
+      if (!s.failed.load() && s.Top(k, k) == 0.0) s.failed.store(true);
+    }
+    s.team.barrier();
+    if (s.failed.load()) return;
+    scale_and_update(s, tid, k, k0 + kb, /*do_ger=*/false);
+    s.team.barrier();
+  }
+}
+
+/// Unblocked left-looking base over columns [k0, k0+kb): all updates are
+/// deferred. When column k becomes current, its U entries above the
+/// diagonal are recovered by a unit-lower triangular solve against the
+/// accumulated top block (their stored values are still the original
+/// pivot-row entries), after which the candidates' deferred column update,
+/// the pivot search, and the scale proceed as in Crout — the pivot row's
+/// own trailing entries stay untouched until their columns come up.
+void base_left(Shared& s, int tid, int k0, int kb) {
+  for (int k = k0; k < k0 + kb; ++k) {
+    if (k > k0) {
+      if (tid == 0) {
+        // top(k0..k, k) := L1(k0..k, k0..k)^{-1} · top(k0..k, k):
+        // the deferred U column solve (in place; the strict lower
+        // multipliers it reads are never overwritten).
+        blas::dtrsv(blas::Uplo::Lower, blas::Trans::No, blas::Diag::Unit,
+                    k - k0, &s.Top(k0, k0), static_cast<int>(s.t.ldtop),
+                    &s.Top(k0, k), 1);
+      }
+      s.team.barrier();
+      // Candidates' deferred column update, exactly as in Crout.
+      s.for_tiles(tid, s.active_start(k), [&](long r0, long r1) {
+        blas::dgemv(blas::Trans::No, static_cast<int>(r1 - r0), k - k0, -1.0,
+                    &s.W(r0, k0), static_cast<int>(s.t.ldw), &s.Top(k0, k), 1,
+                    1.0, &s.W(r0, k), 1);
+      });
+      s.team.barrier();
+    }
+    local_search(s, tid, k);
+    s.team.barrier();
+    if (tid == 0) pivot_exchange(s, k);
+    s.team.barrier();
+    if (s.failed.load()) return;
+    scale_and_update(s, tid, k, k0 + kb, /*do_ger=*/false);
+    s.team.barrier();
+  }
+}
+
+void base(Shared& s, int tid, int k0, int kb, FactVariant v) {
+  switch (v) {
+    case FactVariant::Left:
+      base_left(s, tid, k0, kb);
+      break;
+    case FactVariant::Crout:
+      base_crout(s, tid, k0, kb);
+      break;
+    default:
+      base_right(s, tid, k0, kb);
+      break;
+  }
+}
+
+/// Recursive factorization (HPL's rfact): factor the left part, update the
+/// right part (main-thread DTRSM on the replicated top block + per-thread
+/// DGEMM on their own tiles), recurse on the right part.
+void recurse(Shared& s, int tid, int k0, int kb, FactVariant bv) {
+  const int nbmin = std::max(1, s.cfg.rfact_nbmin);
+  const int ndiv = std::max(2, s.cfg.rfact_ndiv);
+  if (kb <= nbmin) {
+    base(s, tid, k0, kb, bv);
+    return;
+  }
+  int k1 = ((kb / ndiv + nbmin - 1) / nbmin) * nbmin;
+  k1 = std::clamp(k1, nbmin, kb - 1);
+
+  recurse(s, tid, k0, k1, bv);
+  if (s.failed.load()) return;
+
+  if (tid == 0) {
+    // top(k0..k0+k1, trail) := L11^{-1} · top(k0..k0+k1, trail); every rank
+    // holds the replicated top block, so this is redundant compute with
+    // zero communication (exactly HPL's design).
+    blas::dtrsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+                blas::Diag::Unit, k1, kb - k1, 1.0, &s.Top(k0, k0),
+                s.t.ldtop, &s.Top(k0, k0 + k1), s.t.ldtop);
+  }
+  s.team.barrier();
+
+  s.for_tiles(tid, s.active_start(k0 + k1), [&](long r0, long r1) {
+    blas::dgemm(blas::Trans::No, blas::Trans::No, static_cast<int>(r1 - r0),
+                kb - k1, k1, -1.0, &s.W(r0, k0), static_cast<int>(s.t.ldw),
+                &s.Top(k0, k0 + k1), static_cast<int>(s.t.ldtop), 1.0,
+                &s.W(r0, k0 + k1), static_cast<int>(s.t.ldw));
+  });
+  s.team.barrier();
+
+  recurse(s, tid, k0 + k1, kb - k1, bv);
+}
+
+}  // namespace
+
+void panel_factorize(comm::Communicator& col_comm, const HplConfig& cfg,
+                     ThreadTeam& team, const PanelTask& task,
+                     FactTimers* timers) {
+  HPLX_CHECK(task.jb >= 1);
+  HPLX_CHECK(task.w != nullptr || task.mw == 0);
+  HPLX_CHECK(task.top != nullptr && task.ipiv != nullptr);
+  HPLX_CHECK(task.ldtop >= task.jb);
+  HPLX_CHECK(task.ldw >= task.mw || task.mw == 0);
+
+  Timer total;
+  total.start();
+
+  Shared s(task, cfg, col_comm, team);
+  team.run([&](int tid) {
+    if (cfg.fact == FactVariant::RecursiveRight) {
+      recurse(s, tid, 0, task.jb, cfg.rfact_base);
+    } else {
+      base(s, tid, 0, task.jb, cfg.fact);
+    }
+  });
+
+  HPLX_CHECK_MSG(!s.failed.load(),
+                 "panel factorization hit an exactly-zero pivot at column "
+                 << task.j << " (singular matrix?)");
+
+  const double elapsed = total.stop();
+  if (timers != nullptr) {
+    timers->comm_s += s.comm_seconds;
+    timers->compute_s += elapsed - s.comm_seconds;
+  }
+}
+
+}  // namespace hplx::core

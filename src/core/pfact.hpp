@@ -1,0 +1,65 @@
+#pragma once
+/// \file pfact.hpp
+/// \brief Multi-threaded distributed panel factorization (§III.A).
+///
+/// The tall-skinny mw×jb panel (this rank's rows with global index >= j,
+/// in local storage order) is LU-factored with partial pivoting across the
+/// P ranks of the panel's process column. The paper's design is reproduced
+/// exactly:
+///
+///  - the panel is blocked into NB-row *tiles* round-robined over T
+///    threads (Fig. 4); tile 0 — which on the diagonal-owning rank holds
+///    the upper-triangular factor and all pivot source rows — always
+///    belongs to the main thread;
+///  - pivot determination is a parallel reduction over threads, after
+///    which only the main thread talks to the communicator (one combined
+///    max-loc + pivot-row + current-row exchange per column, the
+///    equivalent of HPL_pdmxswp);
+///  - the main thread applies the row writes, synchronizes, and all
+///    threads apply their tiles' scale/update in parallel;
+///  - blocked variants let the main thread DTRSM the replicated top block
+///    while worker threads DGEMM their own tiles (PCA-style cache
+///    residency: a tile is touched by one thread only).
+///
+/// Every rank in the process column keeps a replicated jb×jb `top` buffer
+/// that accumulates the chosen pivot rows; it ends as L1 (unit-lower
+/// multipliers) + U1 (upper factor) — the block every other phase needs.
+
+#include "comm/communicator.hpp"
+#include "core/config.hpp"
+#include "util/thread_team.hpp"
+
+namespace hplx::core {
+
+/// Inputs/outputs of one panel factorization on one rank.
+struct PanelTask {
+  long j = 0;   ///< global column of the panel's first column
+  int jb = 0;   ///< panel width (min(NB, N - j))
+
+  double* w = nullptr;  ///< mw×jb local panel rows, column-major
+  long mw = 0;          ///< local rows with global index >= j
+  long ldw = 0;
+  const long* glob = nullptr;  ///< global row index of each w row (ascending)
+
+  double* top = nullptr;  ///< jb×jb replicated factored block (output)
+  long ldtop = 0;
+  long* ipiv = nullptr;  ///< jb global pivot row indices (output)
+
+  bool is_curr = false;  ///< true on the rank owning the diagonal block row
+  int tile_rows = 0;     ///< tile height for the round-robin (0 => jb)
+};
+
+/// Phase timers split the way Fig. 7 reports them.
+struct FactTimers {
+  double comm_s = 0.0;     ///< time in column-communicator calls
+  double compute_s = 0.0;  ///< remaining (local factorization) time
+};
+
+/// Collective over `col_comm` (all ranks of the panel's process column
+/// call with their local task). `team` supplies the T threads of §III.A;
+/// pass a 1-thread team for serial factorization.
+void panel_factorize(comm::Communicator& col_comm, const HplConfig& cfg,
+                     ThreadTeam& team, const PanelTask& task,
+                     FactTimers* timers = nullptr);
+
+}  // namespace hplx::core

@@ -1,0 +1,123 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace hplx::core {
+
+namespace {
+
+char fact_letter(FactVariant v) {
+  switch (v) {
+    case FactVariant::Left: return 'L';
+    case FactVariant::Crout: return 'C';
+    case FactVariant::Right: return 'R';
+    case FactVariant::RecursiveRight: return 'R';
+  }
+  return 'R';
+}
+
+int bcast_code(comm::BcastAlgo algo) {
+  switch (algo) {
+    case comm::BcastAlgo::Ring1: return 0;
+    case comm::BcastAlgo::Ring1Mod: return 1;
+    case comm::BcastAlgo::Ring2: return 2;
+    case comm::BcastAlgo::Ring2Mod: return 3;
+    case comm::BcastAlgo::Long: return 4;
+    case comm::BcastAlgo::LongMod: return 5;
+    case comm::BcastAlgo::Binomial: return 6;  // hplx extension code
+  }
+  return 1;
+}
+
+const char kRule[] =
+    "========================================================================"
+    "========\n";
+const char kDash[] =
+    "------------------------------------------------------------------------"
+    "--------\n";
+
+}  // namespace
+
+std::string encode_tv(const HplConfig& cfg) {
+  // W + mapping + depth + bcast + rfact letter + NDIV + pfact letter +
+  // NBMIN — the classic field order.
+  std::string tv = "W";
+  tv += cfg.row_major_grid ? 'R' : 'C';
+  tv += cfg.pipeline == PipelineMode::Simple ? '0' : '1';
+  tv += static_cast<char>('0' + bcast_code(cfg.bcast));
+  tv += fact_letter(cfg.fact);
+  tv += std::to_string(cfg.rfact_ndiv);
+  tv += fact_letter(cfg.fact == FactVariant::RecursiveRight ? cfg.rfact_base
+                                                            : cfg.fact);
+  tv += std::to_string(cfg.rfact_nbmin);
+  return tv;
+}
+
+void print_hpl_banner(std::ostream& os) {
+  os << kRule
+     << "HPLinpack (hplx)  --  High-Performance Linpack benchmark  --  "
+        "reproduction\n"
+        "of rocHPL: \"Optimizing HPL for Exascale Accelerated "
+        "Architectures\" (SC'23)\n"
+     << kRule
+     << "\nAn explanation of the input/output parameters follows:\n"
+        "T/V    : Wall time / encoded variant.\n"
+        "N      : The order of the coefficient matrix A.\n"
+        "NB     : The partitioning blocking factor.\n"
+        "P      : The number of process rows.\n"
+        "Q      : The number of process columns.\n"
+        "Time   : Time in seconds to solve the linear system.\n"
+        "Gflops : Rate of execution for solving the linear system.\n\n";
+}
+
+void print_hpl_header(std::ostream& os) {
+  os << kRule
+     << "T/V                N    NB     P     Q               Time          "
+        "       Gflops\n"
+     << kDash;
+}
+
+void print_hpl_result(std::ostream& os, const HplConfig& cfg,
+                      const HplResult& result) {
+  os << std::left << std::setw(12) << encode_tv(cfg) << std::right
+     << std::setw(9) << cfg.n << std::setw(6) << cfg.nb << std::setw(6)
+     << cfg.p << std::setw(6) << cfg.q << std::setw(19) << std::fixed
+     << std::setprecision(2) << result.seconds << std::setw(23)
+     << std::scientific << std::setprecision(4) << result.gflops << '\n';
+  os << kDash
+     << "||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N)= " << std::fixed
+     << std::setprecision(7) << result.verify.residual << " ...... "
+     << (result.verify.passed ? "PASSED" : "FAILED") << '\n';
+  os.unsetf(std::ios::floatfield);
+}
+
+void print_hpl_footer(std::ostream& os, int tests, int passed) {
+  os << kRule << "\nFinished " << tests << " tests with the following "
+     << "results:\n         " << passed << " tests completed and passed "
+     << "residual checks,\n         " << (tests - passed)
+     << " tests completed and failed residual checks,\n"
+     << "         0 tests skipped because of illegal input values.\n"
+     << kDash << "\nEnd of Tests.\n" << kRule;
+}
+
+void print_phase_breakdown(std::ostream& os, const HplResult& result) {
+  const double wall = result.seconds > 0.0 ? result.seconds : 1.0;
+  auto line = [&](const char* label, double seconds) {
+    os << "  " << std::left << std::setw(26) << label << std::right
+       << std::fixed << std::setprecision(3) << std::setw(10) << seconds
+       << " s  " << std::setprecision(1) << std::setw(6)
+       << 100.0 * seconds / wall << " %\n";
+  };
+  os << kDash << "Phase breakdown (phases overlap; shares are of wall "
+        "time):\n";
+  line("wall (solve + backsolve)", result.seconds);
+  line("GPU kernels", result.gpu_seconds);
+  line("CPU panel factorization", result.fact_seconds);
+  line("communication", result.mpi_seconds);
+  line("host<->device transfers", result.transfer_seconds);
+  os << kDash;
+  os.unsetf(std::ios::floatfield);
+}
+
+}  // namespace hplx::core

@@ -1,0 +1,200 @@
+#include "core/rowswap.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "comm/collectives.hpp"
+#include "device/kernels.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace hplx::core {
+
+RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv) {
+  RowSwapPlan plan;
+  plan.j = j;
+  plan.jb = jb;
+
+  // Replay the sequential swaps on a sparse content map:
+  // content[slot] = original row currently sitting there.
+  std::map<long, long> content;
+  auto get = [&](long slot) {
+    const auto it = content.find(slot);
+    return it == content.end() ? slot : it->second;
+  };
+  for (int k = 0; k < jb; ++k) {
+    const long a = j + k;
+    const long b = ipiv[k];
+    HPLX_CHECK_MSG(b >= a, "pivot row " << b << " above current row " << a);
+    if (a == b) continue;
+    const long ca = get(a);
+    const long cb = get(b);
+    content[a] = cb;
+    content[b] = ca;
+  }
+
+  plan.u_source.resize(static_cast<std::size_t>(jb));
+  for (int k = 0; k < jb; ++k) plan.u_source[static_cast<std::size_t>(k)] = get(j + k);
+
+  for (const auto& [slot, orig] : content) {
+    if (slot >= j && slot < j + jb) continue;  // top block: handled as U
+    if (orig == slot) continue;
+    HPLX_CHECK(orig >= j && orig < j + jb);  // sources always from the top
+    plan.displaced.emplace_back(slot, orig);
+  }
+  return plan;
+}
+
+void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
+                         int myrow, long jl0, long njl, RowSwapAlgo algo,
+                         long threshold) {
+  const bool binexch = algo == RowSwapAlgo::BinaryExchange ||
+                       (algo == RowSwapAlgo::Mix && njl <= threshold);
+  u_algo_ = binexch ? comm::AllgatherAlgo::RecursiveDoubling
+                    : comm::AllgatherAlgo::Ring;
+  j_ = plan.j;
+  jb_ = plan.jb;
+  jl0_ = jl0;
+  njl_ = njl;
+  nprow_ = a.rows().nprocs();
+  myrow_ = myrow;
+
+  const grid::CyclicDim& rows = a.rows();
+  diag_root_ = rows.owner(j_);
+  in_diag_row_ = diag_root_ == myrow_;
+
+  // --- U assembly bookkeeping -------------------------------------------
+  // Determine, for each U row k, the owning grid row of its source and the
+  // pack order: ranks contribute their sources in ascending k. All ranks
+  // compute the same tables (the plan is replicated).
+  my_u_slots_.clear();
+  u_dest_of_packed_.clear();
+  u_counts_.assign(static_cast<std::size_t>(nprow_), 0);
+  u_displs_.assign(static_cast<std::size_t>(nprow_), 0);
+
+  std::vector<std::vector<long>> ks_of_row(static_cast<std::size_t>(nprow_));
+  for (int k = 0; k < jb_; ++k) {
+    const long src = plan.u_source[static_cast<std::size_t>(k)];
+    const int owner = rows.owner(src);
+    ks_of_row[static_cast<std::size_t>(owner)].push_back(k);
+  }
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(njl_) * sizeof(double);
+  std::size_t off = 0;
+  for (int r = 0; r < nprow_; ++r) {
+    u_displs_[static_cast<std::size_t>(r)] = off;
+    u_counts_[static_cast<std::size_t>(r)] =
+        ks_of_row[static_cast<std::size_t>(r)].size() * row_bytes;
+    off += u_counts_[static_cast<std::size_t>(r)];
+    for (long k : ks_of_row[static_cast<std::size_t>(r)])
+      u_dest_of_packed_.push_back(k);
+  }
+
+  // My own sources, in the same ascending-k order, as local row ids.
+  for (int k = 0; k < jb_; ++k) {
+    const long src = plan.u_source[static_cast<std::size_t>(k)];
+    if (rows.owner(src) == myrow_) {
+      my_u_slots_.push_back(rows.to_local(src));
+    }
+  }
+
+  my_u_.assign(my_u_slots_.size() * static_cast<std::size_t>(njl_), 0.0);
+  gathered_u_.assign(static_cast<std::size_t>(jb_) * njl_, 0.0);
+
+  // --- displaced rows ----------------------------------------------------
+  disp_src_slots_.clear();
+  my_disp_dest_slots_.clear();
+  disp_counts_.assign(static_cast<std::size_t>(nprow_), 0);
+
+  // Rank order for the scatter: destination owner, then ascending dest.
+  std::vector<std::pair<long, long>> sorted = plan.displaced;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [dest, orig] : sorted) {
+    const int owner = rows.owner(dest);
+    disp_counts_[static_cast<std::size_t>(owner)] += row_bytes;
+  }
+  // Root packs sources grouped by destination owner, ascending dest within
+  // a group — matching the order destinations will unpack.
+  for (int r = 0; r < nprow_; ++r) {
+    for (const auto& [dest, orig] : sorted) {
+      if (rows.owner(dest) != r) continue;
+      if (in_diag_row_) disp_src_slots_.push_back(rows.to_local(orig));
+      if (r == myrow_) my_disp_dest_slots_.push_back(rows.to_local(dest));
+    }
+  }
+  if (!in_diag_row_) disp_src_slots_.clear();
+
+  disp_send_.assign(in_diag_row_ ? disp_src_slots_.size() *
+                                       static_cast<std::size_t>(njl_)
+                                 : 0,
+                    0.0);
+  disp_recv_.assign(my_disp_dest_slots_.size() * static_cast<std::size_t>(njl_),
+                    0.0);
+}
+
+void RowSwapper::gather(device::Stream& stream, DistMatrix& a) {
+  if (njl_ == 0) return;
+  double* window = a.at(0, jl0_);
+  if (!my_u_slots_.empty()) {
+    device::pack_rows(stream, window, a.lda(), my_u_slots_, njl_,
+                      my_u_.data());
+  }
+  if (in_diag_row_ && !disp_src_slots_.empty()) {
+    device::pack_rows(stream, window, a.lda(), disp_src_slots_, njl_,
+                      disp_send_.data());
+  }
+}
+
+void RowSwapper::communicate(comm::Communicator& col_comm,
+                             device::Stream& stream, double* mpi_seconds) {
+  stream.synchronize();
+  do_communicate(col_comm, mpi_seconds);
+}
+
+void RowSwapper::communicate(comm::Communicator& col_comm,
+                             device::Event gather_done, double* mpi_seconds) {
+  gather_done.wait();
+  do_communicate(col_comm, mpi_seconds);
+}
+
+void RowSwapper::do_communicate(comm::Communicator& col_comm,
+                                double* mpi_seconds) {
+  Timer timer;
+  timer.start();
+  // U assembly: everyone ends up with all jb rows (rank-packed order).
+  comm::allgatherv_bytes(col_comm, my_u_.data(), u_counts_, u_displs_,
+                         gathered_u_.data(), u_algo_);
+
+  // Displaced rows: scattered from the diagonal row to their destinations.
+  const int root = diag_root_;
+  bool any_disp = false;
+  for (std::size_t c : disp_counts_)
+    if (c != 0) any_disp = true;
+  if (any_disp) {
+    comm::scatterv_bytes(col_comm, disp_send_.data(), disp_counts_,
+                         disp_recv_.data(), root);
+  }
+  const double dt = timer.stop();
+  if (mpi_seconds != nullptr) *mpi_seconds += dt;
+}
+
+void RowSwapper::scatter(device::Stream& stream, DistMatrix& a,
+                         double* u_dev, long ldu) {
+  if (njl_ == 0) return;
+  HPLX_CHECK(ldu >= jb_);
+  double* window = a.at(0, jl0_);
+
+  // Displaced rows land back in A.
+  if (!my_disp_dest_slots_.empty()) {
+    device::unpack_rows(stream, disp_recv_.data(), my_disp_dest_slots_, njl_,
+                        window, a.lda());
+  }
+
+  // U rows are reordered from rank-packed order into pivot order k.
+  // unpack_rows writes row u_dest_of_packed_[i] of the jb×njl U buffer
+  // from packed row i.
+  device::unpack_rows(stream, gathered_u_.data(), u_dest_of_packed_, njl_,
+                      u_dev, ldu);
+}
+
+}  // namespace hplx::core

@@ -1,0 +1,112 @@
+#pragma once
+/// \file rowswap.hpp
+/// \brief Distributed row swapping (RS, §II / Fig. 2c).
+///
+/// The NB pivots chosen during FACT are applied in bulk to a window of
+/// trailing columns: the displaced old top-block rows are *scattered* from
+/// the diagonal-owning process row to the pivot rows' owners, and the new
+/// U rows are assembled on every rank of the process column with an
+/// *allgather* — exactly the MPI_Scatterv + MPI_Allgatherv structure the
+/// paper describes, with GPU gather/scatter kernels on both sides.
+///
+/// The phase is split into three stages (gather → communicate → scatter)
+/// so the driver can interleave them with UPDATE work per the split-update
+/// schedule (Fig. 6): gathers for one section run before the UPDATE of the
+/// other section starts, the MPI happens while the device is busy, and the
+/// scatter is enqueued behind it.
+
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/config.hpp"
+#include "core/matrix.hpp"
+#include "device/stream.hpp"
+
+namespace hplx::core {
+
+/// Net effect of the NB sequential swaps (rows j+k <-> ipiv[k], k
+/// ascending), shared by every process column. Derived once per panel.
+struct RowSwapPlan {
+  long j = 0;
+  int jb = 0;
+
+  /// u_source[k]: original global row whose content becomes U row k.
+  std::vector<long> u_source;
+
+  /// (destination slot, original top-block row moving there) for every
+  /// displaced row. Destinations lie strictly below the top block; sources
+  /// are always rows j..j+jb-1, owned by the diagonal process row.
+  std::vector<std::pair<long, long>> displaced;
+};
+
+/// Build the plan by replaying the swap sequence on an index map.
+RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv);
+
+/// Per-window workspace + this rank's precomputed index lists. One
+/// instance per concurrently in-flight section (look-ahead / left /
+/// right in the split update).
+class RowSwapper {
+ public:
+  /// Prepare for applying `plan` to local columns [jl0, jl0+njl) on this
+  /// rank, whose grid row coordinate is `myrow`. njl may be 0; the rank
+  /// still participates in the collectives. `algo`/`threshold` select the
+  /// U-assembly communication pattern (HPL's SWAP input).
+  void prepare(const RowSwapPlan& plan, const DistMatrix& a, int myrow,
+               long jl0, long njl,
+               RowSwapAlgo algo = RowSwapAlgo::SpreadRoll,
+               long threshold = 64);
+
+  /// Stage 1: enqueue the device gathers (U source rows this rank owns,
+  /// plus displaced top rows if this rank is in the diagonal process row).
+  void gather(device::Stream& stream, DistMatrix& a);
+
+  /// Stage 2: blocking communication over the column communicator.
+  /// Synchronizes `stream` first (the gathers must have landed). Adds the
+  /// time spent inside communication calls to *mpi_seconds.
+  void communicate(comm::Communicator& col_comm, device::Stream& stream,
+                   double* mpi_seconds);
+
+  /// Stage 2 variant gated on an event recorded right after this
+  /// section's gather — lets later-enqueued device work (UPDATE1 in the
+  /// split schedule) keep running while the host communicates.
+  void communicate(comm::Communicator& col_comm, device::Event gather_done,
+                   double* mpi_seconds);
+
+  /// Stage 3: enqueue the device scatters: displaced rows into A, and the
+  /// replicated U (jb × njl, ld >= jb) assembled in pivot order.
+  void scatter(device::Stream& stream, DistMatrix& a, double* u_dev,
+               long ldu);
+
+  long njl() const { return njl_; }
+  int jb() const { return jb_; }
+
+ private:
+  void do_communicate(comm::Communicator& col_comm, double* mpi_seconds);
+
+  long j_ = 0;
+  int jb_ = 0;
+  long jl0_ = 0;
+  long njl_ = 0;
+  int myrow_ = 0;
+  int nprow_ = 0;
+  int diag_root_ = 0;
+  bool in_diag_row_ = false;
+  comm::AllgatherAlgo u_algo_ = comm::AllgatherAlgo::Ring;
+
+  // U assembly.
+  std::vector<long> my_u_slots_;        ///< local rows of my U sources
+  std::vector<long> u_dest_of_packed_;  ///< U row k for each packed position
+  std::vector<std::size_t> u_counts_, u_displs_;  ///< allgatherv (bytes)
+  std::vector<double> my_u_;       ///< packed rows I contribute (row-major)
+  std::vector<double> gathered_u_; ///< all jb rows, rank-packed (row-major)
+
+  // Displaced rows.
+  std::vector<long> disp_src_slots_;   ///< diag row only: local top rows
+  std::vector<std::size_t> disp_counts_;
+  std::vector<long> my_disp_dest_slots_;  ///< local destination rows
+  std::vector<double> disp_send_;  ///< diag row: rows packed in rank order
+  std::vector<double> disp_recv_;
+};
+
+}  // namespace hplx::core

@@ -1,0 +1,33 @@
+#include "core/update.hpp"
+
+#include "device/kernels.hpp"
+#include "util/error.hpp"
+
+namespace hplx::core {
+
+void enqueue_u_update(device::Stream& s, DistMatrix& a, const PanelData& panel,
+                      double* u_dev, long ldu, long jl0, long njl,
+                      bool in_diag_row, long u_row_off) {
+  if (njl <= 0) return;
+  device::trsm_left_lower_unit(s, panel.jb, njl, panel.top.data(), panel.jb,
+                               u_dev, ldu);
+  if (in_diag_row) {
+    device::copy_matrix(s, panel.jb, njl, u_dev, ldu, a.at(u_row_off, jl0),
+                        a.lda());
+  }
+}
+
+void enqueue_tail_gemm(device::Stream& s, DistMatrix& a,
+                       const PanelData& panel, const double* u_dev, long ldu,
+                       long jl0, long njl, long tail_off) {
+  if (njl <= 0) return;
+  const long mtail = a.mloc() - tail_off;
+  if (mtail <= 0) return;
+  HPLX_CHECK_MSG(panel.ml2 == mtail,
+                 "L2 rows (" << panel.ml2 << ") do not match trailing rows ("
+                 << mtail << ") at panel j=" << panel.j);
+  device::gemm(s, mtail, njl, panel.jb, -1.0, panel.l2.data(), panel.ml2,
+               u_dev, ldu, 1.0, a.at(tail_off, jl0), a.lda());
+}
+
+}  // namespace hplx::core

@@ -1,0 +1,36 @@
+#pragma once
+/// \file update.hpp
+/// \brief Trailing-update enqueue helpers (UPDATE, §II / Fig. 2d).
+///
+/// Given a factored panel (replicated L1/top block + this rank's L2 rows)
+/// and an assembled U window, enqueue on the compute stream:
+///   1. U := L1^{-1}·U (DTRSM with the unit-lower triangle of the top
+///      block — performed redundantly per rank, as in HPL);
+///   2. the U rows written back into the diagonal process row's slots;
+///   3. the rank-NB update A(tail, window) -= L2·U (the big DGEMM).
+///
+/// The helpers operate on a *column window* [jl0, jl0+njl) so the driver
+/// can compose the look-ahead / left / right sections of the split-update
+/// schedule from the same pieces.
+
+#include "core/matrix.hpp"
+#include "core/panel_bcast.hpp"
+#include "device/stream.hpp"
+
+namespace hplx::core {
+
+/// Enqueue stages 1+2: DTRSM on the U window and, when this rank is in the
+/// diagonal process row, the writeback of the finished U rows into local
+/// rows [u_row_off, u_row_off+jb) of the window.
+void enqueue_u_update(device::Stream& s, DistMatrix& a, const PanelData& panel,
+                      double* u_dev, long ldu, long jl0, long njl,
+                      bool in_diag_row, long u_row_off);
+
+/// Enqueue stage 3: A(tail, window) -= L2 · U. `tail_off` is the local row
+/// where the trailing rows (global >= j+jb) begin; panel.l2 supplies the
+/// matching ml2 = mloc - tail_off rows of L.
+void enqueue_tail_gemm(device::Stream& s, DistMatrix& a,
+                       const PanelData& panel, const double* u_dev, long ldu,
+                       long jl0, long njl, long tail_off);
+
+}  // namespace hplx::core

@@ -1,0 +1,40 @@
+#pragma once
+/// \file verify.hpp
+/// \brief HPL's residual check.
+///
+/// HPL accepts a run iff
+///   ||A·x − b||_∞ / (ε · (||A||_∞·||x||_∞ + ||b||_∞) · N)  <  16.
+/// As in HPL, A and b are *regenerated* from the seed (the factorization
+/// destroyed them in place), so the check costs no extra memory: each rank
+/// regenerates its own block-cyclic pieces, accumulates its partial A·x
+/// and row sums, and the grid reduces.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/process_grid.hpp"
+
+namespace hplx::core {
+
+struct VerifyResult {
+  double residual = 0.0;  ///< the scaled residual above (HPL 2.x check)
+  double norm_a = 0.0;    ///< ||A||_∞
+  double norm_a_one = 0.0;  ///< ||A||_1
+  double norm_b = 0.0;    ///< ||b||_∞
+  double norm_x = 0.0;    ///< ||x||_∞
+  double norm_x_one = 0.0;  ///< ||x||_1
+  bool passed = false;    ///< residual < threshold
+
+  /// HPL 1.0's three legacy checks (printed by classic xhpl):
+  double resid0 = 0.0;  ///< ||Ax−b||_∞ / (ε·||A||_1·N)
+  double resid1 = 0.0;  ///< ||Ax−b||_∞ / (ε·||A||_1·||x||_1)
+  double resid2 = 0.0;  ///< ||Ax−b||_∞ / (ε·||A||_∞·||x||_∞·N)
+};
+
+/// Collective over the grid: `x` must be the replicated solution vector.
+VerifyResult verify_solution(grid::ProcessGrid& g, long n, int nb,
+                             std::uint64_t seed,
+                             const std::vector<double>& x,
+                             double threshold = 16.0);
+
+}  // namespace hplx::core

@@ -1,0 +1,56 @@
+#include "device/device.hpp"
+
+namespace hplx::device {
+
+Buffer::Buffer(Device& dev, std::size_t count) : device_(&dev), count_(count) {
+  device_->account_alloc(bytes());
+  storage_ = std::make_unique<double[]>(count);
+}
+
+Buffer::~Buffer() { release(); }
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : device_(other.device_),
+      storage_(std::move(other.storage_)),
+      count_(other.count_) {
+  other.device_ = nullptr;
+  other.count_ = 0;
+}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    device_ = other.device_;
+    storage_ = std::move(other.storage_);
+    count_ = other.count_;
+    other.device_ = nullptr;
+    other.count_ = 0;
+  }
+  return *this;
+}
+
+void Buffer::release() {
+  if (storage_ && device_ != nullptr) {
+    device_->account_free(bytes());
+  }
+  storage_.reset();
+  device_ = nullptr;
+  count_ = 0;
+}
+
+Device::Device(std::string name, std::size_t hbm_bytes, DeviceModel model)
+    : name_(std::move(name)), hbm_bytes_(hbm_bytes), model_(model) {}
+
+void Device::account_alloc(std::size_t bytes) {
+  const std::size_t now = used_bytes_.fetch_add(bytes) + bytes;
+  if (now > hbm_bytes_) {
+    used_bytes_.fetch_sub(bytes);
+    HPLX_CHECK_MSG(false, "device `" << name_ << "` out of HBM: requested "
+                   << bytes << " bytes with " << (hbm_bytes_ - (now - bytes))
+                   << " free of " << hbm_bytes_);
+  }
+}
+
+void Device::account_free(std::size_t bytes) { used_bytes_.fetch_sub(bytes); }
+
+}  // namespace hplx::device

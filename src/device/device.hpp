@@ -1,0 +1,76 @@
+#pragma once
+/// \file device.hpp
+/// \brief A simulated accelerator: HBM capacity accounting plus the cost
+/// model. One Device corresponds to one MI250X GCD; in rocHPL every MPI
+/// rank manages exactly one GCD (§III.A), and hplx keeps that design.
+///
+/// Device memory is ordinary host memory — kernels really execute — but
+/// allocations are tracked against the configured HBM capacity so that
+/// problem sizing behaves like the real machine ("fill the GPUs' HBM",
+/// §IV.A).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/model.hpp"
+#include "util/error.hpp"
+
+namespace hplx::device {
+
+class Device;
+
+/// RAII device allocation of doubles. Movable, not copyable.
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(Device& dev, std::size_t count);
+  ~Buffer();
+
+  Buffer(Buffer&& other) noexcept;
+  Buffer& operator=(Buffer&& other) noexcept;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  double* data() { return storage_.get(); }
+  const double* data() const { return storage_.get(); }
+  std::size_t count() const { return count_; }
+  std::size_t bytes() const { return count_ * sizeof(double); }
+  bool allocated() const { return storage_ != nullptr; }
+
+ private:
+  void release();
+  Device* device_ = nullptr;
+  std::unique_ptr<double[]> storage_;
+  std::size_t count_ = 0;
+};
+
+class Device {
+ public:
+  /// \param hbm_bytes capacity limit; allocation beyond it throws, like
+  /// hipMalloc returning hipErrorOutOfMemory.
+  Device(std::string name, std::size_t hbm_bytes,
+         DeviceModel model = DeviceModel::mi250x_gcd());
+
+  const std::string& name() const { return name_; }
+  const DeviceModel& model() const { return model_; }
+  std::size_t hbm_capacity() const { return hbm_bytes_; }
+  std::size_t hbm_used() const { return used_bytes_.load(); }
+
+  /// Allocate `count` doubles of device memory.
+  Buffer alloc(std::size_t count) { return Buffer(*this, count); }
+
+ private:
+  friend class Buffer;
+  void account_alloc(std::size_t bytes);
+  void account_free(std::size_t bytes);
+
+  std::string name_;
+  std::size_t hbm_bytes_;
+  DeviceModel model_;
+  std::atomic<std::size_t> used_bytes_{0};
+};
+
+}  // namespace hplx::device

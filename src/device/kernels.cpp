@@ -1,0 +1,163 @@
+#include "device/kernels.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "blas/blas.hpp"
+#include "util/error.hpp"
+
+namespace hplx::device {
+
+namespace {
+int as_int(long v) {
+  HPLX_CHECK_MSG(v >= 0 && v <= 0x7fffffffL, "dimension too large: " << v);
+  return static_cast<int>(v);
+}
+}  // namespace
+
+void gemm(Stream& s, long m, long n, long k, double alpha, const double* a,
+          long lda, const double* b, long ldb, double beta, double* c,
+          long ldc) {
+  if (m <= 0 || n <= 0) return;
+  const double modeled = s.device().model().gemm_seconds(m, n, k);
+  s.enqueue(modeled, [=] {
+    blas::dgemm(blas::Trans::No, blas::Trans::No, as_int(m), as_int(n),
+                as_int(k), alpha, a, as_int(lda), b, as_int(ldb), beta, c,
+                as_int(ldc));
+  });
+}
+
+void trsm_left_lower_unit(Stream& s, long nb, long n, const double* l1,
+                          long ldl, double* u, long ldu) {
+  if (nb <= 0 || n <= 0) return;
+  const double modeled = s.device().model().trsm_seconds(nb, n);
+  s.enqueue(modeled, [=] {
+    blas::dtrsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+                blas::Diag::Unit, as_int(nb), as_int(n), 1.0, l1, as_int(ldl),
+                u, as_int(ldu));
+  });
+}
+
+void copy_h2d(Stream& s, double* dst, const double* src, std::size_t count) {
+  if (count == 0) return;
+  const double modeled =
+      s.device().model().hcopy_seconds(count * sizeof(double));
+  s.enqueue(modeled,
+            [=] { std::memcpy(dst, src, count * sizeof(double)); });
+}
+
+void copy_d2h(Stream& s, double* dst, const double* src, std::size_t count) {
+  copy_h2d(s, dst, src, count);  // symmetric link, same cost & mechanics
+}
+
+void copy_matrix(Stream& s, long m, long n, const double* src, long lds,
+                 double* dst, long ldd) {
+  if (m <= 0 || n <= 0) return;
+  const std::size_t bytes =
+      2ul * static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
+      sizeof(double);
+  const double modeled = s.device().model().dmove_seconds(bytes);
+  s.enqueue(modeled, [=] {
+    for (long j = 0; j < n; ++j)
+      std::memcpy(dst + j * ldd, src + j * lds,
+                  static_cast<std::size_t>(m) * sizeof(double));
+  });
+}
+
+namespace {
+void strided_hcopy(Stream& s, long m, long n, const double* src, long lds,
+                   double* dst, long ldd) {
+  if (m <= 0 || n <= 0) return;
+  const std::size_t bytes = static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(n) * sizeof(double);
+  const double modeled = s.device().model().hcopy_seconds(bytes);
+  s.enqueue(modeled, [=] {
+    for (long j = 0; j < n; ++j)
+      std::memcpy(dst + j * ldd, src + j * lds,
+                  static_cast<std::size_t>(m) * sizeof(double));
+  });
+}
+}  // namespace
+
+void copy_matrix_h2d(Stream& s, long m, long n, const double* src, long lds,
+                     double* dst, long ldd) {
+  strided_hcopy(s, m, n, src, lds, dst, ldd);
+}
+
+void copy_matrix_d2h(Stream& s, long m, long n, const double* src, long lds,
+                     double* dst, long ldd) {
+  strided_hcopy(s, m, n, src, lds, dst, ldd);
+}
+
+void row_gather(Stream& s, const double* a, long lda, std::vector<long> rows,
+                long n, double* out, long ldo) {
+  if (rows.empty() || n <= 0) return;
+  const double modeled = s.device().model().rowswap_seconds(
+      static_cast<long>(rows.size()), n);
+  s.enqueue(modeled, [=, rows = std::move(rows)] {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const long src_row = rows[r];
+      for (long j = 0; j < n; ++j)
+        out[static_cast<long>(r) + j * ldo] = a[src_row + j * lda];
+    }
+  });
+}
+
+void row_scatter(Stream& s, double* a, long lda, std::vector<long> rows,
+                 long n, const double* in, long ldi) {
+  if (rows.empty() || n <= 0) return;
+  const double modeled = s.device().model().rowswap_seconds(
+      static_cast<long>(rows.size()), n);
+  s.enqueue(modeled, [=, rows = std::move(rows)] {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const long dst_row = rows[r];
+      for (long j = 0; j < n; ++j)
+        a[dst_row + j * lda] = in[static_cast<long>(r) + j * ldi];
+    }
+  });
+}
+
+void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
+               long n, double* out_rowmajor) {
+  if (rows.empty() || n <= 0) return;
+  const double modeled = s.device().model().rowswap_seconds(
+      static_cast<long>(rows.size()), n);
+  s.enqueue(modeled, [=, rows = std::move(rows)] {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const long src = rows[i];
+      double* out = out_rowmajor + static_cast<long>(i) * n;
+      for (long c = 0; c < n; ++c) out[c] = a[src + c * lda];
+    }
+  });
+}
+
+void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
+                 long n, double* a, long lda) {
+  if (rows.empty() || n <= 0) return;
+  const double modeled = s.device().model().rowswap_seconds(
+      static_cast<long>(rows.size()), n);
+  s.enqueue(modeled, [=, rows = std::move(rows)] {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const long dst = rows[i];
+      const double* in = in_rowmajor + static_cast<long>(i) * n;
+      for (long c = 0; c < n; ++c) a[dst + c * lda] = in[c];
+    }
+  });
+}
+
+void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv) {
+  if (ipiv.empty() || n <= 0) return;
+  const double modeled = s.device().model().rowswap_seconds(
+      static_cast<long>(ipiv.size()), n);
+  s.enqueue(modeled, [=, ipiv = std::move(ipiv)] {
+    for (std::size_t k = 0; k < ipiv.size(); ++k) {
+      const long other = ipiv[k];
+      if (other == static_cast<long>(k)) continue;
+      for (long j = 0; j < n; ++j) {
+        std::swap(a[static_cast<long>(k) + j * lda], a[other + j * lda]);
+      }
+    }
+  });
+}
+
+}  // namespace hplx::device

@@ -1,0 +1,73 @@
+#pragma once
+/// \file kernels.hpp
+/// \brief Device kernels: asynchronous operations enqueued on a Stream.
+///
+/// The set mirrors what rocHPL launches on each GCD: rocBLAS dgemm/dtrsm
+/// for the trailing update, host<->device panel copies for FACT, and the
+/// row gather/scatter kernels used by the row-swapping phase (§II, Fig 2c:
+/// "a GPU kernel to gather the rows to be communicated, followed by MPI
+/// communication, and a GPU kernel to scatter the received rows back").
+///
+/// All matrix pointers refer to device buffers (column-major, leading
+/// dimension in doubles). Host-side index vectors are captured by value at
+/// enqueue time, so callers may reuse them immediately.
+
+#include <cstddef>
+#include <vector>
+
+#include "device/stream.hpp"
+
+namespace hplx::device {
+
+/// C := alpha·A·B + beta·C on the stream's device (no-transpose form, the
+/// only one HPL's update needs).
+void gemm(Stream& s, long m, long n, long k, double alpha, const double* a,
+          long lda, const double* b, long ldb, double beta, double* c,
+          long ldc);
+
+/// U := L1^{-1}·U where L1 is nb×nb unit lower triangular: the U update of
+/// HPL's trailing phase (dtrsm Left/Lower/NoTrans/Unit).
+void trsm_left_lower_unit(Stream& s, long nb, long n, const double* l1,
+                          long ldl, double* u, long ldu);
+
+/// Asynchronous copies. h2d/d2h are charged at host-link bandwidth, d2d at
+/// HBM bandwidth.
+void copy_h2d(Stream& s, double* dst, const double* src, std::size_t count);
+void copy_d2h(Stream& s, double* dst, const double* src, std::size_t count);
+
+/// Strided device-to-device matrix copy (m×n, column-major).
+void copy_matrix(Stream& s, long m, long n, const double* src, long lds,
+                 double* dst, long ldd);
+
+/// Strided matrix copies across the host link (charged at host<->device
+/// bandwidth): the panel staging transfers of the FACT phase.
+void copy_matrix_h2d(Stream& s, long m, long n, const double* src, long lds,
+                     double* dst, long ldd);
+void copy_matrix_d2h(Stream& s, long m, long n, const double* src, long lds,
+                     double* dst, long ldd);
+
+/// out(r, :) := a(rows[r], :) for r = 0..rows.size()-1, over n columns.
+void row_gather(Stream& s, const double* a, long lda,
+                std::vector<long> rows, long n, double* out, long ldo);
+
+/// a(rows[r], :) := in(r, :) — the inverse scatter.
+void row_scatter(Stream& s, double* a, long lda, std::vector<long> rows,
+                 long n, const double* in, long ldi);
+
+/// Local row interchanges: for k = 0..ipiv.size()-1 swap rows k and
+/// ipiv[k] of the m×n matrix (both indices local). Used when all pivot
+/// rows are on one process.
+void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv);
+
+/// Pack selected rows of a column-major matrix into a row-major buffer:
+/// out[i*n + c] = a(rows[i], c). This is the gather kernel feeding the
+/// row-swap communication — each communicated row becomes one contiguous
+/// message segment.
+void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
+               long n, double* out_rowmajor);
+
+/// Inverse of pack_rows: a(rows[i], c) = in[i*n + c].
+void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
+                 long n, double* a, long lda);
+
+}  // namespace hplx::device

@@ -1,0 +1,51 @@
+#include "device/model.hpp"
+
+#include <algorithm>
+
+namespace hplx::device {
+
+double DeviceModel::gemm_tflops(long k) const {
+  if (k <= 0) return 0.0;
+  const double kk = static_cast<double>(k);
+  return gemm_peak_tflops * kk / (kk + gemm_k_half);
+}
+
+double DeviceModel::gemm_seconds(long m, long n, long k) const {
+  if (m <= 0 || n <= 0 || k <= 0) return 0.0;
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(k);
+  // The ramp is driven by the smallest dimension: a skinny m or n starves
+  // the MFMA pipes exactly like a small k does.
+  const long lim = std::min(k, std::min(m, n));
+  return kernel_latency_s + flops / (gemm_tflops(lim) * 1e12);
+}
+
+double DeviceModel::trsm_seconds(long nb, long n) const {
+  if (nb <= 0 || n <= 0) return 0.0;
+  const double flops = static_cast<double>(nb) * static_cast<double>(nb) *
+                       static_cast<double>(n);
+  return kernel_latency_s +
+         flops / (trsm_efficiency * gemm_tflops(nb) * 1e12);
+}
+
+double DeviceModel::dmove_seconds(std::size_t bytes) const {
+  return kernel_latency_s + static_cast<double>(bytes) / (hbm_bw_gbs * 1e9);
+}
+
+double DeviceModel::hcopy_seconds(std::size_t bytes) const {
+  return h2d_latency_s + static_cast<double>(bytes) / (h2d_bw_gbs * 1e9);
+}
+
+double DeviceModel::rowswap_seconds(long rows, long cols) const {
+  if (rows <= 0 || cols <= 0) return 0.0;
+  // Strided reads + contiguous writes, 2 touches, at the (poor) strided
+  // fraction of HBM bandwidth.
+  const double bytes = 2.0 * static_cast<double>(rows) *
+                       static_cast<double>(cols) * sizeof(double);
+  return kernel_latency_s +
+         bytes / (rowswap_bw_factor * hbm_bw_gbs * 1e9);
+}
+
+DeviceModel DeviceModel::mi250x_gcd() { return DeviceModel{}; }
+
+}  // namespace hplx::device

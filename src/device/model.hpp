@@ -1,0 +1,66 @@
+#pragma once
+/// \file model.hpp
+/// \brief Calibrated cost model for one simulated accelerator (a single
+/// MI250X GCD) and its host link.
+///
+/// gpusim kernels execute real arithmetic on host memory for correctness;
+/// this model supplies the *modeled* duration each operation would take on
+/// the paper's hardware. Calibration anchors (from the paper and public
+/// MI250X specs):
+///   - DGEMM at NB = 512 reaches 49 TFLOP/s per MI250X, i.e. 24.5 per GCD
+///     (§IV.A), out of a 47.9 TFLOP/s FP64-matrix GCD peak;
+///   - HBM2e: 1.6 TB/s per GCD;
+///   - host link (Infinity Fabric): 36 GB/s per direction per GCD;
+///   - kernel launch latency a few microseconds (§III: the reason FACT
+///     stays on the CPU).
+/// The DGEMM efficiency ramp uses a surface-to-volume law in the blocking
+/// dimension k: eff(k) = k / (k + k_half), which reproduces the "NB must
+/// be large enough for DGEMM to reach a high fraction of peak" trade-off
+/// (§IV.A) without pretending to model silicon.
+
+#include <cstddef>
+
+namespace hplx::device {
+
+struct DeviceModel {
+  // Compute. The asymptote and ramp constant are chosen so that
+  // gemm_tflops(512) ≈ 24.5 per GCD — the paper's 49 TFLOP/s per MI250X.
+  double gemm_peak_tflops = 26.0;  ///< asymptotic DGEMM rate per GCD (k → ∞)
+  double gemm_k_half = 32.0;       ///< surface/volume ramp constant
+  double trsm_efficiency = 0.25;   ///< DTRSM fraction of DGEMM rate at same size
+
+  // Memory and links.
+  double hbm_bw_gbs = 1600.0;   ///< device-local streaming bandwidth
+  double h2d_bw_gbs = 30.0;     ///< host<->device effective, per direction
+  double kernel_latency_s = 6e-6;
+  double h2d_latency_s = 10e-6;
+  /// Row gather/scatter kernels access one element per row per column —
+  /// far from streaming; they reach only this fraction of HBM bandwidth.
+  double rowswap_bw_factor = 0.25;
+
+  /// Modeled seconds for C(m×n) += A(m×k)·B(k×n).
+  double gemm_seconds(long m, long n, long k) const;
+
+  /// Effective DGEMM TFLOP/s at blocking k (the paper's "49 TFLOPS at
+  /// NB=512" anchor: gemm_tflops(512) ≈ 24.5 per GCD).
+  double gemm_tflops(long k) const;
+
+  /// Modeled seconds for a triangular solve with an nb×nb triangle applied
+  /// to nb×n right-hand sides.
+  double trsm_seconds(long nb, long n) const;
+
+  /// Device-local data motion touching `bytes` bytes (read+write already
+  /// folded into the bandwidth figure).
+  double dmove_seconds(std::size_t bytes) const;
+
+  /// Host<->device transfer.
+  double hcopy_seconds(std::size_t bytes) const;
+
+  /// Row gather/scatter kernel moving `rows` rows × `cols` doubles.
+  double rowswap_seconds(long rows, long cols) const;
+
+  /// The MI250X GCD calibration used throughout the repo.
+  static DeviceModel mi250x_gcd();
+};
+
+}  // namespace hplx::device

@@ -1,0 +1,108 @@
+#include "device/stream.hpp"
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace hplx::device {
+
+Event::Event() : state_(std::make_shared<State>()) {}
+
+void Event::wait() const {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+bool Event::complete() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+Stream::Stream(Device& device, std::string name)
+    : device_(device), name_(std::move(name)) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(double modeled_seconds, std::function<void()> fn) {
+  HPLX_CHECK(modeled_seconds >= 0.0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(Op{modeled_seconds, std::move(fn)});
+  }
+  cv_work_.notify_one();
+}
+
+Event Stream::record() {
+  Event ev;
+  auto state = ev.state_;
+  Stream* self = this;
+  enqueue(0.0, [state, self] {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->done = true;
+    state->modeled_time = self->busy_seconds();
+    state->cv.notify_all();
+  });
+  return ev;
+}
+
+void Stream::wait_event(Event ev) {
+  enqueue(0.0, [ev] { ev.wait(); });
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && !executing_; });
+}
+
+double Stream::busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_seconds_;
+}
+
+double Stream::real_busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return real_busy_seconds_;
+}
+
+void Stream::reset_busy() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  busy_seconds_ = 0.0;
+  real_busy_seconds_ = 0.0;
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    Op op;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      op = std::move(queue_.front());
+      queue_.pop_front();
+      executing_ = true;
+    }
+    const double t0 = wall_seconds();
+    if (op.fn) op.fn();
+    const double real = wall_seconds() - t0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_seconds_ += op.modeled;
+      real_busy_seconds_ += real;
+      executing_ = false;
+      if (queue_.empty()) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace hplx::device

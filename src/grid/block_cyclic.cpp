@@ -1,0 +1,44 @@
+#include "grid/block_cyclic.hpp"
+
+#include "util/error.hpp"
+
+namespace hplx::grid {
+
+int numroc(long n, int nb, int iproc, int nprocs) {
+  HPLX_CHECK(n >= 0 && nb >= 1 && nprocs >= 1);
+  HPLX_CHECK(iproc >= 0 && iproc < nprocs);
+  const long nblocks = n / nb;          // complete blocks
+  const long extra = n - nblocks * nb;  // rows in the trailing partial block
+  long mine = (nblocks / nprocs) * nb;  // full rounds of the cycle
+  const long leftover = nblocks % nprocs;
+  if (iproc < leftover) {
+    mine += nb;
+  } else if (iproc == leftover) {
+    mine += extra;
+  }
+  return static_cast<int>(mine);
+}
+
+int indxg2p(long ig, int nb, int nprocs) {
+  HPLX_CHECK(ig >= 0 && nb >= 1 && nprocs >= 1);
+  return static_cast<int>((ig / nb) % nprocs);
+}
+
+long indxg2l(long ig, int nb, int nprocs) {
+  HPLX_CHECK(ig >= 0 && nb >= 1 && nprocs >= 1);
+  return (ig / (static_cast<long>(nb) * nprocs)) * nb + ig % nb;
+}
+
+long indxl2g(long il, int nb, int iproc, int nprocs) {
+  HPLX_CHECK(il >= 0 && nb >= 1 && nprocs >= 1);
+  HPLX_CHECK(iproc >= 0 && iproc < nprocs);
+  return (il / nb) * static_cast<long>(nprocs) * nb +
+         static_cast<long>(iproc) * nb + il % nb;
+}
+
+CyclicDim::CyclicDim(long n, int nb, int nprocs)
+    : n_(n), nb_(nb), nprocs_(nprocs) {
+  HPLX_CHECK(n >= 0 && nb >= 1 && nprocs >= 1);
+}
+
+}  // namespace hplx::grid

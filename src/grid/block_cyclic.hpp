@@ -1,0 +1,52 @@
+#pragma once
+/// \file block_cyclic.hpp
+/// \brief 2D block-cyclic distribution arithmetic (Fig. 1 of the paper).
+///
+/// The global N×N matrix is blocked into NB×NB panels distributed
+/// round-robin over a P×Q process grid, starting at process (0,0). These
+/// are the ScaLAPACK TOOLS routines (numroc, indxg2l, ...) reimplemented
+/// with 0-based indices. One dimension at a time: callers apply them to
+/// rows with (NB, P) and to columns with (NB, Q).
+
+namespace hplx::grid {
+
+/// Number of rows/columns of a global dimension `n`, blocked by `nb`, that
+/// land on process coordinate `iproc` out of `nprocs` (source process 0).
+int numroc(long n, int nb, int iproc, int nprocs);
+
+/// Process coordinate owning global index `ig`.
+int indxg2p(long ig, int nb, int nprocs);
+
+/// Local index (on the owning process) of global index `ig`.
+long indxg2l(long ig, int nb, int nprocs);
+
+/// Global index of local index `il` on process coordinate `iproc`.
+long indxl2g(long il, int nb, int iproc, int nprocs);
+
+/// One dimension of a block-cyclic layout: bundles the (n, nb, nprocs)
+/// triple so call sites stay readable.
+class CyclicDim {
+ public:
+  CyclicDim(long n, int nb, int nprocs);
+
+  long n() const { return n_; }
+  int nb() const { return nb_; }
+  int nprocs() const { return nprocs_; }
+
+  int owner(long ig) const { return indxg2p(ig, nb_, nprocs_); }
+  long to_local(long ig) const { return indxg2l(ig, nb_, nprocs_); }
+  long to_global(long il, int iproc) const {
+    return indxl2g(il, nb_, iproc, nprocs_);
+  }
+  long local_count(int iproc) const { return numroc(n_, nb_, iproc, nprocs_); }
+
+  /// Number of complete-or-partial blocks in the global dimension.
+  long nblocks() const { return (n_ + nb_ - 1) / nb_; }
+
+ private:
+  long n_;
+  int nb_;
+  int nprocs_;
+};
+
+}  // namespace hplx::grid

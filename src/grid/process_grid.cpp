@@ -1,0 +1,35 @@
+#include "grid/process_grid.hpp"
+
+#include "util/error.hpp"
+
+namespace hplx::grid {
+
+ProcessGrid::ProcessGrid(comm::Communicator& world, int nprow, int npcol,
+                         GridOrder order)
+    : nprow_(nprow), npcol_(npcol), order_(order) {
+  HPLX_CHECK(nprow >= 1 && npcol >= 1);
+  HPLX_CHECK_MSG(world.size() == nprow * npcol,
+                 "grid " << nprow << "x" << npcol << " needs "
+                 << nprow * npcol << " ranks, world has " << world.size());
+  const int r = world.rank();
+  if (order_ == GridOrder::ColMajor) {
+    myrow_ = r % nprow;
+    mycol_ = r / nprow;
+  } else {
+    myrow_ = r / npcol;
+    mycol_ = r % npcol;
+  }
+  // Order of splits is part of the collective contract: row first, then
+  // column, then the dup.
+  row_comm_ = std::make_unique<comm::Communicator>(world.split(myrow_, mycol_));
+  col_comm_ = std::make_unique<comm::Communicator>(world.split(mycol_, myrow_));
+  all_comm_ = std::make_unique<comm::Communicator>(world.dup());
+}
+
+int ProcessGrid::rank_of(int row, int col) const {
+  HPLX_CHECK(row >= 0 && row < nprow_ && col >= 0 && col < npcol_);
+  return (order_ == GridOrder::ColMajor) ? row + col * nprow_
+                                         : row * npcol_ + col;
+}
+
+}  // namespace hplx::grid

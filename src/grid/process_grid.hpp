@@ -1,0 +1,52 @@
+#pragma once
+/// \file process_grid.hpp
+/// \brief P×Q process grid with row and column communicators.
+///
+/// HPL maps ranks onto a P×Q grid (column-major by default, like the
+/// reference implementation): rank = myrow + mycol·P. The panel
+/// factorization communicates down a *column* communicator (size P), the
+/// panel broadcast along a *row* communicator (size Q) — see Fig. 2.
+
+#include <memory>
+
+#include "comm/communicator.hpp"
+
+namespace hplx::grid {
+
+enum class GridOrder { RowMajor, ColMajor };
+
+class ProcessGrid {
+ public:
+  /// Collective over `world`: world.size() must equal P*Q. Builds the
+  /// row/column communicators via split.
+  ProcessGrid(comm::Communicator& world, int nprow, int npcol,
+              GridOrder order = GridOrder::ColMajor);
+
+  int nprow() const { return nprow_; }
+  int npcol() const { return npcol_; }
+  int myrow() const { return myrow_; }
+  int mycol() const { return mycol_; }
+  GridOrder order() const { return order_; }
+
+  /// Rank in the world communicator of grid coordinate (row, col).
+  int rank_of(int row, int col) const;
+
+  /// Communicator spanning my process row (size npcol; my rank == mycol).
+  comm::Communicator& row_comm() { return *row_comm_; }
+  /// Communicator spanning my process column (size nprow; my rank == myrow).
+  comm::Communicator& col_comm() { return *col_comm_; }
+  /// Communicator over the whole grid (a dup of the constructor's world).
+  comm::Communicator& all_comm() { return *all_comm_; }
+
+ private:
+  int nprow_;
+  int npcol_;
+  int myrow_;
+  int mycol_;
+  GridOrder order_;
+  std::unique_ptr<comm::Communicator> row_comm_;
+  std::unique_ptr<comm::Communicator> col_comm_;
+  std::unique_ptr<comm::Communicator> all_comm_;
+};
+
+}  // namespace hplx::grid

@@ -1,0 +1,34 @@
+#pragma once
+/// \file hplx.hpp
+/// \brief Umbrella header: everything a downstream user of hplx needs.
+///
+/// hplx reproduces "Optimizing High-Performance Linpack for Exascale
+/// Accelerated Architectures" (SC 2023). Typical entry points:
+///
+///  - hplx::core::run_hpl        — solve on a rank team (HplConfig knobs
+///                                 cover the paper's §III optimizations)
+///  - hplx::comm::World::run     — launch thread-backed ranks
+///  - hplx::core::parse_hpldat   — drive runs from classic HPL.dat files
+///  - hplx::sim::simulate_hpl    — calibrated paper-scale projections
+///  - hplx::sim::crusher_config  — the paper's run-configuration rules
+///
+/// Each subsystem header remains independently includable; this header is
+/// convenience only.
+
+#include "blas/blas.hpp"                 // IWYU pragma: export
+#include "comm/collectives.hpp"          // IWYU pragma: export
+#include "comm/world.hpp"                // IWYU pragma: export
+#include "core/config.hpp"               // IWYU pragma: export
+#include "core/core_sharing.hpp"         // IWYU pragma: export
+#include "core/driver.hpp"               // IWYU pragma: export
+#include "core/hpldat.hpp"               // IWYU pragma: export
+#include "core/report.hpp"               // IWYU pragma: export
+#include "device/device.hpp"             // IWYU pragma: export
+#include "device/kernels.hpp"            // IWYU pragma: export
+#include "grid/block_cyclic.hpp"         // IWYU pragma: export
+#include "grid/process_grid.hpp"         // IWYU pragma: export
+#include "rng/matgen.hpp"                // IWYU pragma: export
+#include "sim/scaling.hpp"               // IWYU pragma: export
+#include "trace/ascii_chart.hpp"         // IWYU pragma: export
+#include "trace/table.hpp"               // IWYU pragma: export
+#include "util/options.hpp"              // IWYU pragma: export

@@ -1,0 +1,2 @@
+// lcg.hpp is header-only; see matgen.cpp for the out-of-line rng code.
+#include "rng/lcg.hpp"

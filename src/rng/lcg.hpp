@@ -1,0 +1,79 @@
+#pragma once
+/// \file lcg.hpp
+/// \brief 64-bit linear congruential generator with O(log k) jump-ahead.
+///
+/// HPL generates its input matrix with an LCG precisely because an LCG can
+/// jump: x_{k+n} = A_n·x_k + C_n (mod 2^64) where (A_n, C_n) come from
+/// composing the step map with itself n times. Every process can therefore
+/// generate exactly its own block-cyclic pieces of the global matrix — no
+/// communication, and the result is bit-identical to a serial sweep.
+/// This file implements the affine-map algebra and the generator.
+
+#include <cstdint>
+
+namespace hplx::rng {
+
+/// The affine map x -> mul*x + add over Z/2^64 (unsigned wraparound is the
+/// mod). Composition: (g ∘ f)(x) = g(f(x)).
+struct Affine {
+  std::uint64_t mul = 1;
+  std::uint64_t add = 0;
+
+  static Affine identity() { return {1, 0}; }
+
+  /// The map "apply f, then this": this(f(x)).
+  Affine after(const Affine& f) const {
+    return {mul * f.mul, mul * f.add + add};
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const { return mul * x + add; }
+
+  /// The k-fold self-composition of `step` (binary powering, O(log k)).
+  static Affine power(Affine step, std::uint64_t k) {
+    Affine acc = identity();
+    while (k != 0) {
+      if (k & 1) acc = step.after(acc);
+      step = step.after(step);
+      k >>= 1;
+    }
+    return acc;
+  }
+};
+
+/// The generator. Constants are Knuth's MMIX multiplier — the same
+/// multiplier HPL builds out of its 32-bit halves — with the standard MMIX
+/// increment. Period 2^64.
+class Lcg {
+ public:
+  static constexpr std::uint64_t kMul = 6364136223846793005ULL;
+  static constexpr std::uint64_t kAdd = 1442695040888963407ULL;
+
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+
+  /// Advance one step and return the new raw state.
+  std::uint64_t next() {
+    state_ = step()(state_);
+    return state_;
+  }
+
+  /// Advance one step and return a double uniform on [-0.5, 0.5), the
+  /// value distribution HPL fills its matrix with.
+  double next_centered() {
+    return static_cast<double>(static_cast<std::int64_t>(next())) *
+           0x1.0p-64;
+  }
+
+  /// Jump forward by `steps` in O(log steps).
+  void jump(std::uint64_t steps) {
+    state_ = Affine::power(step(), steps)(state_);
+  }
+
+  std::uint64_t state() const { return state_; }
+
+  static Affine step() { return {kMul, kAdd}; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hplx::rng

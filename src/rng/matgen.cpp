@@ -1,0 +1,65 @@
+#include "rng/matgen.hpp"
+
+#include <algorithm>
+
+#include "grid/block_cyclic.hpp"
+#include "rng/lcg.hpp"
+#include "util/error.hpp"
+
+namespace hplx::rng {
+
+namespace {
+/// Lcg positioned just before sequence position `pos` (so the next call to
+/// next_centered() yields the value at `pos`).
+Lcg at_position(std::uint64_t seed, std::uint64_t pos) {
+  Lcg g(seed);
+  g.jump(pos);
+  return g;
+}
+}  // namespace
+
+double element(std::uint64_t seed, long gm, long i, long j) {
+  HPLX_CHECK(i >= 0 && i < gm && j >= 0);
+  Lcg g = at_position(seed, static_cast<std::uint64_t>(j) *
+                                static_cast<std::uint64_t>(gm) +
+                            static_cast<std::uint64_t>(i));
+  return g.next_centered();
+}
+
+void generate_serial(std::uint64_t seed, long gm, long gn, double* a,
+                     long lda) {
+  HPLX_CHECK(lda >= gm);
+  Lcg g(seed);
+  for (long j = 0; j < gn; ++j) {
+    double* col = a + j * lda;
+    for (long i = 0; i < gm; ++i) col[i] = g.next_centered();
+  }
+}
+
+void generate_local(std::uint64_t seed, long gm, long gn, int nb, int myrow,
+                    int mycol, int nprow, int npcol, double* a, long lda) {
+  const grid::CyclicDim rows(gm, nb, nprow);
+  const grid::CyclicDim cols(gn, nb, npcol);
+  const long ml = rows.local_count(myrow);
+  const long nl = cols.local_count(mycol);
+  HPLX_CHECK(lda >= ml || ml == 0);
+
+  for (long jl = 0; jl < nl; ++jl) {
+    const long jg = cols.to_global(jl, mycol);
+    double* col = a + jl * lda;
+    // Walk local rows block by block: within a block the global rows are
+    // consecutive, so one jump positions the generator for nb values.
+    long il = 0;
+    while (il < ml) {
+      const long ig = rows.to_global(il, myrow);
+      const long run = std::min<long>(nb - ig % nb, ml - il);
+      Lcg g = at_position(seed, static_cast<std::uint64_t>(jg) *
+                                    static_cast<std::uint64_t>(gm) +
+                                static_cast<std::uint64_t>(ig));
+      for (long k = 0; k < run; ++k) col[il + k] = g.next_centered();
+      il += run;
+    }
+  }
+}
+
+}  // namespace hplx::rng

@@ -1,0 +1,33 @@
+#pragma once
+/// \file matgen.hpp
+/// \brief Distributed random matrix generation (HPL_pdmatgen).
+///
+/// Element (i, j) of the gm×gn global matrix is the value at sequence
+/// position j·gm + i of the Lcg stream seeded with `seed` (column-major
+/// sweep). Each rank jumps directly to the positions of its own
+/// block-cyclic pieces, so the distributed matrix is bit-identical to the
+/// serial one for any grid shape — the property HPL relies on both for
+/// generation and for the residual check (the verifier regenerates A
+/// rather than keeping a copy).
+
+#include <cstdint>
+
+#include "grid/block_cyclic.hpp"
+
+namespace hplx::rng {
+
+/// Value of global element (i, j); uniform on [-0.5, 0.5).
+double element(std::uint64_t seed, long gm, long i, long j);
+
+/// Fill a dense gm×gn matrix serially (tests, reference checks).
+void generate_serial(std::uint64_t seed, long gm, long gn, double* a,
+                     long lda);
+
+/// Fill this rank's local part of the gm×gn global matrix distributed
+/// block-cyclically with blocking nb over a P×Q grid; (myrow, mycol) are
+/// this rank's grid coordinates. `a` is the local column-major buffer with
+/// leading dimension lda >= numroc(gm, nb, myrow, P).
+void generate_local(std::uint64_t seed, long gm, long gn, int nb, int myrow,
+                    int mycol, int nprow, int npcol, double* a, long lda);
+
+}  // namespace hplx::rng

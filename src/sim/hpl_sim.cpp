@@ -1,0 +1,367 @@
+#include "sim/hpl_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grid/block_cyclic.hpp"
+#include "util/error.hpp"
+
+namespace hplx::sim {
+
+namespace {
+
+/// Per-iteration phase durations and the Fig. 3 / Fig. 6 composition.
+class IterationModel {
+ public:
+  IterationModel(const NodeModel& node, const ClusterConfig& cfg)
+      : node_(node), cfg_(cfg), fact_(node.cpu) {
+    // A process column spans P/p_node nodes; communication inside it rides
+    // the NIC as soon as that exceeds one node. Same for process rows.
+    col_inter_ = cfg_.p > cfg_.p_node;
+    row_inter_ = cfg_.q > cfg_.q_node;
+  }
+
+  // --------------------------------------------------- phase primitives
+
+  /// Trailing DGEMM + DTRSM on `cols` local columns with `m` local
+  /// trailing rows.
+  double update_seconds(double m, double cols) const {
+    if (m <= 0 || cols <= 0) return 0.0;
+    return (1.0 + node_.gpu_sync_overhead) *
+           (node_.gcd.gemm_seconds(static_cast<long>(m),
+                                   static_cast<long>(cols), cfg_.nb) +
+            node_.gcd.trsm_seconds(cfg_.nb, static_cast<long>(cols)));
+  }
+
+  /// Device-side gather or scatter kernels for a row-swap window.
+  double rs_device_seconds(double cols) const {
+    if (cols <= 0) return 0.0;
+    return node_.gcd.rowswap_seconds(cfg_.nb, static_cast<long>(cols));
+  }
+
+  /// MPI time of the row-swap (allgatherv of U + scatterv of displaced
+  /// rows) over the process column, for `cols` local columns. The U
+  /// assembly pattern follows the SWAP selection: spread-roll rides the
+  /// ring (P-1 latency hops, bandwidth-optimal); binary exchange pays the
+  /// same bytes in log2(P) hops — the HPL "mix" switches to it for narrow
+  /// windows where latency dominates.
+  double rs_comm_seconds(double cols) const {
+    if (cols <= 0 || cfg_.p == 1) return 0.0;
+    const double bw =
+        (col_inter_ ? node_.net.inter_bw_gbs : node_.net.intra_bw_gbs) * 1e9;
+    const double lat =
+        col_inter_ ? node_.net.inter_lat_s : node_.net.intra_lat_s;
+    const double ubytes = static_cast<double>(cfg_.nb) * cols * 8.0;
+    const double frac = static_cast<double>(cfg_.p - 1) / cfg_.p;
+
+    const bool binexch =
+        cfg_.swap == core::RowSwapAlgo::BinaryExchange ||
+        (cfg_.swap == core::RowSwapAlgo::Mix &&
+         cols <= static_cast<double>(cfg_.swap_threshold));
+    const double hops = binexch ? std::ceil(std::log2(cfg_.p))
+                                : static_cast<double>(cfg_.p - 1);
+    const double allgather = hops * lat + ubytes * frac / bw;
+    const double scatter = (cfg_.p - 1) * lat + ubytes * frac / bw;
+    return allgather + scatter;
+  }
+
+  /// FACT on the CPU: compute + the per-column pivot collectives.
+  double fact_compute_seconds(double m) const {
+    if (m < cfg_.nb) m = cfg_.nb;
+    return fact_.seconds(static_cast<long>(m), cfg_.nb, cfg_.fact_threads);
+  }
+
+  double fact_comm_seconds() const {
+    if (cfg_.p == 1) return 0.0;
+    const double lat =
+        col_inter_ ? node_.net.inter_lat_s : node_.net.intra_lat_s;
+    const double bw =
+        (col_inter_ ? node_.net.inter_bw_gbs : node_.net.intra_bw_gbs) * 1e9;
+    const double hops = 2.0 * std::ceil(std::log2(cfg_.p));
+    const double msg = 2.0 * cfg_.nb * 8.0 + 24.0;
+    return cfg_.nb * hops * (lat + msg / bw);
+  }
+
+  /// Host<->device staging of the panel (both directions).
+  double transfer_seconds(double m) const {
+    const double bytes = m * cfg_.nb * 8.0;
+    return 2.0 * node_.gcd.hcopy_seconds(static_cast<std::size_t>(bytes));
+  }
+
+  /// LBCAST along the process row (modified-ring first hop: the critical
+  /// consumer is the look-ahead neighbour).
+  double lbcast_seconds(double m_tail) const {
+    if (cfg_.q == 1) return 0.0;
+    const double bw =
+        (row_inter_ ? node_.net.inter_bw_gbs : node_.net.intra_bw_gbs) * 1e9;
+    const double lat =
+        row_inter_ ? node_.net.inter_lat_s : node_.net.intra_lat_s;
+    const double bytes =
+        (static_cast<double>(cfg_.nb) * cfg_.nb + m_tail * cfg_.nb +
+         cfg_.nb) * 8.0;
+    return lat + bytes / bw;
+  }
+
+  const FactModel& fact_model() const { return fact_; }
+
+ private:
+  const NodeModel& node_;
+  const ClusterConfig& cfg_;
+  FactModel fact_;
+  bool col_inter_ = false;
+  bool row_inter_ = false;
+};
+
+}  // namespace
+
+SimResult simulate_hpl(const NodeModel& node, const ClusterConfig& cfg) {
+  HPLX_CHECK(cfg.p >= 1 && cfg.q >= 1 && cfg.n >= cfg.nb);
+  HPLX_CHECK(cfg.p_node * cfg.q_node == node.gcds || cfg.nodes == 1);
+  IterationModel m(node, cfg);
+
+  SimResult out;
+  const double nb = cfg.nb;
+
+  // Fixed split geometry (local columns per rank).
+  const double nloc0 = static_cast<double>(cfg.n + 1) / cfg.q;
+  const double n2 =
+      cfg.pipeline == core::PipelineMode::LookaheadSplit
+          ? std::floor(nloc0 * cfg.split_fraction / nb) * nb
+          : 0.0;
+
+  double hidden_flops = 0.0, hidden_time = 0.0;
+
+  int iter = 0;
+  for (long j = 0; j < cfg.n; j += cfg.nb, ++iter) {
+    const double jb = std::min<double>(nb, static_cast<double>(cfg.n - j));
+    // Exact block-cyclic geometry of the rank recording this iteration —
+    // the diagonal-panel owner, as in the paper's Fig. 7 instrumentation.
+    // Its local row/column counts vary iteration to iteration, which is
+    // what gives the published curves their jagged texture.
+    const int prow = grid::indxg2p(j, cfg.nb, cfg.p);
+    const int pcol = grid::indxg2p(j, cfg.nb, cfg.q);
+    const double m_panel = static_cast<double>(
+        grid::numroc(cfg.n, cfg.nb, prow, cfg.p) -
+        grid::numroc(j, cfg.nb, prow, cfg.p));             // FACT rows
+    const double m_tail = static_cast<double>(
+        grid::numroc(cfg.n, cfg.nb, prow, cfg.p) -
+        grid::numroc(j + static_cast<long>(jb), cfg.nb, prow, cfg.p));
+    const double nloc = static_cast<double>(
+        grid::numroc(cfg.n + 1, cfg.nb, pcol, cfg.q) -
+        grid::numroc(j + static_cast<long>(jb), cfg.nb, pcol, cfg.q));
+    const double la = std::min(nloc, jb);                  // look-ahead cols
+
+    const double fact_cpu = m.fact_compute_seconds(m_panel);
+    const double fact_mpi = m.fact_comm_seconds();
+    const double xfer = m.transfer_seconds(m_panel);
+    const double lbcast = m.lbcast_seconds(m_tail);
+    const double host_chain = xfer + fact_cpu + fact_mpi + lbcast;
+
+    trace::IterationRecord rec;
+    rec.iteration = iter;
+    rec.column = j;
+    rec.fact_s = fact_cpu;
+    rec.transfer_s = xfer;
+
+    const double left = std::max(0.0, nloc - la - n2);
+    const bool split_active =
+        cfg.pipeline == core::PipelineMode::LookaheadSplit && left > 0.0;
+
+    if (cfg.pipeline == core::PipelineMode::Simple) {
+      // Everything sequential: fact chain, RS, update.
+      const double rs_dev = 3.0 * m.rs_device_seconds(nloc);
+      const double up = m.update_seconds(m_tail, nloc);
+      rec.mpi_s = fact_mpi + lbcast + m.rs_comm_seconds(nloc);
+      rec.gpu_s = rs_dev + up;
+      rec.total_s = host_chain + m.rs_comm_seconds(nloc) + rs_dev + up;
+    } else if (!split_active) {
+      // Fig. 3: RS exposed up front; FACT/LBCAST hidden behind the
+      // trailing update of the non-look-ahead columns.
+      const double rs_comm = m.rs_comm_seconds(nloc);
+      const double rs_dev = 3.0 * m.rs_device_seconds(nloc);
+      const double up_la = m.update_seconds(m_tail, la);
+      const double up_rest = m.update_seconds(m_tail, nloc - la);
+      rec.mpi_s = fact_mpi + lbcast + rs_comm;
+      rec.gpu_s = rs_dev + up_la + up_rest;
+      rec.total_s =
+          rs_comm + rs_dev + up_la + std::max(up_rest, host_chain);
+    } else {
+      // Fig. 6. Durations:
+      const double right = n2;
+      const double d_gathers = m.rs_device_seconds(la + left);
+      const double d_scatter_right = 2.0 * m.rs_device_seconds(right);
+      const double d_la =
+          m.rs_device_seconds(la) + m.update_seconds(m_tail, la);
+      const double d_up2 = m.update_seconds(m_tail, right);
+      const double d_gather_next = m.rs_device_seconds(right);
+      const double d_up1 =
+          2.0 * m.rs_device_seconds(left) + m.update_seconds(m_tail, left);
+      const double la_comm = m.rs_comm_seconds(la);
+      const double rs1_comm = m.rs_comm_seconds(left);
+      const double rs2_comm = m.rs_comm_seconds(right);
+
+      // Timeline (matches the driver's enqueue order).
+      const double gpu_pre = d_gathers + d_scatter_right;
+      const double la_ready = std::max(gpu_pre, d_gathers + la_comm);
+      const double la_done = la_ready + d_la;
+      const double fact_done = la_done + host_chain;
+      const double up2_done = la_done + d_up2;
+      const double rs1_done = fact_done + rs1_comm;
+      const double gather_next_done =
+          std::max(up2_done, fact_done) + d_gather_next;
+      const double up1_start = std::max(gather_next_done, rs1_done);
+      const double gpu_end = up1_start + d_up1;
+      const double rs2_done = gather_next_done + rs2_comm;
+
+      rec.mpi_s = fact_mpi + lbcast + la_comm + rs1_comm + rs2_comm;
+      rec.gpu_s =
+          gpu_pre + d_la + d_up2 + d_gather_next + d_up1;
+      rec.total_s = std::max(gpu_end, rs2_done);
+    }
+
+    out.trace.iterations.push_back(rec);
+    out.seconds += rec.total_s;
+    out.gpu_seconds += rec.gpu_s;
+    out.fact_seconds += rec.fact_s;
+    out.mpi_seconds += rec.mpi_s;
+    out.transfer_seconds += rec.transfer_s;
+
+    // Global flops retired this iteration ≈ 2·mg·ng·jb.
+    const double mg = static_cast<double>(cfg.n - j);
+    const double iter_flops = 2.0 * mg * mg * jb;
+    if (rec.total_s <= rec.gpu_s * 1.05) {
+      hidden_flops += iter_flops;
+      hidden_time += rec.total_s;
+    }
+  }
+
+  out.gflops = trace::hpl_flops(static_cast<double>(cfg.n)) / out.seconds / 1e9;
+  out.hidden_regime_gflops =
+      hidden_time > 0.0 ? hidden_flops / hidden_time / 1e9 : 0.0;
+  return out;
+}
+
+std::vector<TimelineEvent> iteration_timeline(const NodeModel& node,
+                                              const ClusterConfig& cfg,
+                                              int iteration) {
+  IterationModel m(node, cfg);
+  const double nb = cfg.nb;
+  const long j = static_cast<long>(iteration) * cfg.nb;
+  HPLX_CHECK(j >= 0 && j < cfg.n);
+
+  const double jb = std::min<double>(nb, static_cast<double>(cfg.n - j));
+  const int prow = grid::indxg2p(j, cfg.nb, cfg.p);
+  const int pcol = grid::indxg2p(j, cfg.nb, cfg.q);
+  const double m_panel = static_cast<double>(
+      grid::numroc(cfg.n, cfg.nb, prow, cfg.p) -
+      grid::numroc(j, cfg.nb, prow, cfg.p));
+  const double m_tail = static_cast<double>(
+      grid::numroc(cfg.n, cfg.nb, prow, cfg.p) -
+      grid::numroc(j + static_cast<long>(jb), cfg.nb, prow, cfg.p));
+  const double nloc = static_cast<double>(
+      grid::numroc(cfg.n + 1, cfg.nb, pcol, cfg.q) -
+      grid::numroc(j + static_cast<long>(jb), cfg.nb, pcol, cfg.q));
+  const double la = std::min(nloc, jb);
+
+  const double nloc0 = static_cast<double>(cfg.n + 1) / cfg.q;
+  const double n2 =
+      cfg.pipeline == core::PipelineMode::LookaheadSplit
+          ? std::floor(nloc0 * cfg.split_fraction / nb) * nb
+          : 0.0;
+  const double left = std::max(0.0, nloc - la - n2);
+
+  const double xfer1 = m.transfer_seconds(m_panel) / 2.0;  // D2H
+  const double xfer2 = xfer1;                              // H2D
+  const double fact_cpu = m.fact_compute_seconds(m_panel);
+  const double fact_mpi = m.fact_comm_seconds();
+  const double lbcast = m.lbcast_seconds(m_tail);
+
+  std::vector<TimelineEvent> ev;
+  auto add = [&ev](const char* lane, std::string label, double s, double e) {
+    if (e > s) ev.push_back(TimelineEvent{lane, std::move(label), s, e});
+  };
+
+  if (cfg.pipeline == core::PipelineMode::LookaheadSplit && left > 0.0) {
+    // Fig. 6 schedule.
+    const double right = n2;
+    const double d_gathers = m.rs_device_seconds(la + left);
+    const double d_scatter_right = 2.0 * m.rs_device_seconds(right);
+    const double d_la =
+        m.rs_device_seconds(la) + m.update_seconds(m_tail, la);
+    const double d_up2 = m.update_seconds(m_tail, right);
+    const double d_gather_next = m.rs_device_seconds(right);
+    const double d_up1 =
+        2.0 * m.rs_device_seconds(left) + m.update_seconds(m_tail, left);
+    const double la_comm = m.rs_comm_seconds(la);
+    const double rs1_comm = m.rs_comm_seconds(left);
+    const double rs2_comm = m.rs_comm_seconds(right);
+
+    const double gpu_pre = d_gathers + d_scatter_right;
+    add("GPU", "gather LA+left / scatter RS2", 0.0, gpu_pre);
+    add("MPI", "RS(look-ahead) comm", d_gathers, d_gathers + la_comm);
+    const double la_ready = std::max(gpu_pre, d_gathers + la_comm);
+    const double la_done = la_ready + d_la;
+    add("GPU", "UPDATE(look-ahead)", la_ready, la_done);
+    add("XFER", "panel D2H", la_done, la_done + xfer1);
+    add("CPU", "FACT", la_done + xfer1, la_done + xfer1 + fact_cpu);
+    add("MPI", "FACT pivots", la_done + xfer1 + fact_cpu,
+        la_done + xfer1 + fact_cpu + fact_mpi);
+    const double h2d0 = la_done + xfer1 + fact_cpu + fact_mpi;
+    add("XFER", "panel H2D", h2d0, h2d0 + xfer2);
+    add("MPI", "LBCAST", h2d0 + xfer2, h2d0 + xfer2 + lbcast);
+    const double fact_done = h2d0 + xfer2 + lbcast;
+    const double up2_done = la_done + d_up2;
+    add("GPU", "UPDATE2 (right)", la_done, up2_done);
+    add("MPI", "RS1 (left) comm", fact_done, fact_done + rs1_comm);
+    const double rs1_done = fact_done + rs1_comm;
+    const double gather_next_done =
+        std::max(up2_done, fact_done) + d_gather_next;
+    add("GPU", "gather RS2(next)", std::max(up2_done, fact_done),
+        gather_next_done);
+    const double up1_start = std::max(gather_next_done, rs1_done);
+    add("GPU", "UPDATE1 (left)", up1_start, up1_start + d_up1);
+    add("MPI", "RS2(next) comm", gather_next_done,
+        gather_next_done + rs2_comm);
+  } else if (cfg.pipeline != core::PipelineMode::Simple) {
+    // Fig. 3 schedule.
+    const double rs_comm = m.rs_comm_seconds(nloc);
+    const double rs_dev = 3.0 * m.rs_device_seconds(nloc);
+    const double up_la = m.update_seconds(m_tail, la);
+    const double up_rest = m.update_seconds(m_tail, nloc - la);
+
+    add("MPI", "RS comm", rs_dev / 3.0, rs_dev / 3.0 + rs_comm);
+    add("GPU", "RS gather/scatter", 0.0, rs_dev / 3.0);
+    const double t0 = rs_dev / 3.0 + rs_comm;
+    add("GPU", "RS scatter + U", t0, t0 + 2.0 * rs_dev / 3.0);
+    const double up0 = t0 + 2.0 * rs_dev / 3.0;
+    add("GPU", "UPDATE(look-ahead)", up0, up0 + up_la);
+    add("GPU", "UPDATE(rest)", up0 + up_la, up0 + up_la + up_rest);
+    add("XFER", "panel D2H", up0 + up_la, up0 + up_la + xfer1);
+    const double f0 = up0 + up_la + xfer1;
+    add("CPU", "FACT", f0, f0 + fact_cpu);
+    add("MPI", "FACT pivots", f0 + fact_cpu, f0 + fact_cpu + fact_mpi);
+    add("XFER", "panel H2D", f0 + fact_cpu + fact_mpi,
+        f0 + fact_cpu + fact_mpi + xfer2);
+    add("MPI", "LBCAST", f0 + fact_cpu + fact_mpi + xfer2,
+        f0 + fact_cpu + fact_mpi + xfer2 + lbcast);
+  } else {
+    // Sequential: every phase on the critical path.
+    double t = 0.0;
+    auto step = [&](const char* lane, const char* label, double dur) {
+      add(lane, label, t, t + dur);
+      t += dur;
+    };
+    step("XFER", "panel D2H", xfer1);
+    step("CPU", "FACT", fact_cpu);
+    step("MPI", "FACT pivots", fact_mpi);
+    step("XFER", "panel H2D", xfer2);
+    step("MPI", "LBCAST", lbcast);
+    step("GPU", "RS gather", m.rs_device_seconds(nloc));
+    step("MPI", "RS comm", m.rs_comm_seconds(nloc));
+    step("GPU", "RS scatter + U", 2.0 * m.rs_device_seconds(nloc));
+    step("GPU", "UPDATE", m.update_seconds(m_tail, nloc));
+  }
+  return ev;
+}
+
+}  // namespace hplx::sim

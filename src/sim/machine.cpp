@@ -1,0 +1,3 @@
+// machine.hpp is header-only today; the TU anchors the library and leaves a
+// home for future out-of-line calibration helpers.
+#include "sim/machine.hpp"

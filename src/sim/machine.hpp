@@ -1,0 +1,66 @@
+#pragma once
+/// \file machine.hpp
+/// \brief Calibrated machine description for the paper-scale performance
+/// model: a Crusher/Frontier node and its Slingshot network.
+///
+/// The real driver in src/core runs the true algorithm at laptop scale;
+/// this model replays the same schedules (Figs. 3 and 6) with costs taken
+/// from the paper and public hardware numbers, which is how the repo
+/// regenerates Figs. 5, 7 and 8 (see DESIGN.md §1 for the substitution
+/// argument). Calibration anchors:
+///   - MI250X GCD DGEMM: 24.5 TFLOP/s at NB=512 (§IV.A, via DeviceModel);
+///   - node: 8 GCDs, 64 GiB HBM each, one 64-core EPYC (§I);
+///   - Infinity Fabric GPU links ~50 GB/s/dir; host link 36 GB/s;
+///   - Slingshot NIC: 200 Gb/s = 25 GB/s per direction, 4 NICs/node
+///     (one per MI250X, shared by its 2 GCDs → ~12.5 GB/s per rank);
+///   - single-node target: 153 TFLOPS average, ≈175 TFLOPS (90% of the
+///     4×49 limit) in the fully hidden regime (§IV.A).
+
+#include <cstddef>
+
+#include "device/model.hpp"
+
+namespace hplx::sim {
+
+/// Link model used by the communication estimates.
+struct NetworkModel {
+  double intra_bw_gbs = 50.0;   ///< GPU↔GPU Infinity Fabric, per direction
+  double inter_bw_gbs = 12.5;   ///< Slingshot per rank (NIC shared by 2 GCDs)
+  double intra_lat_s = 2.0e-6;
+  double inter_lat_s = 4.0e-6;
+
+  double ptp_seconds(std::size_t bytes, bool inter) const {
+    return (inter ? inter_lat_s : intra_lat_s) +
+           static_cast<double>(bytes) / ((inter ? inter_bw_gbs : intra_bw_gbs) * 1e9);
+  }
+};
+
+/// CPU-side model feeding the FACT estimate (see FactModel).
+struct CpuModel {
+  int cores = 64;
+  double core_gflops = 9.0;        ///< effective per-core rate in panel fact
+  double l3_bytes = 256.0 * 1e6;   ///< 8 CCDs × 32 MB
+  double mem_bw_gbs = 190.0;       ///< socket DDR bandwidth (spill regime)
+  double column_serial_s = 5.0e-7; ///< per-column bookkeeping on the main thread
+  double barrier_s = 5.0e-8;       ///< per barrier, per log2(T) hop
+};
+
+struct NodeModel {
+  int gcds = 8;                          ///< ranks (GCDs) per node
+  std::size_t hbm_per_gcd = 64ull << 30; ///< bytes
+  device::DeviceModel gcd = device::DeviceModel::mi250x_gcd();
+  CpuModel cpu;
+  NetworkModel net;
+
+  /// Stream-synchronization / chunk-boundary slack on the update path,
+  /// as a fraction of update time. Together with the DTRSM and row-swap
+  /// kernels this reproduces the paper's observation that the running
+  /// throughput in the fully hidden regime is ~90% of the 4×49 TFLOP/s
+  /// DGEMM limit (§IV.A).
+  double gpu_sync_overhead = 0.05;
+
+  /// The Crusher/Frontier node used throughout the evaluation.
+  static NodeModel crusher() { return NodeModel{}; }
+};
+
+}  // namespace hplx::sim

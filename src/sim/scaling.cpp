@@ -1,0 +1,58 @@
+#include "sim/scaling.hpp"
+
+#include <cmath>
+
+#include "core/core_sharing.hpp"
+#include "util/error.hpp"
+
+namespace hplx::sim {
+
+ClusterConfig crusher_config(const NodeModel& node, int nodes) {
+  HPLX_CHECK(nodes >= 1 && (nodes & (nodes - 1)) == 0);
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.nb = 512;
+  cfg.split_fraction = 0.5;
+  cfg.pipeline = core::PipelineMode::LookaheadSplit;
+
+  // Grid: P·Q = gcds·nodes with P:Q square or 2:1 (§IV.B).
+  const int ranks = node.gcds * nodes;
+  int log2r = 0;
+  while ((1 << (log2r + 1)) <= ranks) ++log2r;
+  HPLX_CHECK((1 << log2r) == ranks);
+  const int qexp = log2r / 2;
+  cfg.q = 1 << qexp;
+  cfg.p = ranks / cfg.q;  // equals q (square) or 2q (2:1)
+
+  // Node-local grid: maximize process columns per node.
+  cfg.q_node = std::min(cfg.q, node.gcds);
+  cfg.p_node = node.gcds / cfg.q_node;
+
+  // CPU core time-sharing (§III.B): T = 1 + (C − gcds)/p_node.
+  const auto plan =
+      core::compute_core_sharing(node.cpu.cores, cfg.p_node, cfg.q_node);
+  cfg.fact_threads = plan.threads_for(0);
+
+  // N fills HBM (with ~4.5% left for workspace buffers): at one node this
+  // reproduces the paper's N = 256,000 with 64 GiB per GCD.
+  const double cap_doubles =
+      static_cast<double>(node.hbm_per_gcd) / sizeof(double) * 0.957;
+  const double n_raw = std::sqrt(cap_doubles * ranks);
+  cfg.n = static_cast<long>(std::floor(n_raw / cfg.nb)) * cfg.nb;
+  return cfg;
+}
+
+std::vector<ScalePoint> weak_scaling_sweep(const NodeModel& node,
+                                           int max_nodes) {
+  std::vector<ScalePoint> out;
+  for (int nodes = 1; nodes <= max_nodes; nodes *= 2) {
+    ScalePoint pt;
+    pt.nodes = nodes;
+    pt.cfg = crusher_config(node, nodes);
+    pt.result = simulate_hpl(node, pt.cfg);
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+}  // namespace hplx::sim

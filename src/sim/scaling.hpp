@@ -1,0 +1,32 @@
+#pragma once
+/// \file scaling.hpp
+/// \brief The paper's run-configuration rules (§IV) and the weak-scaling
+/// sweep behind Fig. 8.
+///
+/// For each node count the paper keeps the process grid "square, or with a
+/// 2:1 ratio of P to Q", maximizes the number of process *columns* on each
+/// node (1×8 node-local once Q >= 8, to maximize CPU core time-sharing),
+/// scales N to fill the GPUs' HBM, and holds NB = 512 and the left-right
+/// split at 50%.
+
+#include <vector>
+
+#include "sim/hpl_sim.hpp"
+
+namespace hplx::sim {
+
+/// Build the paper's configuration for `nodes` Crusher nodes (power of
+/// two). nb/split/pipeline can be overridden afterwards.
+ClusterConfig crusher_config(const NodeModel& node, int nodes);
+
+struct ScalePoint {
+  int nodes = 0;
+  ClusterConfig cfg;
+  SimResult result;
+};
+
+/// Run the Fig. 8 sweep: nodes = 1, 2, 4, ..., max_nodes.
+std::vector<ScalePoint> weak_scaling_sweep(const NodeModel& node,
+                                           int max_nodes);
+
+}  // namespace hplx::sim

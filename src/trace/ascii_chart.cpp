@@ -1,0 +1,85 @@
+#include "trace/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hplx::trace {
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height) {
+  HPLX_CHECK(width >= 16 && height >= 4);
+}
+
+void AsciiChart::add(Series series) { series_.push_back(std::move(series)); }
+
+void AsciiChart::print(std::ostream& os) const {
+  if (series_.empty()) return;
+
+  std::size_t max_len = 0;
+  double ymin = 0.0, ymax = 0.0;
+  bool first = true;
+  for (const auto& s : series_) {
+    max_len = std::max(max_len, s.y.size());
+    for (double v : s.y) {
+      if (log_y_ && v <= 0.0) continue;
+      if (first) {
+        ymin = ymax = v;
+        first = false;
+      } else {
+        ymin = std::min(ymin, v);
+        ymax = std::max(ymax, v);
+      }
+    }
+  }
+  if (max_len == 0 || first) return;
+  if (!log_y_) ymin = std::min(ymin, 0.0);
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  auto transform = [&](double v) { return log_y_ ? std::log10(v) : v; };
+  const double tmin = transform(log_y_ ? ymin : ymin);
+  const double tmax = transform(ymax);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      const double v = s.y[i];
+      if (log_y_ && v <= 0.0) continue;
+      const int x = (max_len == 1)
+                        ? 0
+                        : static_cast<int>(std::llround(
+                              static_cast<double>(i) * (width_ - 1) /
+                              static_cast<double>(max_len - 1)));
+      const double frac = (transform(v) - tmin) / (tmax - tmin);
+      const int yrow = height_ - 1 -
+                       static_cast<int>(std::llround(frac * (height_ - 1)));
+      if (yrow >= 0 && yrow < height_ && x >= 0 && x < width_)
+        grid[static_cast<std::size_t>(yrow)][static_cast<std::size_t>(x)] =
+            s.glyph;
+    }
+  }
+
+  if (!title_.empty()) os << title_ << '\n';
+  for (int r = 0; r < height_; ++r) {
+    const double frac = static_cast<double>(height_ - 1 - r) / (height_ - 1);
+    const double t = tmin + frac * (tmax - tmin);
+    const double v = log_y_ ? std::pow(10.0, t) : t;
+    std::ostringstream label;
+    label << std::setw(10) << std::setprecision(3) << std::scientific << v;
+    os << label.str() << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(width_), '-')
+     << '\n';
+  if (!x_label_.empty())
+    os << std::string(12, ' ') << x_label_ << '\n';
+  for (const auto& s : series_)
+    os << "    " << s.glyph << " = " << s.label << '\n';
+}
+
+}  // namespace hplx::trace

@@ -1,0 +1,43 @@
+#pragma once
+/// \file ascii_chart.hpp
+/// \brief Terminal line charts so benchmark binaries can render
+/// figure-shaped output (Figs. 5, 7, 8) directly in the console.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hplx::trace {
+
+struct Series {
+  std::string label;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+/// Render one or more series over a shared x index as a height×width char
+/// grid with a y-axis scale. Series are drawn in order; later series
+/// overwrite earlier glyphs where they collide.
+class AsciiChart {
+ public:
+  AsciiChart(int width = 100, int height = 24);
+
+  void add(Series series);
+
+  /// Log-scale the y axis (used by the weak-scaling figure).
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  void print(std::ostream& os) const;
+
+ private:
+  int width_;
+  int height_;
+  bool log_y_ = false;
+  std::string title_, x_label_, y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace hplx::trace

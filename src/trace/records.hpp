@@ -1,0 +1,61 @@
+#pragma once
+/// \file records.hpp
+/// \brief Per-iteration timing records, the data behind Fig. 7.
+///
+/// At every iteration the process owning the current diagonal panel records
+/// the same five timers the paper plots: total iteration time, GPU active
+/// time, FACT (CPU) time, MPI time, and host<->device transfer time.
+
+#include <vector>
+
+namespace hplx::trace {
+
+struct IterationRecord {
+  int iteration = 0;       ///< 0-based iteration index
+  long column = 0;         ///< global column at which the iteration starts
+  double total_s = 0.0;    ///< wall time of the whole iteration
+  double gpu_s = 0.0;      ///< modeled GPU busy time within the iteration
+  double fact_s = 0.0;     ///< CPU panel factorization time
+  double mpi_s = 0.0;      ///< time in communication calls
+  double transfer_s = 0.0; ///< host<->device transfer wait time
+};
+
+struct RunTrace {
+  std::vector<IterationRecord> iterations;
+
+  double total_seconds() const {
+    double t = 0.0;
+    for (const auto& r : iterations) t += r.total_s;
+    return t;
+  }
+
+  /// Fraction of iterations whose non-GPU phases were fully hidden: total
+  /// time within `slack` of GPU busy time (the paper's "entirely hidden by
+  /// GPU activity" regime).
+  double hidden_fraction(double slack = 0.05) const {
+    if (iterations.empty()) return 0.0;
+    int hidden = 0;
+    for (const auto& r : iterations) {
+      if (r.total_s <= r.gpu_s * (1.0 + slack)) ++hidden;
+    }
+    return static_cast<double>(hidden) /
+           static_cast<double>(iterations.size());
+  }
+
+  /// Fraction of *time* spent in iterations that were fully hidden.
+  double hidden_time_fraction(double slack = 0.05) const {
+    double hidden = 0.0, total = 0.0;
+    for (const auto& r : iterations) {
+      total += r.total_s;
+      if (r.total_s <= r.gpu_s * (1.0 + slack)) hidden += r.total_s;
+    }
+    return total > 0.0 ? hidden / total : 0.0;
+  }
+};
+
+/// HPL's reported FLOP count for an N×N solve: 2/3·N³ + 3/2·N².
+inline double hpl_flops(double n) {
+  return (2.0 / 3.0) * n * n * n + 1.5 * n * n;
+}
+
+}  // namespace hplx::trace

@@ -1,0 +1,78 @@
+#include "trace/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hplx::trace {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HPLX_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  if (!cells_.empty()) {
+    HPLX_CHECK_MSG(cells_.back().size() == headers_.size(),
+                   "previous row has " << cells_.back().size()
+                   << " cells, expected " << headers_.size());
+  }
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  HPLX_CHECK(!cells_.empty());
+  HPLX_CHECK(cells_.back().size() < headers_.size());
+  cells_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(long value) { return add(std::to_string(value)); }
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    rule.emplace_back(width[c], '-');
+  print_row(rule);
+  for (const auto& row : cells_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : cells_) print_row(row);
+}
+
+}  // namespace hplx::trace

@@ -1,0 +1,36 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned console tables and CSV output for benchmark harnesses.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hplx::trace {
+
+/// Builds a fixed-set-of-columns table row by row, then renders it either
+/// as an aligned console table or as CSV. Cells are preformatted strings;
+/// numeric helpers do the formatting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(long value);
+  Table& add(int value) { return add(static_cast<long>(value)); }
+  /// Fixed-precision double.
+  Table& add(double value, int precision = 3);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return cells_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace hplx::trace

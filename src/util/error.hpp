@@ -1,0 +1,48 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error-reporting macros and exception type used across hplx.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hplx {
+
+/// Exception thrown by all hplx precondition and invariant failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const char* cond,
+                                     const std::string& message) {
+  std::ostringstream os;
+  os << "hplx error at " << file << ":" << line << " — check `" << cond
+     << "` failed";
+  if (!message.empty()) os << ": " << message;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hplx
+
+/// Precondition/invariant check that is always active (release included).
+/// HPL is a numerical benchmark: silently proceeding past a broken invariant
+/// produces plausible-looking wrong numbers, so checks stay on.
+#define HPLX_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::hplx::detail::throw_error(__FILE__, __LINE__, #cond, "");     \
+  } while (0)
+
+#define HPLX_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream hplx_os_;                                    \
+      hplx_os_ << msg;                                                \
+      ::hplx::detail::throw_error(__FILE__, __LINE__, #cond,          \
+                                  hplx_os_.str());                    \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace hplx::log {
+
+namespace {
+
+Level initial_level() {
+  const char* env = std::getenv("HPLX_LOG");
+  if (env == nullptr) return Level::Warn;
+  if (std::strcmp(env, "off") == 0) return Level::Off;
+  if (std::strcmp(env, "error") == 0) return Level::Error;
+  if (std::strcmp(env, "warn") == 0) return Level::Warn;
+  if (std::strcmp(env, "info") == 0) return Level::Info;
+  if (std::strcmp(env, "debug") == 0) return Level::Debug;
+  return Level::Warn;
+}
+
+std::atomic<int> g_level{static_cast<int>(initial_level())};
+std::mutex g_mutex;
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::Error: return "[hplx:error] ";
+    case Level::Warn: return "[hplx:warn]  ";
+    case Level::Info: return "[hplx:info]  ";
+    case Level::Debug: return "[hplx:debug] ";
+    default: return "[hplx] ";
+  }
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level)); }
+
+Level level() { return static_cast<Level>(g_level.load()); }
+
+void write(Level lvl, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fputs(tag(lvl), stderr);
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace hplx::log

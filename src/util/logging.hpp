@@ -1,0 +1,54 @@
+#pragma once
+/// \file logging.hpp
+/// \brief Minimal leveled, thread-safe logger.
+///
+/// hplx runs many ranks as threads inside one process; the logger serializes
+/// lines so interleaved output stays readable. Verbosity is a process-global
+/// setting, typically raised via the HPLX_LOG environment variable or
+/// set_level().
+
+#include <sstream>
+#include <string>
+
+namespace hplx::log {
+
+enum class Level : int { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Set the global log level.
+void set_level(Level level);
+
+/// Current global log level (initialized from the HPLX_LOG env var:
+/// "off", "error", "warn", "info", "debug").
+Level level();
+
+/// Emit one line at the given level. Thread safe; appends '\n'.
+void write(Level level, const std::string& line);
+
+namespace detail {
+template <typename... Args>
+void emit(Level lvl, Args&&... args) {
+  if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void error(Args&&... args) {
+  detail::emit(Level::Error, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  detail::emit(Level::Warn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(Args&&... args) {
+  detail::emit(Level::Info, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void debug(Args&&... args) {
+  detail::emit(Level::Debug, std::forward<Args>(args)...);
+}
+
+}  // namespace hplx::log

@@ -1,0 +1,61 @@
+#pragma once
+/// \file matrix_view.hpp
+/// \brief Non-owning column-major matrix views.
+///
+/// All of hplx uses column-major storage with an explicit leading dimension,
+/// exactly like HPL/LAPACK: element (i, j) of an m×n view with leading
+/// dimension ld lives at data[i + j*ld], ld >= m. Views are cheap to copy
+/// and slice; they never own memory.
+
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace hplx {
+
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+
+  MatrixView(T* data, int rows, int cols, int ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    HPLX_CHECK(rows >= 0 && cols >= 0);
+    HPLX_CHECK(ld >= rows || (rows == 0 && ld >= 0));
+  }
+
+  T* data() const { return data_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int ld() const { return ld_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(int i, int j) const {
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  /// Sub-view of rows [i, i+m) × cols [j, j+n); shares storage.
+  MatrixView block(int i, int j, int m, int n) const {
+    HPLX_CHECK(i >= 0 && j >= 0 && m >= 0 && n >= 0);
+    HPLX_CHECK(i + m <= rows_ && j + n <= cols_);
+    return MatrixView(data_ + static_cast<std::size_t>(j) * ld_ + i, m, n,
+                      ld_);
+  }
+
+  /// Pointer to the start of column j.
+  T* col(int j) const {
+    HPLX_CHECK(j >= 0 && j < cols_);
+    return data_ + static_cast<std::size_t>(j) * ld_;
+  }
+
+ private:
+  T* data_ = nullptr;
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+};
+
+using DMatrixView = MatrixView<double>;
+using ConstDMatrixView = MatrixView<const double>;
+
+}  // namespace hplx

@@ -1,0 +1,4 @@
+// timer.hpp is header-only; this TU exists so the util library always has at
+// least the logging/thread_team/options objects plus a stable place to add
+// timing helpers that need out-of-line definitions later.
+#include "util/timer.hpp"

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "tests/blas/reference.hpp"
+
+namespace hplx::blas {
+namespace {
+
+TEST(Dlange, InfNormIsMaxRowSum) {
+  // A = [1 -2; 3 4] colmajor {1,3,-2,4}: row sums {3, 7}.
+  std::vector<double> a{1, 3, -2, 4};
+  EXPECT_DOUBLE_EQ(dlange_inf(2, 2, a.data(), 2), 7.0);
+}
+
+TEST(Dlange, OneNormIsMaxColSum) {
+  std::vector<double> a{1, 3, -2, 4};
+  EXPECT_DOUBLE_EQ(dlange_one(2, 2, a.data(), 2), 6.0);
+}
+
+TEST(Dlange, MaxNorm) {
+  std::vector<double> a{1, -9, 2, 4};
+  EXPECT_DOUBLE_EQ(dlange_max(2, 2, a.data(), 2), 9.0);
+}
+
+TEST(Dlange, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(dlange_inf(0, 5, nullptr, 1), 0.0);
+  EXPECT_DOUBLE_EQ(dlange_one(5, 0, nullptr, 5), 0.0);
+}
+
+TEST(Dlange, RespectsLeadingDimension) {
+  // 2x2 logical matrix inside ld=3 storage; padding rows hold huge values
+  // that must not leak into the norm.
+  std::vector<double> a{1, 1, 999, 1, 1, 999};
+  EXPECT_DOUBLE_EQ(dlange_inf(2, 2, a.data(), 3), 2.0);
+}
+
+TEST(Dlacpy, CopiesWithDifferentLds) {
+  std::vector<double> a{1, 2, 9, 3, 4, 9};  // 2x2 in ld=3
+  std::vector<double> b(4, 0.0);
+  dlacpy(2, 2, a.data(), 3, b.data(), 2);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 3.0);
+  EXPECT_DOUBLE_EQ(b[3], 4.0);
+}
+
+}  // namespace
+}  // namespace hplx::blas

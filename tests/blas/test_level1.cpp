@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "tests/blas/reference.hpp"
+
+namespace hplx::blas {
+namespace {
+
+TEST(Idamax, FindsLargestMagnitude) {
+  std::vector<double> x{1.0, -7.5, 3.0, 7.4};
+  EXPECT_EQ(idamax(4, x.data(), 1), 1);
+}
+
+TEST(Idamax, FirstOfTies) {
+  std::vector<double> x{2.0, -2.0, 2.0};
+  EXPECT_EQ(idamax(3, x.data(), 1), 0);
+}
+
+TEST(Idamax, EmptyReturnsMinusOne) {
+  EXPECT_EQ(idamax(0, nullptr, 1), -1);
+}
+
+TEST(Idamax, StridedAccess) {
+  // Logical vector is elements 0, 2, 4: {1, 5, 3}.
+  std::vector<double> x{1.0, 99.0, 5.0, 99.0, 3.0};
+  EXPECT_EQ(idamax(3, x.data(), 2), 1);
+}
+
+TEST(Dswap, SwapsStrided) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{9, 8, 7, 6};
+  dswap(2, x.data(), 2, y.data(), 1);
+  EXPECT_DOUBLE_EQ(x[0], 9.0);
+  EXPECT_DOUBLE_EQ(x[2], 8.0);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);  // untouched
+}
+
+TEST(Dscal, Scales) {
+  std::vector<double> x{1, -2, 3};
+  dscal(3, -2.0, x.data(), 1);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  EXPECT_DOUBLE_EQ(x[2], -6.0);
+}
+
+TEST(Daxpy, Accumulates) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 20, 30};
+  daxpy(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(Daxpy, AlphaZeroLeavesY) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{5, 6};
+  daxpy(2, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Dcopy, CopiesStrided) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y(2, 0.0);
+  dcopy(2, x.data(), 2, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(Ddot, InnerProduct) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(ddot(3, x.data(), 1, y.data(), 1), 32.0);
+}
+
+class IdamaxSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdamaxSweep, MatchesLinearScan) {
+  const int n = GetParam();
+  testref::Rand rng(static_cast<std::uint64_t>(n) * 977 + 1);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next();
+  const int got = idamax(n, x.data(), 1);
+  int want = 0;
+  for (int i = 1; i < n; ++i)
+    if (std::fabs(x[static_cast<std::size_t>(i)]) >
+        std::fabs(x[static_cast<std::size_t>(want)]))
+      want = i;
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IdamaxSweep,
+                         ::testing::Values(1, 2, 3, 7, 64, 255, 1000));
+
+}  // namespace
+}  // namespace hplx::blas

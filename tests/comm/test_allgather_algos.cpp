@@ -1,0 +1,90 @@
+/// Both allgatherv algorithms must produce identical results; recursive
+/// doubling additionally requires packed displacements and a power-of-two
+/// size (falling back to the ring otherwise, transparently).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/world.hpp"
+
+namespace hplx::comm {
+namespace {
+
+using Param = std::tuple<AllgatherAlgo, int /*ranks*/, int /*base size*/>;
+
+class AllgatherSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(AllgatherSweep, SegmentsAssembleInRankOrder) {
+  const auto [algo, ranks, base] = GetParam();
+  World::run(ranks, [&, algo = algo, base = base](Communicator& comm) {
+    const int me = comm.rank();
+    // Rank i contributes base + i doubles, value 100 + i.
+    std::vector<std::size_t> counts, displs;
+    std::size_t total = 0;
+    for (int i = 0; i < comm.size(); ++i) {
+      counts.push_back((static_cast<std::size_t>(base) + static_cast<std::size_t>(i)) * sizeof(double));
+      displs.push_back(total);
+      total += counts.back();
+    }
+    std::vector<double> mine(static_cast<std::size_t>(base + me),
+                             100.0 + me);
+    std::vector<double> all(total / sizeof(double), -1.0);
+    allgatherv_bytes(comm, mine.data(), counts, displs, all.data(), algo);
+    std::size_t off = 0;
+    for (int i = 0; i < comm.size(); ++i) {
+      for (int k = 0; k < base + i; ++k)
+        ASSERT_DOUBLE_EQ(all[off + static_cast<std::size_t>(k)], 100.0 + i)
+            << "rank " << me << " segment " << i;
+      off += static_cast<std::size_t>(base + i);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgosAndShapes, AllgatherSweep,
+    ::testing::Values(
+        Param{AllgatherAlgo::Ring, 1, 3}, Param{AllgatherAlgo::Ring, 3, 5},
+        Param{AllgatherAlgo::Ring, 8, 2},
+        Param{AllgatherAlgo::RecursiveDoubling, 1, 3},
+        Param{AllgatherAlgo::RecursiveDoubling, 2, 4},
+        Param{AllgatherAlgo::RecursiveDoubling, 4, 1},
+        Param{AllgatherAlgo::RecursiveDoubling, 8, 3},
+        // Non-power-of-two: must fall back to ring and still be correct.
+        Param{AllgatherAlgo::RecursiveDoubling, 6, 2}));
+
+TEST(AllgatherRd, ZeroLengthSegments) {
+  World::run(4, [](Communicator& comm) {
+    // Rank 2 contributes nothing.
+    std::vector<std::size_t> counts{8, 8, 0, 8};
+    std::vector<std::size_t> displs{0, 8, 16, 16};
+    double mine = static_cast<double>(comm.rank());
+    std::vector<double> all(3, -1.0);
+    allgatherv_bytes(comm, comm.rank() == 2 ? nullptr : &mine, counts,
+                     displs, all.data(), AllgatherAlgo::RecursiveDoubling);
+    EXPECT_DOUBLE_EQ(all[0], 0.0);
+    EXPECT_DOUBLE_EQ(all[1], 1.0);
+    EXPECT_DOUBLE_EQ(all[2], 3.0);
+  });
+}
+
+TEST(AllgatherRd, UnpackedDisplsFallBackToRing) {
+  // Gapped displacements are legal for the ring; recursive doubling must
+  // detect them and still produce the right answer.
+  World::run(4, [](Communicator& comm) {
+    std::vector<std::size_t> counts{8, 8, 8, 8};
+    std::vector<std::size_t> displs{0, 16, 32, 48};  // 8-byte holes
+    double mine = 10.0 + comm.rank();
+    std::vector<double> all(7, -1.0);
+    allgatherv_bytes(comm, &mine, counts, displs, all.data(),
+                     AllgatherAlgo::RecursiveDoubling);
+    for (int i = 0; i < 4; ++i)
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * i)], 10.0 + i);
+  });
+}
+
+}  // namespace
+}  // namespace hplx::comm

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/world.hpp"
+
+namespace hplx::comm {
+namespace {
+
+TEST(Split, RowColumnDecomposition) {
+  // 6 ranks as a 2x3 grid (col-major): row = rank % 2, col = rank / 2.
+  World::run(6, [](Communicator& comm) {
+    const int row = comm.rank() % 2;
+    const int col = comm.rank() / 2;
+
+    Communicator row_comm = comm.split(row, col);
+    Communicator col_comm = comm.split(col, row);
+
+    EXPECT_EQ(row_comm.size(), 3);
+    EXPECT_EQ(row_comm.rank(), col);
+    EXPECT_EQ(col_comm.size(), 2);
+    EXPECT_EQ(col_comm.rank(), row);
+
+    // Traffic in the row communicator stays in the row.
+    long sum = comm.rank();
+    allreduce(row_comm, &sum, 1, ReduceOp::Sum);
+    // Ranks in my row: row, row+2, row+4.
+    EXPECT_EQ(sum, row * 3 + 0 + 2 + 4);
+
+    long csum = comm.rank();
+    allreduce(col_comm, &csum, 1, ReduceOp::Sum);
+    // Ranks in my column: 2*col and 2*col+1.
+    EXPECT_EQ(csum, 4 * col + 1);
+  });
+}
+
+TEST(Split, KeyControlsOrdering) {
+  World::run(4, [](Communicator& comm) {
+    // Reverse rank order within a single color.
+    Communicator rev = comm.split(0, -comm.rank());
+    EXPECT_EQ(rev.size(), 4);
+    EXPECT_EQ(rev.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(Split, ChildIsolatedFromParentTraffic) {
+  World::run(4, [](Communicator& comm) {
+    Communicator child = comm.split(comm.rank() % 2, comm.rank());
+    // A parent-communicator message with the same tag must not be matched
+    // by a child receive: partner ranks differ between the fabrics.
+    if (comm.rank() == 0) {
+      const int v = 5;
+      comm.send(&v, 1, 2, 3);          // parent: world-rank 2
+      const int w = 9;
+      child.send(&w, 1, 1, 3);         // child of color 0: member {0, 2}
+    } else if (comm.rank() == 2) {
+      int w = 0;
+      child.recv(&w, 1, 0, 3);         // child rank 1 receives from child rank 0
+      EXPECT_EQ(w, 9);
+      int v = 0;
+      comm.recv(&v, 1, 0, 3);
+      EXPECT_EQ(v, 5);
+    }
+  });
+}
+
+TEST(Split, DupPreservesGroup) {
+  World::run(3, [](Communicator& comm) {
+    Communicator copy = comm.dup();
+    EXPECT_EQ(copy.size(), comm.size());
+    EXPECT_EQ(copy.rank(), comm.rank());
+    barrier(copy);
+  });
+}
+
+TEST(Split, RepeatedSplitsIndependent) {
+  World::run(4, [](Communicator& comm) {
+    for (int round = 0; round < 5; ++round) {
+      Communicator c = comm.split(comm.rank() / 2, comm.rank());
+      EXPECT_EQ(c.size(), 2);
+      long v = 1;
+      allreduce(c, &v, 1, ReduceOp::Sum);
+      EXPECT_EQ(v, 2);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hplx::comm

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "comm/world.hpp"
+#include "util/error.hpp"
+
+namespace hplx::comm {
+namespace {
+
+TEST(World, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::atomic<int> rank_sum{0};
+  World::run(5, [&](Communicator& comm) {
+    count++;
+    rank_sum += comm.rank();
+    EXPECT_EQ(comm.size(), 5);
+  });
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(rank_sum, 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(World, FirstExceptionPropagates) {
+  EXPECT_THROW(World::run(3, [](Communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 exploded");
+  }), std::runtime_error);
+}
+
+TEST(World, OtherRanksFinishWhenOneThrowsWithoutComm) {
+  std::atomic<int> finished{0};
+  try {
+    World::run(4, [&](Communicator& comm) {
+      if (comm.rank() == 2) throw Error("boom");
+      finished++;
+    });
+    FAIL() << "expected throw";
+  } catch (const Error&) {
+  }
+  EXPECT_EQ(finished, 3);
+}
+
+TEST(World, SingleRank) {
+  World::run(1, [](Communicator& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+  });
+}
+
+TEST(World, InvalidRankCountRejected) {
+  EXPECT_THROW(World::run(0, [](Communicator&) {}), Error);
+}
+
+TEST(World, SequentialWorldsAreIndependent) {
+  // Traffic from a previous world must not leak into a new one.
+  for (int round = 0; round < 3; ++round) {
+    World::run(2, [round](Communicator& comm) {
+      if (comm.rank() == 0) {
+        const int v = round;
+        comm.send(&v, 1, 1, 0);
+      } else {
+        int v = -1;
+        comm.recv(&v, 1, 0, 0);
+        EXPECT_EQ(v, round);
+        EXPECT_EQ(comm.fabric().mailbox(comm.rank()).pending(), 0u);
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace hplx::comm

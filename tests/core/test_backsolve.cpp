@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "core/backsolve.hpp"
+#include "tests/blas/reference.hpp"
+
+namespace hplx::core {
+namespace {
+
+/// Build a well-conditioned upper-triangular system U·x = b with known x,
+/// write it into the distributed matrix (U in columns 0..n-1, b in global
+/// column n), run the distributed backsolve, and compare.
+class BacksolveSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, long, int>> {};
+
+TEST_P(BacksolveSweep, RecoversKnownSolution) {
+  const auto [P, Q, n, nb] = GetParam();
+
+  // Dense reference data, identical on every rank.
+  testref::Rand rng(static_cast<std::uint64_t>(n) * 37 + P * 5 + Q);
+  std::vector<double> u(static_cast<std::size_t>(n) * n, 0.0);
+  for (long j = 0; j < n; ++j)
+    for (long i = 0; i <= j; ++i)
+      u[static_cast<std::size_t>(j * n + i)] = rng.next();
+  testref::dominate_diagonal(static_cast<int>(n), u.data(),
+                             static_cast<int>(n));
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.next();
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (long j = 0; j < n; ++j)
+    for (long i = 0; i <= j; ++i)
+      b[static_cast<std::size_t>(i)] +=
+          u[static_cast<std::size_t>(j * n + i)] *
+          x_true[static_cast<std::size_t>(j)];
+
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(P * Q));
+  comm::World::run(P * Q, [&, n = n, nb = nb, P = P, Q = Q](comm::Communicator& world) {
+    grid::ProcessGrid g(world, P, Q);
+    device::Device dev("d", 1ull << 26);
+    DistMatrix a(dev, g, n, nb, 1);
+    // Overwrite the generated contents with the crafted system.
+    for (long jl = 0; jl < a.nloc(); ++jl) {
+      const long jg = a.cols().to_global(jl, g.mycol());
+      for (long il = 0; il < a.mloc(); ++il) {
+        const long ig = a.rows().to_global(il, g.myrow());
+        double v = 0.0;
+        if (jg < n) {
+          v = u[static_cast<std::size_t>(jg * n + ig)];
+        } else if (jg == n) {
+          v = b[static_cast<std::size_t>(ig)];
+        }
+        *a.at(il, jl) = v;
+      }
+    }
+    device::Stream stream(dev);
+    double mpi = 0.0;
+    results[static_cast<std::size_t>(world.rank())] =
+        backsolve(g, a, stream, &mpi);
+  });
+
+  for (const auto& x : results) {
+    ASSERT_EQ(x.size(), static_cast<std::size_t>(n));
+    for (long i = 0; i < n; ++i)
+      EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                  x_true[static_cast<std::size_t>(i)], 1e-8)
+          << "x[" << i << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndSizes, BacksolveSweep,
+    ::testing::Values(std::make_tuple(1, 1, 16L, 4),
+                      std::make_tuple(1, 1, 33L, 8),
+                      std::make_tuple(2, 2, 32L, 4),
+                      std::make_tuple(2, 2, 40L, 8),
+                      std::make_tuple(4, 1, 32L, 4),
+                      std::make_tuple(1, 4, 32L, 4),
+                      std::make_tuple(2, 3, 48L, 8),
+                      std::make_tuple(3, 2, 37L, 5)));
+
+}  // namespace
+}  // namespace hplx::core

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/core_sharing.hpp"
+#include "util/error.hpp"
+
+namespace hplx::core {
+namespace {
+
+TEST(CoreSharing, PaperExample4x2) {
+  // §III.B: 64-core socket, 4×2 local grid (the single-node Crusher run).
+  // C̄ = 64 - 8 = 56 pool cores, 4 groups of 14 → T = 15 per rank, and a
+  // FACT phase engages P + C̄ = 4 + 56 = 60 cores.
+  const auto plan = compute_core_sharing(64, 4, 2);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(plan.threads_for(r), 15);
+  EXPECT_EQ(plan.cores_engaged_per_fact(), 60);
+}
+
+TEST(CoreSharing, PaperExample2x4) {
+  // §III.B's worked example: 2×4 grid, two ranks factor at a time with 8
+  // cores each under naive partitioning; with sharing each FACT engages
+  // P + C̄ = 2 + 56 = 58 cores.
+  const auto plan = compute_core_sharing(64, 2, 4);
+  for (int r = 0; r < 2; ++r) EXPECT_EQ(plan.threads_for(r), 29);
+  EXPECT_EQ(plan.cores_engaged_per_fact(), 58);
+}
+
+TEST(CoreSharing, ExtremeColumnGridIsPlainPartition) {
+  // p×1: every rank factors simultaneously — sharing degenerates to a
+  // static partition of 64/8 = 8 cores per rank.
+  const auto plan = compute_core_sharing(64, 8, 1);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(plan.threads_for(r), 8);
+  EXPECT_EQ(plan.cores_engaged_per_fact(), 64);
+}
+
+TEST(CoreSharing, ExtremeRowGridMaximizesSharing) {
+  // 1×8: at most one rank factors at a time, so it may use 1 + 56 = 57
+  // cores (the paper's preferred node-local grid at scale).
+  const auto plan = compute_core_sharing(64, 1, 8);
+  EXPECT_EQ(plan.threads_for(0), 57);
+  EXPECT_EQ(plan.cores_engaged_per_fact(), 57);
+}
+
+TEST(CoreSharing, RanksInSameRowShareSamePool) {
+  const auto plan = compute_core_sharing(16, 2, 2);
+  // Rank (0,0)=0 and (0,1)=2 share row 0's pool; root cores differ.
+  const auto& a = plan.cores_of_rank[0];
+  const auto& b = plan.cores_of_rank[2];
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(b[0], 2);
+  const std::set<int> pa(a.begin() + 1, a.end());
+  const std::set<int> pb(b.begin() + 1, b.end());
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(CoreSharing, DifferentRowsGetDisjointPools) {
+  const auto plan = compute_core_sharing(16, 2, 2);
+  const auto& r0 = plan.cores_of_rank[plan.local_rank(0, 0)];
+  const auto& r1 = plan.cores_of_rank[plan.local_rank(1, 0)];
+  std::set<int> p0(r0.begin() + 1, r0.end());
+  for (auto it = r1.begin() + 1; it != r1.end(); ++it)
+    EXPECT_EQ(p0.count(*it), 0u);
+}
+
+TEST(CoreSharing, PoolRemainderGoesToLowRows) {
+  // 10 cores, 3x1 grid: pool = 7, groups of sizes 3,2,2.
+  const auto plan = compute_core_sharing(10, 3, 1);
+  EXPECT_EQ(plan.threads_for(0), 4);
+  EXPECT_EQ(plan.threads_for(1), 3);
+  EXPECT_EQ(plan.threads_for(2), 3);
+}
+
+TEST(CoreSharing, NoPoolMeansSingleThread) {
+  const auto plan = compute_core_sharing(4, 2, 2);
+  EXPECT_EQ(plan.threads_for(0), 1);
+  EXPECT_EQ(plan.threads_for(1), 1);
+}
+
+TEST(CoreSharing, TooFewCoresThrows) {
+  EXPECT_THROW(compute_core_sharing(3, 2, 2), Error);
+}
+
+TEST(CoreSharing, AllCoreIdsValidAndRootsDistinct) {
+  const auto plan = compute_core_sharing(12, 2, 3);
+  std::set<int> roots;
+  for (const auto& cores : plan.cores_of_rank) {
+    ASSERT_FALSE(cores.empty());
+    roots.insert(cores[0]);
+    for (int c : cores) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 12);
+    }
+  }
+  EXPECT_EQ(roots.size(), 6u);
+}
+
+}  // namespace
+}  // namespace hplx::core

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hpldat.hpp"
+#include "util/error.hpp"
+
+namespace hplx::core {
+namespace {
+
+const char kClassic[] =
+    "HPLinpack benchmark input file\n"
+    "Innovative Computing Laboratory, University of Tennessee\n"
+    "HPL.out      output file name (if any)\n"
+    "6            device out (6=stdout,7=stderr,file)\n"
+    "4            # of problems sizes (N)\n"
+    "29 30 34 35  Ns\n"
+    "4            # of NBs\n"
+    "1 2 3 4      NBs\n"
+    "0            PMAP process mapping (0=Row-,1=Column-major)\n"
+    "3            # of process grids (P x Q)\n"
+    "2 1 4        Ps\n"
+    "2 4 1        Qs\n"
+    "16.0         threshold\n"
+    "3            # of panel fact\n"
+    "0 1 2        PFACTs (0=left, 1=Crout, 2=Right)\n"
+    "2            # of recursive stopping criterium\n"
+    "2 4          NBMINs (>= 1)\n"
+    "1            # of panels in recursion\n"
+    "2            NDIVs\n"
+    "3            # of recursive panel fact.\n"
+    "0 1 2        RFACTs (0=left, 1=Crout, 2=Right)\n"
+    "1            # of lookahead depth\n"
+    "1            DEPTHs (>=0)\n"
+    "2            # of broadcast\n"
+    "1 3          BCASTs (0=1rg,1=1rM,2=2rg,3=2rM,4=Lng,5=LnM)\n"
+    "1            SWAP (0=bin-exch,1=long,2=mix)\n"
+    "64           swapping threshold\n"
+    "0            L1 in (0=transposed,1=no-transposed) form\n"
+    "0            U  in (0=transposed,1=no-transposed) form\n"
+    "1            Equilibration (0=no,1=yes)\n"
+    "8            memory alignment in double (> 0)\n";
+
+TEST(HplDat, ParsesTheCanonicalNetlibFile) {
+  const HplDat dat = parse_hpldat_string(kClassic);
+  EXPECT_EQ(dat.output_file, "HPL.out");
+  EXPECT_EQ(dat.device_out, 6);
+  EXPECT_EQ(dat.ns, (std::vector<long>{29, 30, 34, 35}));
+  EXPECT_EQ(dat.nbs, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(dat.row_major_mapping);
+  EXPECT_EQ(dat.ps, (std::vector<int>{2, 1, 4}));
+  EXPECT_EQ(dat.qs, (std::vector<int>{2, 4, 1}));
+  EXPECT_DOUBLE_EQ(dat.threshold, 16.0);
+  ASSERT_EQ(dat.pfacts.size(), 3u);
+  EXPECT_EQ(dat.pfacts[0], FactVariant::Left);
+  EXPECT_EQ(dat.pfacts[1], FactVariant::Crout);
+  EXPECT_EQ(dat.pfacts[2], FactVariant::Right);
+  EXPECT_EQ(dat.nbmins, (std::vector<int>{2, 4}));
+  EXPECT_EQ(dat.ndivs, (std::vector<int>{2}));
+  EXPECT_EQ(dat.depths, (std::vector<int>{1}));
+  ASSERT_EQ(dat.bcasts.size(), 2u);
+  EXPECT_EQ(dat.bcasts[0], comm::BcastAlgo::Ring1Mod);
+  EXPECT_EQ(dat.bcasts[1], comm::BcastAlgo::Ring2Mod);
+  EXPECT_EQ(dat.swap_algo, 1);
+  EXPECT_EQ(dat.swap_threshold, 64);
+  EXPECT_TRUE(dat.l1_transposed);
+  EXPECT_TRUE(dat.equilibration);
+  EXPECT_EQ(dat.alignment, 8);
+  // Extension lines absent -> defaults.
+  EXPECT_DOUBLE_EQ(dat.split_fraction, 0.5);
+  EXPECT_EQ(dat.fact_threads, 1);
+}
+
+TEST(HplDat, ParsesRocHplExtensionLines) {
+  std::string text = kClassic;
+  text += "0.625        split fraction\n4            FACT threads\n";
+  const HplDat dat = parse_hpldat_string(text);
+  EXPECT_DOUBLE_EQ(dat.split_fraction, 0.625);
+  EXPECT_EQ(dat.fact_threads, 4);
+}
+
+TEST(HplDat, ExpandEnumeratesTheCartesianSweep) {
+  const HplDat dat = parse_hpldat_string(kClassic);
+  const auto cfgs = expand_configs(dat);
+  // grids(3) × N(4) × NB(4) × rfact(3) × nbmin(2) × ndiv(1) × depth(1)
+  // × bcast(2).
+  EXPECT_EQ(cfgs.size(), 3u * 4 * 4 * 3 * 2 * 1 * 1 * 2);
+  // Spot-check the first config.
+  const HplConfig& c = cfgs.front();
+  EXPECT_EQ(c.n, 29);
+  EXPECT_EQ(c.nb, 1);
+  EXPECT_EQ(c.p, 2);
+  EXPECT_EQ(c.q, 2);
+  EXPECT_TRUE(c.row_major_grid);
+  EXPECT_EQ(c.pipeline, PipelineMode::LookaheadSplit);
+}
+
+TEST(HplDat, DepthZeroMapsToSimplePipeline) {
+  std::string text = kClassic;
+  const auto pos = text.find("1            DEPTHs");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = '0';
+  const auto cfgs = expand_configs(parse_hpldat_string(text));
+  for (const auto& c : cfgs) EXPECT_EQ(c.pipeline, PipelineMode::Simple);
+}
+
+TEST(HplDat, RoundTripsThroughFormat) {
+  const HplDat dat = parse_hpldat_string(kClassic);
+  const std::string text = format_hpldat(dat);
+  const HplDat again = parse_hpldat_string(text);
+  EXPECT_EQ(again.ns, dat.ns);
+  EXPECT_EQ(again.nbs, dat.nbs);
+  EXPECT_EQ(again.ps, dat.ps);
+  EXPECT_EQ(again.qs, dat.qs);
+  EXPECT_EQ(again.nbmins, dat.nbmins);
+  EXPECT_EQ(again.pfacts, dat.pfacts);
+  EXPECT_EQ(again.rfacts, dat.rfacts);
+  EXPECT_EQ(again.bcasts, dat.bcasts);
+  EXPECT_EQ(again.depths, dat.depths);
+  EXPECT_EQ(again.swap_algo, dat.swap_algo);
+  EXPECT_DOUBLE_EQ(again.threshold, dat.threshold);
+}
+
+TEST(HplDat, TruncatedFileThrows) {
+  const std::string text(kClassic, kClassic + 200);
+  EXPECT_THROW(parse_hpldat_string(text), Error);
+}
+
+TEST(HplDat, MalformedCountThrows) {
+  std::string text = kClassic;
+  const auto pos = text.find("4            # of problems");
+  text.replace(pos, 1, "x");
+  EXPECT_THROW(parse_hpldat_string(text), Error);
+}
+
+TEST(HplDat, ShortListThrows) {
+  std::string text = kClassic;
+  const auto pos = text.find("29 30 34 35");
+  text.replace(pos, 11, "29 30      ");
+  EXPECT_THROW(parse_hpldat_string(text), Error);
+}
+
+TEST(HplDat, BadBcastCodeThrows) {
+  std::string text = kClassic;
+  const auto pos = text.find("1 3          BCASTs");
+  text.replace(pos, 3, "1 9");
+  EXPECT_THROW(parse_hpldat_string(text), Error);
+}
+
+TEST(HplDat, UnsupportedDepthThrows) {
+  std::string text = kClassic;
+  const auto pos = text.find("1            DEPTHs");
+  text[pos] = '3';
+  EXPECT_THROW(parse_hpldat_string(text), Error);
+}
+
+}  // namespace
+}  // namespace hplx::core

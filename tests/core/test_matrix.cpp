@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "comm/world.hpp"
+#include "core/matrix.hpp"
+#include "rng/matgen.hpp"
+#include "util/error.hpp"
+
+namespace hplx::core {
+namespace {
+
+TEST(DistMatrix, LocalShapeMatchesBlockCyclicCounts) {
+  comm::World::run(6, [](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 2, 3);
+    device::Device dev("d", 1ull << 26);
+    DistMatrix a(dev, g, 40, 8, 7);
+    EXPECT_EQ(a.mloc(), grid::numroc(40, 8, g.myrow(), 2));
+    EXPECT_EQ(a.nloc(), grid::numroc(41, 8, g.mycol(), 3));
+    EXPECT_GE(a.lda(), a.mloc());
+  });
+}
+
+TEST(DistMatrix, ContentsMatchSerialGeneration) {
+  const long n = 24;
+  const int nb = 4;
+  std::vector<double> global(static_cast<std::size_t>(n * (n + 1)));
+  rng::generate_serial(123, n, n + 1, global.data(), n);
+
+  comm::World::run(4, [&](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 2, 2);
+    device::Device dev("d", 1ull << 26);
+    DistMatrix a(dev, g, n, nb, 123);
+    for (long jl = 0; jl < a.nloc(); ++jl) {
+      const long jg = a.cols().to_global(jl, g.mycol());
+      for (long il = 0; il < a.mloc(); ++il) {
+        const long ig = a.rows().to_global(il, g.myrow());
+        ASSERT_DOUBLE_EQ(*a.at(il, jl),
+                         global[static_cast<std::size_t>(jg * n + ig)]);
+      }
+    }
+  });
+}
+
+TEST(DistMatrix, OffsetsCountLocalIndicesBelowGlobal) {
+  comm::World::run(2, [](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 2, 1);
+    device::Device dev("d", 1ull << 26);
+    DistMatrix a(dev, g, 32, 4, 1);
+    // Global rows 0..3 belong to row 0, 4..7 to row 1, etc.
+    if (g.myrow() == 0) {
+      EXPECT_EQ(a.row_offset(4), 4);
+      EXPECT_EQ(a.row_offset(8), 4);
+      EXPECT_EQ(a.row_offset(12), 8);
+    } else {
+      EXPECT_EQ(a.row_offset(4), 0);
+      EXPECT_EQ(a.row_offset(8), 4);
+    }
+    EXPECT_EQ(a.col_offset(0), 0);
+    EXPECT_EQ(a.col_offset(33), a.nloc());
+  });
+}
+
+TEST(DistMatrix, ChargesHbm) {
+  comm::World::run(1, [](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 1, 1);
+    device::Device dev("d", 1ull << 26);
+    DistMatrix a(dev, g, 64, 8, 1);
+    EXPECT_GE(dev.hbm_used(), 64ull * 65 * sizeof(double));
+  });
+}
+
+TEST(DistMatrix, OverflowingHbmThrows) {
+  EXPECT_THROW(comm::World::run(1, [](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 1, 1);
+    device::Device dev("d", 1024);  // 128 doubles
+    DistMatrix a(dev, g, 64, 8, 1);
+  }), Error);
+}
+
+}  // namespace
+}  // namespace hplx::core

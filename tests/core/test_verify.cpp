@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "comm/world.hpp"
+#include "core/verify.hpp"
+#include "rng/matgen.hpp"
+
+namespace hplx::core {
+namespace {
+
+/// Solve the generated system densely on the host (reference LU) so
+/// verify_solution can be tested in isolation from the distributed solver.
+std::vector<double> dense_reference_solution(long n, std::uint64_t seed) {
+  std::vector<double> aug(static_cast<std::size_t>(n * (n + 1)));
+  rng::generate_serial(seed, n, n + 1, aug.data(), n);
+  std::vector<double> a(aug.begin(), aug.begin() + n * n);
+  std::vector<double> x(aug.begin() + n * n, aug.end());
+  // Unblocked LU with partial pivoting + triangular solves.
+  for (long k = 0; k < n; ++k) {
+    const long p =
+        k + blas::idamax(static_cast<int>(n - k), a.data() + k * n + k, 1);
+    if (p != k) {
+      blas::dswap(static_cast<int>(n), a.data() + k, static_cast<int>(n),
+                  a.data() + p, static_cast<int>(n));
+      std::swap(x[static_cast<std::size_t>(k)], x[static_cast<std::size_t>(p)]);
+    }
+    blas::dscal(static_cast<int>(n - k - 1), 1.0 / a[k * n + k],
+                a.data() + k * n + k + 1, 1);
+    blas::dger(static_cast<int>(n - k - 1), static_cast<int>(n - k - 1),
+               -1.0, a.data() + k * n + k + 1, 1, a.data() + (k + 1) * n + k,
+               static_cast<int>(n), a.data() + (k + 1) * n + k + 1,
+               static_cast<int>(n));
+  }
+  blas::dtrsv(blas::Uplo::Lower, blas::Trans::No, blas::Diag::Unit,
+              static_cast<int>(n), a.data(), static_cast<int>(n), x.data(), 1);
+  blas::dtrsv(blas::Uplo::Upper, blas::Trans::No, blas::Diag::NonUnit,
+              static_cast<int>(n), a.data(), static_cast<int>(n), x.data(), 1);
+  return x;
+}
+
+TEST(Verify, AcceptsTrueSolutionOnEveryGrid) {
+  const long n = 48;
+  const int nb = 8;
+  const std::uint64_t seed = 77;
+  const auto x = dense_reference_solution(n, seed);
+
+  for (auto [p, q] : {std::pair{1, 1}, std::pair{2, 2}, std::pair{3, 2},
+                      std::pair{1, 4}}) {
+    comm::World::run(p * q, [&, p = p, q = q](comm::Communicator& world) {
+      grid::ProcessGrid g(world, p, q);
+      const VerifyResult r = verify_solution(g, n, nb, seed, x);
+      EXPECT_TRUE(r.passed) << p << "x" << q << " residual=" << r.residual;
+      EXPECT_LT(r.residual, 1.0);
+      EXPECT_GT(r.norm_a, 0.0);
+      EXPECT_GT(r.norm_b, 0.0);
+      EXPECT_GT(r.norm_x, 0.0);
+    });
+  }
+}
+
+TEST(Verify, GridsAgreeOnTheResidualMagnitude) {
+  // ||Ax−b||∞ is a cancellation-level quantity (each entry is rounding
+  // noise), and the partial A·x sums accumulate in a grid-dependent
+  // order — so exact values differ, but the *magnitude* must agree: the
+  // check exists to separate ~1e-2 (correct) from >16 (wrong).
+  const long n = 32;
+  const int nb = 8;
+  const auto x = dense_reference_solution(n, 5);
+  std::vector<double> residuals;
+  for (auto [p, q] : {std::pair{1, 1}, std::pair{2, 2}, std::pair{4, 1}}) {
+    comm::World::run(p * q, [&, p = p, q = q](comm::Communicator& world) {
+      grid::ProcessGrid g(world, p, q);
+      const VerifyResult r = verify_solution(g, n, nb, 5, x);
+      if (world.rank() == 0) residuals.push_back(r.residual);
+    });
+  }
+  for (double r : residuals) {
+    EXPECT_GT(r, residuals[0] / 3.0);
+    EXPECT_LT(r, residuals[0] * 3.0);
+  }
+}
+
+TEST(Verify, RejectsCorruptedSolution) {
+  const long n = 32;
+  const int nb = 8;
+  auto x = dense_reference_solution(n, 9);
+  x[static_cast<std::size_t>(n / 2)] += 1.0;  // poison one entry
+  comm::World::run(4, [&](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 2, 2);
+    const VerifyResult r = verify_solution(g, n, nb, 9, x);
+    EXPECT_FALSE(r.passed);
+    EXPECT_GT(r.residual, 16.0);
+  });
+}
+
+TEST(Verify, RejectsZeroSolution) {
+  const long n = 24;
+  std::vector<double> zeros(static_cast<std::size_t>(n), 0.0);
+  comm::World::run(1, [&](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 1, 1);
+    const VerifyResult r = verify_solution(g, n, 8, 3, zeros);
+    EXPECT_FALSE(r.passed);
+  });
+}
+
+TEST(Verify, LegacyResidualsAndNormsAreConsistent) {
+  const long n = 40;
+  const int nb = 8;
+  const auto x = dense_reference_solution(n, 21);
+  comm::World::run(4, [&](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 2, 2);
+    const VerifyResult r = verify_solution(g, n, nb, 21, x);
+    // All three legacy checks must pass for a true solution.
+    EXPECT_LT(r.resid0, 16.0);
+    EXPECT_LT(r.resid1, 16.0);
+    EXPECT_LT(r.resid2, 16.0);
+    EXPECT_GT(r.resid0, 0.0);
+    // Norm sanity: entries are uniform on [-0.5, 0.5), so
+    // ||A||_1, ||A||_∞ ∈ (0, n/2]; 1-norms dominate ∞-norms.
+    EXPECT_GT(r.norm_a_one, 0.0);
+    EXPECT_LE(r.norm_a_one, n / 2.0 + 1.0);
+    EXPECT_GE(r.norm_x_one, r.norm_x);
+  });
+}
+
+TEST(Verify, NormOneMatchesSerialComputation) {
+  const long n = 24;
+  const int nb = 8;
+  // Serial ||A||_1 from the regenerated matrix.
+  std::vector<double> a(static_cast<std::size_t>(n * (n + 1)));
+  rng::generate_serial(31, n, n + 1, a.data(), n);
+  double na1 = 0.0;
+  for (long j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (long i = 0; i < n; ++i)
+      s += std::abs(a[static_cast<std::size_t>(j * n + i)]);
+    na1 = std::max(na1, s);
+  }
+  const auto x = dense_reference_solution(n, 31);
+  comm::World::run(6, [&](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 3, 2);
+    const VerifyResult r = verify_solution(g, n, nb, 31, x);
+    EXPECT_NEAR(r.norm_a_one, na1, 1e-12);
+  });
+}
+
+TEST(Verify, ThresholdIsRespected) {
+  const long n = 24;
+  const auto x = dense_reference_solution(n, 11);
+  comm::World::run(1, [&](comm::Communicator& world) {
+    grid::ProcessGrid g(world, 1, 1);
+    const VerifyResult strict = verify_solution(g, n, 8, 11, x, 1e-9);
+    EXPECT_FALSE(strict.passed);  // nothing passes an absurd threshold
+    const VerifyResult normal = verify_solution(g, n, 8, 11, x, 16.0);
+    EXPECT_TRUE(normal.passed);
+  });
+}
+
+}  // namespace
+}  // namespace hplx::core

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "device/device.hpp"
+#include "util/error.hpp"
+
+namespace hplx::device {
+namespace {
+
+TEST(Device, TracksAllocations) {
+  Device dev("gcd0", 1024 * sizeof(double));
+  EXPECT_EQ(dev.hbm_used(), 0u);
+  {
+    Buffer b = dev.alloc(100);
+    EXPECT_EQ(dev.hbm_used(), 100 * sizeof(double));
+    EXPECT_EQ(b.count(), 100u);
+    EXPECT_NE(b.data(), nullptr);
+  }
+  EXPECT_EQ(dev.hbm_used(), 0u);
+}
+
+TEST(Device, OutOfMemoryThrows) {
+  Device dev("gcd0", 10 * sizeof(double));
+  Buffer ok = dev.alloc(8);
+  EXPECT_THROW(dev.alloc(3), Error);
+  // The failed allocation must not leak accounting.
+  EXPECT_EQ(dev.hbm_used(), 8 * sizeof(double));
+}
+
+TEST(Device, ExactFitAllowed) {
+  Device dev("gcd0", 16 * sizeof(double));
+  Buffer b = dev.alloc(16);
+  EXPECT_EQ(dev.hbm_used(), dev.hbm_capacity());
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  Device dev("gcd0", 1 << 20);
+  Buffer a = dev.alloc(10);
+  double* p = a.data();
+  Buffer b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_FALSE(a.allocated());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(dev.hbm_used(), 10 * sizeof(double));
+}
+
+TEST(Buffer, MoveAssignReleasesTarget) {
+  Device dev("gcd0", 1 << 20);
+  Buffer a = dev.alloc(10);
+  Buffer b = dev.alloc(20);
+  EXPECT_EQ(dev.hbm_used(), 30 * sizeof(double));
+  b = std::move(a);
+  EXPECT_EQ(dev.hbm_used(), 10 * sizeof(double));
+  EXPECT_EQ(b.count(), 10u);
+}
+
+TEST(Buffer, DataIsWritable) {
+  Device dev("gcd0", 1 << 20);
+  Buffer b = dev.alloc(4);
+  for (std::size_t i = 0; i < 4; ++i) b.data()[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(b.data()[3], 3.0);
+}
+
+}  // namespace
+}  // namespace hplx::device

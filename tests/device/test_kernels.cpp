@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "device/kernels.hpp"
+#include "tests/blas/reference.hpp"
+
+namespace hplx::device {
+namespace {
+
+Device& test_device() {
+  static Device dev("gcd0", 1ull << 30);
+  return dev;
+}
+
+TEST(Kernels, GemmComputesAndChargesTime) {
+  Stream s(test_device());
+  const long m = 17, n = 13, k = 9;
+  testref::Rand rng;
+  auto a = rng.matrix(static_cast<int>(m), static_cast<int>(k), static_cast<int>(m));
+  auto b = rng.matrix(static_cast<int>(k), static_cast<int>(n), static_cast<int>(k));
+  std::vector<double> c(static_cast<std::size_t>(m * n), 1.0);
+  auto want = c;
+
+  gemm(s, m, n, k, -1.0, a.data(), m, b.data(), k, 1.0, c.data(), m);
+  s.synchronize();
+
+  testref::ref_gemm(blas::Trans::No, blas::Trans::No, static_cast<int>(m),
+                    static_cast<int>(n), static_cast<int>(k), -1.0, a.data(),
+                    static_cast<int>(m), b.data(), static_cast<int>(k), 1.0,
+                    want.data(), static_cast<int>(m));
+  EXPECT_LT(testref::max_diff(static_cast<int>(m), static_cast<int>(n),
+                              c.data(), static_cast<int>(m), want.data(),
+                              static_cast<int>(m)),
+            1e-12 * k);
+  EXPECT_GT(s.busy_seconds(), 0.0);
+}
+
+TEST(Kernels, TrsmLeftLowerUnit) {
+  Stream s(test_device());
+  const long nb = 12, n = 7;
+  testref::Rand rng(77);
+  auto l = rng.matrix(static_cast<int>(nb), static_cast<int>(nb),
+                      static_cast<int>(nb));
+  auto u0 = rng.matrix(static_cast<int>(nb), static_cast<int>(n),
+                       static_cast<int>(nb));
+  auto u = u0;
+  trsm_left_lower_unit(s, nb, n, l.data(), nb, u.data(), nb);
+  s.synchronize();
+
+  // Multiply back with the unit-lower triangle.
+  std::vector<double> y(static_cast<std::size_t>(nb * n), 0.0);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < nb; ++i) {
+      double acc = u[static_cast<std::size_t>(j * nb + i)];  // diagonal 1
+      for (int p = 0; p < i; ++p)
+        acc += l[static_cast<std::size_t>(p * nb + i)] *
+               u[static_cast<std::size_t>(j * nb + p)];
+      y[static_cast<std::size_t>(j * nb + i)] = acc;
+    }
+  EXPECT_LT(testref::max_diff(static_cast<int>(nb), static_cast<int>(n),
+                              y.data(), static_cast<int>(nb), u0.data(),
+                              static_cast<int>(nb)),
+            1e-9);
+}
+
+TEST(Kernels, HostDeviceCopies) {
+  Stream s(test_device());
+  Buffer dev_buf = test_device().alloc(64);
+  std::vector<double> host(64);
+  for (int i = 0; i < 64; ++i) host[static_cast<std::size_t>(i)] = i * 1.5;
+  std::vector<double> back(64, 0.0);
+
+  copy_h2d(s, dev_buf.data(), host.data(), 64);
+  copy_d2h(s, back.data(), dev_buf.data(), 64);
+  s.synchronize();
+  for (int i = 0; i < 64; ++i)
+    EXPECT_DOUBLE_EQ(back[static_cast<std::size_t>(i)], i * 1.5);
+  EXPECT_GT(s.busy_seconds(), 0.0);
+}
+
+TEST(Kernels, CopyMatrixStrided) {
+  Stream s(test_device());
+  // 3x2 source in ld=4, dest ld=3.
+  std::vector<double> src{1, 2, 3, 99, 4, 5, 6, 99};
+  std::vector<double> dst(6, 0.0);
+  copy_matrix(s, 3, 2, src.data(), 4, dst.data(), 3);
+  s.synchronize();
+  EXPECT_DOUBLE_EQ(dst[0], 1.0);
+  EXPECT_DOUBLE_EQ(dst[2], 3.0);
+  EXPECT_DOUBLE_EQ(dst[3], 4.0);
+  EXPECT_DOUBLE_EQ(dst[5], 6.0);
+}
+
+TEST(Kernels, RowGatherScatterRoundTrip) {
+  Stream s(test_device());
+  const long m = 10, n = 4;
+  testref::Rand rng(5);
+  auto a = rng.matrix(static_cast<int>(m), static_cast<int>(n),
+                      static_cast<int>(m));
+  auto orig = a;
+  const std::vector<long> rows{7, 2, 9};
+
+  std::vector<double> packed(static_cast<std::size_t>(rows.size()) * n, 0.0);
+  row_gather(s, a.data(), m, rows, n, packed.data(),
+             static_cast<long>(rows.size()));
+  s.synchronize();
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (long j = 0; j < n; ++j)
+      EXPECT_DOUBLE_EQ(packed[r + static_cast<std::size_t>(j) * rows.size()],
+                       orig[static_cast<std::size_t>(rows[r] + j * m)]);
+
+  // Scatter doubled values back.
+  for (auto& v : packed) v *= 2.0;
+  row_scatter(s, a.data(), m, rows, n, packed.data(),
+              static_cast<long>(rows.size()));
+  s.synchronize();
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (long j = 0; j < n; ++j)
+      EXPECT_DOUBLE_EQ(a[static_cast<std::size_t>(rows[r] + j * m)],
+                       2.0 * orig[static_cast<std::size_t>(rows[r] + j * m)]);
+  // Untouched rows intact.
+  EXPECT_DOUBLE_EQ(a[0], orig[0]);
+  EXPECT_DOUBLE_EQ(a[5], orig[5]);
+}
+
+TEST(Kernels, PackRowsProducesRowMajorSegments) {
+  Stream s(test_device());
+  // 5x3 matrix; pack rows {4, 0, 2} into contiguous row-major segments.
+  std::vector<double> a(15);
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 5; ++i)
+      a[static_cast<std::size_t>(j * 5 + i)] = i * 10 + j;
+  std::vector<double> out(9, -1.0);
+  pack_rows(s, a.data(), 5, {4, 0, 2}, 3, out.data());
+  s.synchronize();
+  // Segment 0 = row 4: 40, 41, 42; segment 1 = row 0; segment 2 = row 2.
+  EXPECT_DOUBLE_EQ(out[0], 40.0);
+  EXPECT_DOUBLE_EQ(out[1], 41.0);
+  EXPECT_DOUBLE_EQ(out[2], 42.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+  EXPECT_DOUBLE_EQ(out[5], 2.0);
+  EXPECT_DOUBLE_EQ(out[6], 20.0);
+  EXPECT_DOUBLE_EQ(out[8], 22.0);
+}
+
+TEST(Kernels, PackUnpackRowsRoundTrip) {
+  Stream s(test_device());
+  const long m = 12, n = 6;
+  testref::Rand rng(21);
+  auto a = rng.matrix(static_cast<int>(m), static_cast<int>(n),
+                      static_cast<int>(m));
+  const auto orig = a;
+  const std::vector<long> rows{1, 7, 11, 3};
+  std::vector<double> packed(rows.size() * static_cast<std::size_t>(n));
+  pack_rows(s, a.data(), m, rows, n, packed.data());
+  // Wipe the rows, then restore from the packed buffer.
+  s.enqueue(0.0, [&] {
+    for (long r : rows)
+      for (long j = 0; j < n; ++j) a[static_cast<std::size_t>(j * m + r)] = -9.0;
+  });
+  unpack_rows(s, packed.data(), rows, n, a.data(), m);
+  s.synchronize();
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], orig[i]);
+}
+
+TEST(Kernels, UnpackRowsScattersToArbitraryTargets) {
+  Stream s(test_device());
+  // Row-major input with 2 rows of 3 cols scattered to matrix rows 3, 0.
+  std::vector<double> rm{1, 2, 3, 4, 5, 6};
+  std::vector<double> a(12, 0.0);  // 4x3
+  unpack_rows(s, rm.data(), {3, 0}, 3, a.data(), 4);
+  s.synchronize();
+  EXPECT_DOUBLE_EQ(a[3], 1.0);   // (3,0)
+  EXPECT_DOUBLE_EQ(a[7], 2.0);   // (3,1)
+  EXPECT_DOUBLE_EQ(a[11], 3.0);  // (3,2)
+  EXPECT_DOUBLE_EQ(a[0], 4.0);   // (0,0)
+  EXPECT_DOUBLE_EQ(a[8], 6.0);   // (0,2)
+  EXPECT_DOUBLE_EQ(a[1], 0.0);   // untouched
+}
+
+TEST(Kernels, LaswpAppliesSequentialSwaps) {
+  Stream s(test_device());
+  // 4x2 matrix, pivots: row0<->row2, row1<->row1, row2<->row3.
+  std::vector<double> a{0, 1, 2, 3, 10, 11, 12, 13};
+  laswp(s, a.data(), 4, 2, {2, 1, 3});
+  s.synchronize();
+  // Sequential semantics: after k=0 swap(0,2): {2,1,0,3};
+  // k=1 noop; k=2 swap(2,3): {2,1,3,0}.
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(a[1], 1.0);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+  EXPECT_DOUBLE_EQ(a[3], 0.0);
+  EXPECT_DOUBLE_EQ(a[4], 12.0);
+  EXPECT_DOUBLE_EQ(a[7], 10.0);
+}
+
+TEST(Kernels, EmptyOpsAreNoops) {
+  Stream s(test_device());
+  gemm(s, 0, 5, 5, 1.0, nullptr, 1, nullptr, 1, 0.0, nullptr, 1);
+  row_gather(s, nullptr, 1, {}, 5, nullptr, 1);
+  laswp(s, nullptr, 1, 0, {1, 2});
+  s.synchronize();
+  EXPECT_DOUBLE_EQ(s.busy_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace hplx::device

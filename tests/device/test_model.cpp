@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "device/model.hpp"
+
+namespace hplx::device {
+namespace {
+
+TEST(DeviceModel, Nb512HitsPaperDgemmRate) {
+  // §IV.A: "At NB = 512 the DGEMMs ... achieve 49 TFLOPS ... on each
+  // MI250X", i.e. 24.5 per GCD.
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  EXPECT_NEAR(m.gemm_tflops(512), 24.5, 0.3);
+}
+
+TEST(DeviceModel, RampIsMonotone) {
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  double prev = 0.0;
+  for (long k : {16L, 32L, 64L, 128L, 256L, 512L, 1024L, 4096L}) {
+    const double r = m.gemm_tflops(k);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+  EXPECT_LT(prev, m.gemm_peak_tflops);
+}
+
+TEST(DeviceModel, SmallNbFarFromPeak) {
+  // The paper's rationale for NB >= 512: small blocks starve the MFMA
+  // units. At NB = 64 the model must sit well below the plateau.
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  EXPECT_LT(m.gemm_tflops(64), 0.75 * m.gemm_tflops(512));
+}
+
+TEST(DeviceModel, GemmSecondsScalesWithWork) {
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  // Net of the kernel-launch floor, doubling m doubles the time.
+  const double t1 = m.gemm_seconds(1000, 1000, 512) - m.kernel_latency_s;
+  const double t2 = m.gemm_seconds(2000, 1000, 512) - m.kernel_latency_s;
+  EXPECT_GT(t2, 1.99 * t1);
+  EXPECT_LT(t2, 2.01 * t1);
+}
+
+TEST(DeviceModel, GemmLatencyFloors) {
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  EXPECT_GE(m.gemm_seconds(1, 1, 1), m.kernel_latency_s);
+}
+
+TEST(DeviceModel, SkinnyGemmPenalized) {
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  // Same FLOPs, but one has a starved m dimension.
+  const double fat = m.gemm_seconds(512, 512, 512);
+  const double skinny = m.gemm_seconds(16, 512 * 32, 512);
+  EXPECT_GT(skinny, fat);
+}
+
+TEST(DeviceModel, TransfersScaleWithBytes) {
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  const double t1 = m.hcopy_seconds(1 << 20) - m.h2d_latency_s;
+  const double t4 = m.hcopy_seconds(4 << 20) - m.h2d_latency_s;
+  EXPECT_GT(t4, 3.9 * t1);
+  EXPECT_GT(m.dmove_seconds(1 << 20), 0.0);
+  // HBM is far faster than the host link.
+  EXPECT_LT(m.dmove_seconds(1 << 26), m.hcopy_seconds(1 << 26));
+}
+
+TEST(DeviceModel, RowswapChargesStridedBandwidth) {
+  // Two touches per element at the strided fraction of HBM bandwidth:
+  // strictly more expensive than a streaming move of the same bytes.
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  const double t = m.rowswap_seconds(512, 1000);
+  const std::size_t bytes = 2ul * 512 * 1000 * sizeof(double);
+  EXPECT_GT(t, m.dmove_seconds(bytes));
+  EXPECT_NEAR(t - m.kernel_latency_s,
+              static_cast<double>(bytes) /
+                  (m.rowswap_bw_factor * m.hbm_bw_gbs * 1e9),
+              1e-9);
+}
+
+TEST(DeviceModel, ZeroWorkIsFree) {
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  EXPECT_DOUBLE_EQ(m.gemm_seconds(0, 10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(m.rowswap_seconds(5, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace hplx::device

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "device/stream.hpp"
+
+namespace hplx::device {
+namespace {
+
+Device& test_device() {
+  static Device dev("gcd0", 1ull << 30);
+  return dev;
+}
+
+TEST(Stream, ExecutesInOrder) {
+  Stream s(test_device());
+  std::vector<int> log;
+  for (int i = 0; i < 20; ++i) {
+    s.enqueue(0.0, [&log, i] { log.push_back(i); });
+  }
+  s.synchronize();
+  ASSERT_EQ(log.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Stream, EnqueueReturnsBeforeExecution) {
+  Stream s(test_device());
+  std::atomic<bool> release{false};
+  std::atomic<bool> ran{false};
+  s.enqueue(0.0, [&] {
+    while (!release) std::this_thread::yield();
+    ran = true;
+  });
+  // If enqueue blocked until execution, we would never get here.
+  EXPECT_FALSE(ran.load());
+  release = true;
+  s.synchronize();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Stream, BusyClockAccumulatesModeledTime) {
+  Stream s(test_device());
+  s.enqueue(0.25, [] {});
+  s.enqueue(0.5, [] {});
+  s.synchronize();
+  EXPECT_DOUBLE_EQ(s.busy_seconds(), 0.75);
+  s.reset_busy();
+  EXPECT_DOUBLE_EQ(s.busy_seconds(), 0.0);
+}
+
+TEST(Stream, EventOrdersAcrossStreams) {
+  Stream a(test_device(), "a");
+  Stream b(test_device(), "b");
+  std::atomic<int> stage{0};
+  a.enqueue(0.0, [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stage = 1;
+  });
+  Event ev = a.record();
+  b.wait_event(ev);
+  int seen = -1;
+  b.enqueue(0.0, [&] { seen = stage.load(); });
+  b.synchronize();
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Stream, HostWaitsOnEvent) {
+  Stream s(test_device());
+  std::atomic<bool> done{false};
+  s.enqueue(0.0, [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    done = true;
+  });
+  Event ev = s.record();
+  ev.wait();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Stream, EventCompleteFlag) {
+  Stream s(test_device());
+  Event ev = s.record();
+  s.synchronize();
+  EXPECT_TRUE(ev.complete());
+}
+
+TEST(Stream, SynchronizeOnIdleStreamReturns) {
+  Stream s(test_device());
+  s.synchronize();
+  SUCCEED();
+}
+
+TEST(Stream, ManySmallOpsDrainCompletely) {
+  Stream s(test_device());
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) s.enqueue(0.0, [&] { count++; });
+  s.synchronize();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+}  // namespace
+}  // namespace hplx::device

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "grid/block_cyclic.hpp"
+
+namespace hplx::grid {
+namespace {
+
+TEST(Numroc, ExactDivision) {
+  // 8 blocks of 2 over 4 procs: 2 blocks = 4 rows each.
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(numroc(16, 2, p, 4), 4);
+}
+
+TEST(Numroc, UnevenBlocks) {
+  // n=10, nb=3 -> blocks of 3,3,3,1 over 2 procs:
+  // proc 0 gets blocks 0,2 -> 3+3=6; proc 1 gets blocks 1,3 -> 3+1=4.
+  EXPECT_EQ(numroc(10, 3, 0, 2), 6);
+  EXPECT_EQ(numroc(10, 3, 1, 2), 4);
+}
+
+TEST(Numroc, SingleProcOwnsAll) { EXPECT_EQ(numroc(1234, 17, 0, 1), 1234); }
+
+TEST(Numroc, EmptyDimension) {
+  EXPECT_EQ(numroc(0, 4, 0, 3), 0);
+  EXPECT_EQ(numroc(0, 4, 2, 3), 0);
+}
+
+TEST(Indexing, OwnerCyclesByBlock) {
+  // nb=2, 3 procs: indices 0,1->p0; 2,3->p1; 4,5->p2; 6,7->p0...
+  EXPECT_EQ(indxg2p(0, 2, 3), 0);
+  EXPECT_EQ(indxg2p(3, 2, 3), 1);
+  EXPECT_EQ(indxg2p(5, 2, 3), 2);
+  EXPECT_EQ(indxg2p(6, 2, 3), 0);
+}
+
+TEST(Indexing, GlobalLocalRoundTrip) {
+  const long n = 101;
+  const int nb = 4;
+  const int nprocs = 3;
+  for (long ig = 0; ig < n; ++ig) {
+    const int p = indxg2p(ig, nb, nprocs);
+    const long il = indxg2l(ig, nb, nprocs);
+    EXPECT_EQ(indxl2g(il, nb, p, nprocs), ig);
+  }
+}
+
+TEST(Indexing, LocalIndicesAreDenseAndOrdered) {
+  // For each proc, the local indices of its global indices must be exactly
+  // 0..numroc-1 in increasing global order.
+  const long n = 57;
+  const int nb = 5;
+  const int nprocs = 4;
+  for (int p = 0; p < nprocs; ++p) {
+    long next = 0;
+    for (long ig = 0; ig < n; ++ig) {
+      if (indxg2p(ig, nb, nprocs) != p) continue;
+      EXPECT_EQ(indxg2l(ig, nb, nprocs), next);
+      ++next;
+    }
+    EXPECT_EQ(next, numroc(n, nb, p, nprocs));
+  }
+}
+
+class CyclicPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<long, int, int>> {};
+
+TEST_P(CyclicPartitionSweep, CountsPartitionTheDimension) {
+  const auto [n, nb, nprocs] = GetParam();
+  long total = 0;
+  for (int p = 0; p < nprocs; ++p) total += numroc(n, nb, p, nprocs);
+  EXPECT_EQ(total, n);
+}
+
+TEST_P(CyclicPartitionSweep, EveryGlobalIndexOwnedOnce) {
+  const auto [n, nb, nprocs] = GetParam();
+  std::vector<long> seen(static_cast<std::size_t>(nprocs), 0);
+  for (long ig = 0; ig < n; ++ig) {
+    const int p = indxg2p(ig, nb, nprocs);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, nprocs);
+    seen[static_cast<std::size_t>(p)]++;
+  }
+  for (int p = 0; p < nprocs; ++p)
+    EXPECT_EQ(seen[static_cast<std::size_t>(p)], numroc(n, nb, p, nprocs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CyclicPartitionSweep,
+    ::testing::Values(std::make_tuple(0L, 3, 2), std::make_tuple(1L, 3, 2),
+                      std::make_tuple(10L, 3, 2), std::make_tuple(64L, 8, 4),
+                      std::make_tuple(100L, 7, 5), std::make_tuple(99L, 100, 3),
+                      std::make_tuple(513L, 64, 8),
+                      std::make_tuple(1000L, 1, 7)));
+
+TEST(CyclicDim, Facade) {
+  CyclicDim d(100, 8, 4);
+  EXPECT_EQ(d.nblocks(), 13);
+  EXPECT_EQ(d.owner(17), indxg2p(17, 8, 4));
+  EXPECT_EQ(d.to_local(17), indxg2l(17, 8, 4));
+  EXPECT_EQ(d.to_global(d.to_local(17), d.owner(17)), 17);
+  long total = 0;
+  for (int p = 0; p < 4; ++p) total += d.local_count(p);
+  EXPECT_EQ(total, 100);
+}
+
+}  // namespace
+}  // namespace hplx::grid

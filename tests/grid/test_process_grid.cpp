@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "comm/collectives.hpp"
+#include "comm/world.hpp"
+#include "grid/process_grid.hpp"
+#include "util/error.hpp"
+
+namespace hplx::grid {
+namespace {
+
+TEST(ProcessGrid, ColMajorCoordinates) {
+  comm::World::run(6, [](comm::Communicator& world) {
+    ProcessGrid g(world, 2, 3, GridOrder::ColMajor);
+    EXPECT_EQ(g.myrow(), world.rank() % 2);
+    EXPECT_EQ(g.mycol(), world.rank() / 2);
+    EXPECT_EQ(g.rank_of(g.myrow(), g.mycol()), world.rank());
+  });
+}
+
+TEST(ProcessGrid, RowMajorCoordinates) {
+  comm::World::run(6, [](comm::Communicator& world) {
+    ProcessGrid g(world, 2, 3, GridOrder::RowMajor);
+    EXPECT_EQ(g.myrow(), world.rank() / 3);
+    EXPECT_EQ(g.mycol(), world.rank() % 3);
+    EXPECT_EQ(g.rank_of(g.myrow(), g.mycol()), world.rank());
+  });
+}
+
+TEST(ProcessGrid, RowCommSpansRow) {
+  comm::World::run(8, [](comm::Communicator& world) {
+    ProcessGrid g(world, 4, 2);
+    EXPECT_EQ(g.row_comm().size(), 2);
+    EXPECT_EQ(g.row_comm().rank(), g.mycol());
+    long sum = g.mycol();
+    comm::allreduce(g.row_comm(), &sum, 1, comm::ReduceOp::Sum);
+    EXPECT_EQ(sum, 0 + 1);
+  });
+}
+
+TEST(ProcessGrid, ColCommSpansColumn) {
+  comm::World::run(8, [](comm::Communicator& world) {
+    ProcessGrid g(world, 4, 2);
+    EXPECT_EQ(g.col_comm().size(), 4);
+    EXPECT_EQ(g.col_comm().rank(), g.myrow());
+    long sum = g.myrow();
+    comm::allreduce(g.col_comm(), &sum, 1, comm::ReduceOp::Sum);
+    EXPECT_EQ(sum, 0 + 1 + 2 + 3);
+  });
+}
+
+TEST(ProcessGrid, RowAndColCommsCompose) {
+  // Broadcasting along a row then reducing down columns touches every rank
+  // exactly once: the canonical HPL communication pattern.
+  comm::World::run(6, [](comm::Communicator& world) {
+    ProcessGrid g(world, 2, 3);
+    double v = (g.mycol() == 0) ? (g.myrow() + 1.0) : 0.0;
+    comm::bcast(g.row_comm(), &v, 1, 0);
+    EXPECT_DOUBLE_EQ(v, g.myrow() + 1.0);
+    comm::allreduce(g.col_comm(), &v, 1, comm::ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(v, 3.0);  // (1) + (2)
+  });
+}
+
+TEST(ProcessGrid, SizeMismatchThrows) {
+  EXPECT_THROW(comm::World::run(5, [](comm::Communicator& world) {
+    ProcessGrid g(world, 2, 3);
+  }), Error);
+}
+
+TEST(ProcessGrid, OneByOneGrid) {
+  comm::World::run(1, [](comm::Communicator& world) {
+    ProcessGrid g(world, 1, 1);
+    EXPECT_EQ(g.myrow(), 0);
+    EXPECT_EQ(g.mycol(), 0);
+    EXPECT_EQ(g.row_comm().size(), 1);
+    EXPECT_EQ(g.col_comm().size(), 1);
+  });
+}
+
+}  // namespace
+}  // namespace hplx::grid

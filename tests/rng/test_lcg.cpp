@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/lcg.hpp"
+
+namespace hplx::rng {
+namespace {
+
+TEST(Affine, IdentityIsNeutral) {
+  const Affine f{12345, 678};
+  const Affine id = Affine::identity();
+  const Affine a = f.after(id);
+  const Affine b = id.after(f);
+  EXPECT_EQ(a.mul, f.mul);
+  EXPECT_EQ(a.add, f.add);
+  EXPECT_EQ(b.mul, f.mul);
+  EXPECT_EQ(b.add, f.add);
+}
+
+TEST(Affine, CompositionMatchesSequentialApplication) {
+  const Affine f{Lcg::kMul, Lcg::kAdd};
+  const Affine g{0x12345ULL, 0x6789ULL};
+  const std::uint64_t x = 0xdeadbeefULL;
+  EXPECT_EQ(g.after(f)(x), g(f(x)));
+}
+
+TEST(Affine, PowerZeroIsIdentity) {
+  const Affine p = Affine::power(Lcg::step(), 0);
+  EXPECT_EQ(p.mul, 1u);
+  EXPECT_EQ(p.add, 0u);
+}
+
+TEST(Affine, PowerMatchesIteration) {
+  const Affine step = Lcg::step();
+  std::uint64_t x = 42;
+  for (int k = 0; k <= 40; ++k) {
+    const Affine p = Affine::power(step, static_cast<std::uint64_t>(k));
+    EXPECT_EQ(p(42), x) << "k=" << k;
+    x = step(x);
+  }
+}
+
+TEST(Lcg, JumpEqualsManySteps) {
+  for (std::uint64_t jump : {0ull, 1ull, 2ull, 17ull, 1000ull, 123457ull}) {
+    Lcg a(7);
+    Lcg b(7);
+    for (std::uint64_t i = 0; i < jump; ++i) a.next();
+    b.jump(jump);
+    EXPECT_EQ(a.state(), b.state()) << "jump=" << jump;
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Lcg, HugeJumpIsFast) {
+  Lcg g(1);
+  g.jump(0xffffffffffffffffULL);  // must complete instantly via powering
+  g.next();
+  SUCCEED();
+}
+
+TEST(Lcg, CenteredValuesInRange) {
+  Lcg g(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = g.next_centered();
+    EXPECT_GE(v, -0.5);
+    EXPECT_LT(v, 0.5);
+  }
+}
+
+TEST(Lcg, CenteredValuesRoughlyCentered) {
+  Lcg g(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.next_centered();
+  EXPECT_LT(std::fabs(sum / n), 0.01);
+}
+
+TEST(Lcg, DifferentSeedsDiverge) {
+  Lcg a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace hplx::rng

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "grid/block_cyclic.hpp"
+#include "rng/matgen.hpp"
+
+namespace hplx::rng {
+namespace {
+
+TEST(Matgen, ElementMatchesSerialSweep) {
+  const long gm = 13, gn = 9;
+  std::vector<double> a(static_cast<std::size_t>(gm * gn));
+  generate_serial(42, gm, gn, a.data(), gm);
+  for (long j = 0; j < gn; j += 3)
+    for (long i = 0; i < gm; i += 2)
+      EXPECT_DOUBLE_EQ(element(42, gm, i, j),
+                       a[static_cast<std::size_t>(j * gm + i)]);
+}
+
+/// The defining property (HPL_pdmatgen): local generation on any grid
+/// reassembles bit-identically into the serial matrix.
+class MatgenGridSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, long, long>> {
+};
+
+TEST_P(MatgenGridSweep, LocalPiecesTileTheGlobalMatrix) {
+  const auto [P, Q, nb, gm, gn] = GetParam();
+  const std::uint64_t seed = 20230612;
+
+  std::vector<double> global(static_cast<std::size_t>(gm * gn));
+  generate_serial(seed, gm, gn, global.data(), gm);
+
+  const grid::CyclicDim rows(gm, nb, P);
+  const grid::CyclicDim cols(gn, nb, Q);
+
+  for (int pr = 0; pr < P; ++pr) {
+    for (int pc = 0; pc < Q; ++pc) {
+      const long ml = rows.local_count(pr);
+      const long nl = cols.local_count(pc);
+      const long lda = ml + 3;  // padded ld must be respected
+      std::vector<double> local(static_cast<std::size_t>(lda * (nl + 1)),
+                                -777.0);
+      generate_local(seed, gm, gn, nb, pr, pc, P, Q, local.data(), lda);
+      for (long jl = 0; jl < nl; ++jl) {
+        const long jg = cols.to_global(jl, pc);
+        for (long il = 0; il < ml; ++il) {
+          const long ig = rows.to_global(il, pr);
+          ASSERT_DOUBLE_EQ(local[static_cast<std::size_t>(jl * lda + il)],
+                           global[static_cast<std::size_t>(jg * gm + ig)])
+              << "grid " << P << "x" << Q << " proc (" << pr << "," << pc
+              << ") local (" << il << "," << jl << ")";
+        }
+      }
+      // Padding must be untouched.
+      for (long jl = 0; jl < nl; ++jl)
+        for (long il = ml; il < lda; ++il)
+          ASSERT_DOUBLE_EQ(local[static_cast<std::size_t>(jl * lda + il)],
+                           -777.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, MatgenGridSweep,
+    ::testing::Values(std::make_tuple(1, 1, 4, 16L, 16L),
+                      std::make_tuple(2, 2, 4, 16L, 17L),
+                      std::make_tuple(2, 3, 5, 31L, 23L),
+                      std::make_tuple(4, 1, 3, 26L, 11L),
+                      std::make_tuple(1, 4, 8, 11L, 64L),
+                      std::make_tuple(3, 2, 7, 40L, 41L)));
+
+TEST(Matgen, AugmentedColumnIsConsistent) {
+  // HPL appends b as column N: the same seed must produce the same last
+  // column whether generated as part of the N×(N+1) matrix or queried
+  // element-wise.
+  const long n = 12;
+  std::vector<double> aug(static_cast<std::size_t>(n * (n + 1)));
+  generate_serial(5, n, n + 1, aug.data(), n);
+  for (long i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(element(5, n, i, n),
+                     aug[static_cast<std::size_t>(n * n + i)]);
+}
+
+TEST(Matgen, DifferentSeedsProduceDifferentMatrices) {
+  const long n = 8;
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  std::vector<double> b(static_cast<std::size_t>(n * n));
+  generate_serial(1, n, n, a.data(), n);
+  generate_serial(2, n, n, b.data(), n);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] == b[i]) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace hplx::rng

@@ -1,0 +1,89 @@
+/// Fig. 5 shape assertions on the FACT cost model: GFLOP/s must rise with
+/// the panel height M, order by thread count (large teams win even at
+/// small M — the paper's headline observation), and amortize the
+/// per-column serial path.
+
+#include <gtest/gtest.h>
+
+#include "sim/fact_model.hpp"
+
+namespace hplx::sim {
+namespace {
+
+FactModel model() { return FactModel(NodeModel::crusher().cpu); }
+
+TEST(FactModel, FlopsFormula) {
+  // nb²·(m − nb/3) at m = 3·nb is 8/3·nb³.
+  EXPECT_NEAR(FactModel::flops(1536, 512),
+              512.0 * 512.0 * (1536.0 - 512.0 / 3.0), 1.0);
+}
+
+TEST(FactModel, PerformanceRisesWithM) {
+  const FactModel fm = model();
+  for (int t : {1, 4, 16, 64}) {
+    double prev = 0.0;
+    for (long mult : {1L, 2L, 4L, 8L, 16L, 32L, 64L}) {
+      const double g = fm.gflops(mult * 512, 512, t);
+      EXPECT_GT(g, prev) << "T=" << t << " M=" << mult * 512;
+      prev = g;
+    }
+  }
+}
+
+TEST(FactModel, MoreThreadsNeverSlowerAcrossFigure5Range) {
+  // The paper: "using large numbers of CPU cores benefits performance for
+  // even the relatively small problem sizes."
+  const FactModel fm = model();
+  for (long mult : {1L, 2L, 4L, 16L, 64L}) {
+    double prev = 0.0;
+    for (int t = 1; t <= 64; t *= 2) {
+      const double g = fm.gflops(mult * 512, 512, t);
+      EXPECT_GE(g, prev) << "M=" << mult * 512 << " T=" << t;
+      prev = g;
+    }
+  }
+}
+
+TEST(FactModel, SingleCoreRateIsPlausible) {
+  // One core on a large panel lands near its effective scalar rate.
+  const FactModel fm = model();
+  const double g = fm.gflops(64 * 512, 512, 1);
+  EXPECT_GT(g, 4.0);
+  EXPECT_LT(g, 12.0);
+}
+
+TEST(FactModel, SixtyFourCoresReachHundredsOfGflops) {
+  const FactModel fm = model();
+  const double g = fm.gflops(64 * 512, 512, 64);
+  EXPECT_GT(g, 150.0);
+  EXPECT_LT(g, 1000.0);
+}
+
+TEST(FactModel, ThreadSpeedupIsSublinearAtSmallM) {
+  // At M = NB the serial per-column path dominates: 64 threads must be
+  // far below 64× the single-thread rate.
+  const FactModel fm = model();
+  const double s = fm.gflops(512, 512, 64) / fm.gflops(512, 512, 1);
+  EXPECT_GT(s, 1.0);
+  EXPECT_LT(s, 24.0);
+}
+
+TEST(FactModel, SecondsScaleRoughlyLinearlyInM) {
+  const FactModel fm = model();
+  const double t1 = fm.seconds(8 * 512, 512, 16);
+  const double t2 = fm.seconds(16 * 512, 512, 16);
+  EXPECT_GT(t2, 1.5 * t1);
+  EXPECT_LT(t2, 2.5 * t1);
+}
+
+TEST(FactModel, L3SpillAddsAMemoryFloor) {
+  CpuModel cpu = NodeModel::crusher().cpu;
+  cpu.l3_bytes = 1.0;  // force spill
+  const FactModel spilled(cpu);
+  const FactModel resident = model();
+  EXPECT_GE(spilled.seconds(64 * 512, 512, 64),
+            resident.seconds(64 * 512, 512, 64));
+}
+
+}  // namespace
+}  // namespace hplx::sim

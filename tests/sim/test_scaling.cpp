@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sim/scaling.hpp"
+#include "util/error.hpp"
+
+namespace hplx::sim {
+namespace {
+
+const NodeModel& node() {
+  static NodeModel n = NodeModel::crusher();
+  return n;
+}
+
+TEST(Scaling, SingleNodeMatchesPaperSetup) {
+  // §IV.A: 4×2 grid, N = 256,000, NB = 512, T = 15 threads per FACT.
+  const ClusterConfig cfg = crusher_config(node(), 1);
+  EXPECT_EQ(cfg.p, 4);
+  EXPECT_EQ(cfg.q, 2);
+  EXPECT_EQ(cfg.p_node, 4);
+  EXPECT_EQ(cfg.q_node, 2);
+  EXPECT_EQ(cfg.n, 256000);
+  EXPECT_EQ(cfg.nb, 512);
+  EXPECT_EQ(cfg.fact_threads, 15);
+}
+
+TEST(Scaling, GridStaysSquareOrTwoToOne) {
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const ClusterConfig cfg = crusher_config(node(), nodes);
+    EXPECT_EQ(cfg.p * cfg.q, 8 * nodes);
+    EXPECT_TRUE(cfg.p == cfg.q || cfg.p == 2 * cfg.q)
+        << nodes << " nodes -> " << cfg.p << "x" << cfg.q;
+  }
+}
+
+TEST(Scaling, NodeLocalGridMaximizesColumns) {
+  // §IV.B: "once Q is at least 8, we select the node-local process grid to
+  // be 1×8" — which maximizes core time-sharing (T = 57).
+  for (int nodes : {8, 16, 64, 128}) {
+    const ClusterConfig cfg = crusher_config(node(), nodes);
+    ASSERT_GE(cfg.q, 8);
+    EXPECT_EQ(cfg.p_node, 1);
+    EXPECT_EQ(cfg.q_node, 8);
+    EXPECT_EQ(cfg.fact_threads, 57);
+  }
+}
+
+TEST(Scaling, ProblemFillsHbm) {
+  for (int nodes : {1, 4, 32}) {
+    const ClusterConfig cfg = crusher_config(node(), nodes);
+    const double per_rank_bytes =
+        static_cast<double>(cfg.n) * cfg.n * 8.0 / (8.0 * nodes);
+    EXPECT_GT(per_rank_bytes, 0.85 * static_cast<double>(node().hbm_per_gcd));
+    EXPECT_LT(per_rank_bytes, 1.0 * static_cast<double>(node().hbm_per_gcd));
+    EXPECT_EQ(cfg.n % cfg.nb, 0);
+  }
+}
+
+TEST(Scaling, NonPowerOfTwoRejected) {
+  EXPECT_THROW(crusher_config(node(), 3), Error);
+  EXPECT_THROW(crusher_config(node(), 0), Error);
+}
+
+TEST(Scaling, WeakScalingStaysAbove90Percent) {
+  // Fig. 8: >90% weak-scaling efficiency from 1 to 128 nodes.
+  const auto sweep = weak_scaling_sweep(node(), 128);
+  ASSERT_EQ(sweep.size(), 8u);
+  const double single = sweep.front().result.gflops;
+  for (const auto& pt : sweep) {
+    const double ideal = single * pt.nodes;
+    const double eff = pt.result.gflops / ideal;
+    EXPECT_GT(eff, 0.90) << pt.nodes << " nodes";
+    EXPECT_LE(eff, 1.001) << pt.nodes << " nodes";
+  }
+}
+
+TEST(Scaling, ScoreGrowsMonotonically) {
+  const auto sweep = weak_scaling_sweep(node(), 64);
+  double prev = 0.0;
+  for (const auto& pt : sweep) {
+    EXPECT_GT(pt.result.gflops, prev);
+    prev = pt.result.gflops;
+  }
+}
+
+TEST(Scaling, HundredTwentyEightNodesLandsNearPaper) {
+  // Paper: 17.75 PFLOPS on 128 nodes (we accept ±20%).
+  const auto sweep = weak_scaling_sweep(node(), 128);
+  const double pflops = sweep.back().result.gflops / 1e6;
+  EXPECT_GT(pflops, 0.8 * 17.75);
+  EXPECT_LT(pflops, 1.25 * 17.75);
+}
+
+}  // namespace
+}  // namespace hplx::sim

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/ascii_chart.hpp"
+#include "util/error.hpp"
+
+namespace hplx::trace {
+namespace {
+
+TEST(AsciiChart, RendersSeriesGlyphsAndLegend) {
+  AsciiChart chart(40, 8);
+  chart.set_title("title-line");
+  chart.set_x_label("x-axis");
+  chart.add({"ramp", {0.0, 1.0, 2.0, 3.0}, '*'});
+  std::ostringstream os;
+  chart.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("title-line"), std::string::npos);
+  EXPECT_NE(s.find("x-axis"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("* = ramp"), std::string::npos);
+}
+
+TEST(AsciiChart, MonotoneSeriesFillsTopRightBottomLeft) {
+  AsciiChart chart(20, 6);
+  chart.add({"up", {0.0, 10.0}, 'U'});
+  std::ostringstream os;
+  chart.print(os);
+  const std::string s = os.str();
+  // First grid line (max y) must contain the glyph near the right edge;
+  // the last grid line (0) near the left.
+  const auto first_line_end = s.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+  const std::string first = s.substr(0, first_line_end);
+  EXPECT_NE(first.find('U'), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesOverlay) {
+  AsciiChart chart(30, 8);
+  chart.add({"low", {1.0, 1.0, 1.0}, 'a'});
+  chart.add({"high", {9.0, 9.0, 9.0}, 'b'});
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find('a'), std::string::npos);
+  EXPECT_NE(os.str().find('b'), std::string::npos);
+}
+
+TEST(AsciiChart, LogScaleHandlesDecades) {
+  AsciiChart chart(30, 8);
+  chart.set_log_y(true);
+  chart.add({"decades", {1.0, 10.0, 100.0, 1000.0}, 'D'});
+  std::ostringstream os;
+  chart.print(os);
+  // Axis labels span the decades.
+  EXPECT_NE(os.str().find("1.000e+03"), std::string::npos);
+  EXPECT_NE(os.str().find('D'), std::string::npos);
+}
+
+TEST(AsciiChart, LogScaleSkipsNonPositives) {
+  AsciiChart chart(30, 6);
+  chart.set_log_y(true);
+  chart.add({"mixed", {0.0, -5.0, 100.0}, 'M'});
+  std::ostringstream os;
+  chart.print(os);  // must not crash; only the positive point renders
+  EXPECT_NE(os.str().find('M'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartPrintsNothing) {
+  AsciiChart chart(30, 6);
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart(20, 5);
+  chart.add({"flat", {5.0, 5.0, 5.0}, 'F'});
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find('F'), std::string::npos);
+}
+
+TEST(AsciiChart, TinyDimensionsRejected) {
+  EXPECT_THROW(AsciiChart(4, 2), Error);
+}
+
+}  // namespace
+}  // namespace hplx::trace

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "trace/records.hpp"
+
+namespace hplx::trace {
+namespace {
+
+TEST(RunTrace, TotalSumsIterations) {
+  RunTrace t;
+  t.iterations.push_back({0, 0, 1.0, 0.9, 0.0, 0.0, 0.0});
+  t.iterations.push_back({1, 64, 2.0, 1.5, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 3.0);
+}
+
+TEST(RunTrace, HiddenFractionCountsGpuBoundIterations) {
+  RunTrace t;
+  // Hidden: total == gpu. Not hidden: total far above gpu.
+  t.iterations.push_back({0, 0, 1.00, 1.00, 0, 0, 0});
+  t.iterations.push_back({1, 0, 1.02, 1.00, 0, 0, 0});  // within 5% slack
+  t.iterations.push_back({2, 0, 2.00, 1.00, 0, 0, 0});
+  t.iterations.push_back({3, 0, 3.00, 0.10, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(t.hidden_fraction(0.05), 0.5);
+}
+
+TEST(RunTrace, HiddenTimeFractionWeightsByDuration) {
+  RunTrace t;
+  t.iterations.push_back({0, 0, 3.0, 3.0, 0, 0, 0});   // hidden, 3s
+  t.iterations.push_back({1, 0, 1.0, 0.1, 0, 0, 0});   // exposed, 1s
+  EXPECT_DOUBLE_EQ(t.hidden_time_fraction(0.05), 0.75);
+}
+
+TEST(RunTrace, EmptyTraceIsZero) {
+  RunTrace t;
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(t.hidden_fraction(), 0.0);
+}
+
+TEST(HplFlops, MatchesFormula) {
+  // 2/3 N^3 + 3/2 N^2 at N = 300.
+  EXPECT_DOUBLE_EQ(hpl_flops(300.0),
+                   (2.0 / 3.0) * 300.0 * 300.0 * 300.0 + 1.5 * 300.0 * 300.0);
+}
+
+}  // namespace
+}  // namespace hplx::trace

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/table.hpp"
+#include "util/error.hpp"
+
+namespace hplx::trace {
+namespace {
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(12L);
+  t.row().add("b").add(3.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.row().add(1L).add(2L);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, DoublePrecisionControl) {
+  Table t({"x"});
+  t.row().add(1.23456, 1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x\n1.2\n");
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().add("one");
+  EXPECT_THROW(t.add("two"), Error);
+}
+
+TEST(Table, IncompletePreviousRowDetected) {
+  Table t({"a", "b"});
+  t.row().add("x");
+  EXPECT_THROW(t.row(), Error);
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add("x"), Error);
+}
+
+}  // namespace
+}  // namespace hplx::trace

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/matrix_view.hpp"
+
+namespace hplx {
+namespace {
+
+TEST(MatrixView, ColumnMajorAddressing) {
+  std::vector<double> buf(12);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<double>(i);
+  DMatrixView v(buf.data(), 3, 4, 3);
+  EXPECT_DOUBLE_EQ(v(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(v(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(v(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(v(2, 3), 11.0);
+}
+
+TEST(MatrixView, LeadingDimensionPadding) {
+  std::vector<double> buf(20, -1.0);
+  DMatrixView v(buf.data(), 3, 4, 5);  // ld 5 > rows 3
+  v(2, 3) = 7.0;
+  EXPECT_DOUBLE_EQ(buf[3 * 5 + 2], 7.0);
+}
+
+TEST(MatrixView, BlockSharesStorage) {
+  std::vector<double> buf(16, 0.0);
+  DMatrixView v(buf.data(), 4, 4, 4);
+  auto b = v.block(1, 2, 2, 2);
+  b(0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(v(1, 2), 5.0);
+  EXPECT_EQ(b.ld(), 4);
+  EXPECT_EQ(b.rows(), 2);
+  EXPECT_EQ(b.cols(), 2);
+}
+
+TEST(MatrixView, BlockBoundsChecked) {
+  std::vector<double> buf(16);
+  DMatrixView v(buf.data(), 4, 4, 4);
+  EXPECT_THROW(v.block(2, 0, 3, 1), Error);
+  EXPECT_THROW(v.block(0, 3, 1, 2), Error);
+}
+
+TEST(MatrixView, ColPointer) {
+  std::vector<double> buf(8);
+  DMatrixView v(buf.data(), 2, 4, 2);
+  EXPECT_EQ(v.col(3), buf.data() + 6);
+  EXPECT_THROW(v.col(4), Error);
+}
+
+TEST(MatrixView, EmptyView) {
+  DMatrixView v;
+  EXPECT_TRUE(v.empty());
+  DMatrixView w(nullptr, 0, 5, 0);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(MatrixView, InvalidLeadingDimensionRejected) {
+  std::vector<double> buf(4);
+  EXPECT_THROW(DMatrixView(buf.data(), 4, 1, 2), Error);
+}
+
+}  // namespace
+}  // namespace hplx

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/options.hpp"
+
+namespace hplx {
+namespace {
+
+Options make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, ParsesKeyValue) {
+  auto opt = make({"--n=1024", "--nb=64"});
+  EXPECT_EQ(opt.get_int("n", 0), 1024);
+  EXPECT_EQ(opt.get_int("nb", 0), 64);
+}
+
+TEST(Options, FallbacksWhenAbsent) {
+  auto opt = make({});
+  EXPECT_EQ(opt.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(opt.get_double("split", 0.5), 0.5);
+  EXPECT_EQ(opt.get("name", "dflt"), "dflt");
+  EXPECT_FALSE(opt.has("n"));
+}
+
+TEST(Options, BareFlagIsTrue) {
+  auto opt = make({"--verbose"});
+  EXPECT_TRUE(opt.get_bool("verbose", false));
+}
+
+TEST(Options, BooleanSpellings) {
+  auto opt = make({"--a=true", "--b=off", "--c=1", "--d=no"});
+  EXPECT_TRUE(opt.get_bool("a", false));
+  EXPECT_FALSE(opt.get_bool("b", true));
+  EXPECT_TRUE(opt.get_bool("c", false));
+  EXPECT_FALSE(opt.get_bool("d", true));
+}
+
+TEST(Options, RejectsMalformedArgument) {
+  EXPECT_THROW(make({"positional"}), Error);
+}
+
+TEST(Options, RejectsNonNumeric) {
+  auto opt = make({"--n=abc"});
+  EXPECT_THROW(opt.get_int("n", 0), Error);
+}
+
+TEST(Options, DoubleParsing) {
+  auto opt = make({"--frac=0.75"});
+  EXPECT_DOUBLE_EQ(opt.get_double("frac", 0.0), 0.75);
+}
+
+TEST(Options, UnusedTracksUnreadKeys) {
+  auto opt = make({"--used=1", "--typo=2"});
+  (void)opt.get_int("used", 0);
+  const auto unused = opt.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace hplx
