@@ -8,6 +8,8 @@
 
 #include <vector>
 
+#include "bench/gbench_json_main.hpp"
+
 #include "comm/collectives.hpp"
 #include "comm/world.hpp"
 
@@ -18,6 +20,7 @@ using namespace hplx;
 void BM_PingPong(benchmark::State& state) {
   const std::size_t bytes = static_cast<std::size_t>(state.range(0));
   const int reps = 50;
+  double hit_rate = 0.0, direct = 0.0;
   for (auto _ : state) {
     comm::World::run(2, [&](comm::Communicator& comm) {
       std::vector<char> buf(bytes);
@@ -30,11 +33,22 @@ void BM_PingPong(benchmark::State& state) {
           comm.send_bytes(buf.data(), bytes, 0, 1);
         }
       }
+      if (comm.rank() == 0) {
+        const auto s = comm.fabric().pool_stats();
+        hit_rate = s.hit_rate();
+        direct = static_cast<double>(comm.fabric().direct_deliveries());
+      }
     });
   }
   state.counters["msgs"] = benchmark::Counter(
       2.0 * reps * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
+  state.counters["MB/s"] = benchmark::Counter(
+      2.0 * reps * static_cast<double>(bytes) *
+          static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["pool_hit_rate"] = hit_rate;
+  state.counters["direct_msgs"] = direct;
 }
 BENCHMARK(BM_PingPong)->Arg(64)->Arg(65536)->Arg(1 << 20);
 
@@ -43,6 +57,7 @@ void BM_PivotAllreduce(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
   const int nb = 512;
   const int reps = 20;
+  double hit_rate = 0.0;
   for (auto _ : state) {
     comm::World::run(ranks, [&](comm::Communicator& comm) {
       std::vector<double> msg(2 * nb + 4, comm.rank());
@@ -55,8 +70,10 @@ void BM_PivotAllreduce(benchmark::State& state) {
                                 if (b[0] > a[0]) a[0] = b[0];
                               });
       }
+      if (comm.rank() == 0) hit_rate = comm.fabric().pool_stats().hit_rate();
     });
   }
+  state.counters["pool_hit_rate"] = hit_rate;
 }
 BENCHMARK(BM_PivotAllreduce)->Arg(2)->Arg(4)->Arg(8);
 
@@ -64,6 +81,7 @@ void BM_Allgatherv(benchmark::State& state) {
   // The row-swap U assembly: P ranks each contribute NB/P rows.
   const int ranks = static_cast<int>(state.range(0));
   const std::size_t per_rank = static_cast<std::size_t>(state.range(1));
+  double hit_rate = 0.0;
   for (auto _ : state) {
     comm::World::run(ranks, [&](comm::Communicator& comm) {
       std::vector<std::size_t> counts(static_cast<std::size_t>(ranks),
@@ -75,8 +93,14 @@ void BM_Allgatherv(benchmark::State& state) {
       std::vector<char> all(per_rank * static_cast<std::size_t>(ranks));
       comm::allgatherv_bytes(comm, mine.data(), counts, displs, all.data());
       benchmark::DoNotOptimize(all.data());
+      if (comm.rank() == 0) hit_rate = comm.fabric().pool_stats().hit_rate();
     });
   }
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(per_rank) * ranks *
+          static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["pool_hit_rate"] = hit_rate;
 }
 BENCHMARK(BM_Allgatherv)->Args({4, 65536})->Args({8, 65536});
 
@@ -84,13 +108,25 @@ void BM_PanelBcast(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
   const std::size_t bytes = static_cast<std::size_t>(state.range(1));
   const auto algo = static_cast<comm::BcastAlgo>(state.range(2));
+  double hit_rate = 0.0, direct = 0.0;
   for (auto _ : state) {
     comm::World::run(ranks, [&](comm::Communicator& comm) {
       std::vector<char> buf(bytes, comm.rank() == 0 ? 1 : 0);
       comm::bcast_bytes(comm, buf.data(), bytes, 0, algo);
       benchmark::DoNotOptimize(buf.data());
+      if (comm.rank() == 0) {
+        const auto s = comm.fabric().pool_stats();
+        hit_rate = s.hit_rate();
+        direct = static_cast<double>(comm.fabric().direct_deliveries());
+      }
     });
   }
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(bytes) * static_cast<double>(state.iterations()) /
+          1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["pool_hit_rate"] = hit_rate;
+  state.counters["direct_msgs"] = direct;
 }
 BENCHMARK(BM_PanelBcast)
     ->Args({8, 1 << 20, static_cast<long>(comm::BcastAlgo::Binomial)})
@@ -99,4 +135,7 @@ BENCHMARK(BM_PanelBcast)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hplx::benchutil::run_with_default_json(argc, argv,
+                                                "BENCH_comm.json");
+}

@@ -1,0 +1,35 @@
+#pragma once
+/// Shared main() for the google-benchmark suites: unless the caller passes
+/// an explicit --benchmark_out, results are also written as JSON to a
+/// well-known file (BENCH_blas.json / BENCH_comm.json) so
+/// scripts/bench_snapshot.sh and CI can diff machine-readable numbers
+/// without scraping the console table.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hplx::benchutil {
+
+inline int run_with_default_json(int argc, char** argv,
+                                 const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out = std::string("--benchmark_out=") + default_out;
+  std::string fmt = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
+
+}  // namespace hplx::benchutil

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Snapshot the substrate kernel benchmarks (K-BLAS, K-COMM) as JSON.
+#
+# Builds the bench targets if needed, runs bench_cpu_blas and bench_comm,
+# and leaves BENCH_blas.json / BENCH_comm.json in the chosen output
+# directory. Use it to record before/after numbers for a perf PR:
+#
+#   scripts/bench_snapshot.sh              # -> ./BENCH_{blas,comm}.json
+#   scripts/bench_snapshot.sh out/after    # -> out/after/BENCH_*.json
+#   MIN_TIME=0.5 scripts/bench_snapshot.sh # longer, steadier runs
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build="${BUILD_DIR:-$repo/build}"
+out="${1:-$repo}"
+min_time="${MIN_TIME:-0.2}"
+
+mkdir -p "$out"
+out=$(cd "$out" && pwd)
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" --target bench_cpu_blas bench_comm -j >/dev/null
+
+cd "$out"
+"$build/bench/bench_cpu_blas" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out/BENCH_blas.json" \
+  --benchmark_out_format=json
+"$build/bench/bench_comm" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out/BENCH_comm.json" \
+  --benchmark_out_format=json
+
+echo "wrote $out/BENCH_blas.json and $out/BENCH_comm.json"

@@ -9,6 +9,12 @@
 /// `inc` strides on vectors, alpha/beta scaling conventions (in particular
 /// beta == 0 writes C without reading it, so NaNs in uninitialized output
 /// do not propagate).
+///
+/// The BLAS-3 routines run on a packed, register-blocked engine (see
+/// pack.hpp / microkernel.hpp) and optionally parallelize over a
+/// process-wide util::ThreadTeam — install one via blas::set_num_threads
+/// or blas::set_thread_team in threading.hpp. Results are bitwise
+/// identical for every team size.
 
 namespace hplx::blas {
 

@@ -1,50 +1,168 @@
 #include <algorithm>
 
 #include "blas/blas.hpp"
+#include "blas/microkernel.hpp"
+#include "blas/pack.hpp"
+#include "blas/threading.hpp"
 #include "util/error.hpp"
 
 namespace hplx::blas {
 
 namespace {
 
-// Cache-blocking parameters for the no-transpose dgemm path. Sized so one
-// A block (MC×KC doubles = 256 KiB) plus the B panel stripe stays well
-// inside L2 on commodity cores. These are correctness-neutral.
-constexpr int kMC = 128;
-constexpr int kKC = 256;
-constexpr int kNC = 512;
+constexpr int ceil_div(int a, int b) { return (a + b - 1) / b; }
+constexpr long round_up(long v, long unit) {
+  return (v + unit - 1) / unit * unit;
+}
 
-/// C(m×n) += A(m×k) * B(k×n), all column-major, no scaling. The j-k-i loop
-/// keeps the C and A accesses stride-1 and lets the compiler vectorize the
-/// innermost update.
-void gemm_nn_block(int m, int n, int k, const double* a, int lda,
-                   const double* b, int ldb, double* c, int ldc) {
-  for (int j = 0; j < n; ++j) {
-    double* ccol = c + static_cast<long>(j) * ldc;
-    const double* bcol = b + static_cast<long>(j) * ldb;
-    int p = 0;
-    // Unroll over 4 rank-1 contributions to cut loop overhead and expose
-    // independent FMA chains.
-    for (; p + 4 <= k; p += 4) {
-      const double b0 = bcol[p + 0];
-      const double b1 = bcol[p + 1];
-      const double b2 = bcol[p + 2];
-      const double b3 = bcol[p + 3];
-      const double* a0 = a + static_cast<long>(p + 0) * lda;
-      const double* a1 = a + static_cast<long>(p + 1) * lda;
-      const double* a2 = a + static_cast<long>(p + 2) * lda;
-      const double* a3 = a + static_cast<long>(p + 3) * lda;
+/// Below this flop count the packing overhead is not worth it and the
+/// register-folded naive loop wins.
+constexpr double kPackFlopCutoff = 2.0 * 32768;
+/// Below this flop count a thread team costs more in wakeups/barriers
+/// than it saves.
+constexpr double kTeamFlopCutoff = 2.0 * 4e6;
+/// Right-looking block size for the dtrsm diagonal solves.
+constexpr int kTrsmBlock = 64;
+/// Minimum per-member slice (columns for Left, rows for Right) before a
+/// teamed dtrsm is worthwhile.
+constexpr int kTrsmSliceMin = 16;
+
+/// Per-thread packing scratch. Team workers are persistent threads, so
+/// these survive across calls and packing never allocates in steady state.
+struct Scratch {
+  AlignedBuffer a;  // one MC×KC block, kMR-padded
+  AlignedBuffer b;  // one KC×NC panel, kNR-padded (sequential path only)
+};
+thread_local Scratch tl_scratch;
+
+/// Shared B panel for teamed calls. Guarded by the team lease: only one
+/// teamed kernel runs at a time, so a single process-wide buffer suffices.
+AlignedBuffer g_team_b;
+
+/// Address of op(A)(i, p) in stored coordinates.
+const double* op_a_ptr(Trans ta, const double* a, int lda, int i, int p) {
+  return ta == Trans::No ? a + i + static_cast<long>(p) * lda
+                         : a + p + static_cast<long>(i) * lda;
+}
+/// Address of op(B)(p, j) in stored coordinates.
+const double* op_b_ptr(Trans tb, const double* b, int ldb, int p, int j) {
+  return tb == Trans::No ? b + p + static_cast<long>(j) * ldb
+                         : b + j + static_cast<long>(p) * ldb;
+}
+
+/// Small-problem path. Must be bitwise-compatible with the packed engine:
+/// HPL's pipeline modes slice one logical update into differently shaped
+/// dgemm calls and still expect identical results, and which engine runs
+/// depends on the call's flop count. So this path mirrors the packed
+/// engine's arithmetic exactly — per element, a register dot product over
+/// each KC block of k in order, beta applied with the first block only,
+/// alpha applied once per block at write-back (never folded into terms).
+void gemm_small(Trans ta, Trans tb, int m, int n, int k, double alpha,
+                const double* a, int lda, const double* b, int ldb,
+                double beta, double* c, int ldc) {
+  auto A = [&](int i, int p) -> double {
+    return ta == Trans::No ? a[static_cast<long>(p) * lda + i]
+                           : a[static_cast<long>(i) * lda + p];
+  };
+  auto B = [&](int p, int j) -> double {
+    return tb == Trans::No ? b[static_cast<long>(j) * ldb + p]
+                           : b[static_cast<long>(p) * ldb + j];
+  };
+  const int kc = block_sizes().kc;
+  for (int p0 = 0; p0 < k; p0 += kc) {
+    const int pe = std::min(k, p0 + kc);
+    const bool first_k = p0 == 0;
+    for (int j = 0; j < n; ++j) {
+      double* ccol = c + static_cast<long>(j) * ldc;
       for (int i = 0; i < m; ++i) {
-        ccol[i] += a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
+        double acc = 0.0;
+        for (int p = p0; p < pe; ++p) acc += A(i, p) * B(p, j);
+        if (!first_k) {
+          ccol[i] += alpha * acc;
+        } else if (beta == 0.0) {
+          // Overwrite without reading C (NaN/Inf in uninitialized output
+          // must not propagate).
+          ccol[i] = alpha * acc;
+        } else {
+          ccol[i] = alpha * acc + beta * ccol[i];
+        }
       }
     }
-    for (; p < k; ++p) {
-      const double bp = bcol[p];
-      if (bp == 0.0) continue;
-      const double* acol = a + static_cast<long>(p) * lda;
-      for (int i = 0; i < m; ++i) ccol[i] += acol[i] * bp;
+  }
+}
+
+/// Macro-kernel: one packed A block against one packed B panel.
+void macro_kernel(int mb, int nb, int kb, double alpha, const double* ap,
+                  const double* bp, double* c, int ldc, bool first_k,
+                  double beta) {
+  for (int jr = 0, jt = 0; jr < nb; jr += kNR, ++jt) {
+    const int nr = std::min(kNR, nb - jr);
+    const double* bpp = bp + static_cast<long>(jt) * kb * kNR;
+    for (int ir = 0, it = 0; ir < mb; ir += kMR, ++it) {
+      const int mr = std::min(kMR, mb - ir);
+      const double* app = ap + static_cast<long>(it) * kb * kMR;
+      double acc[kMR * kNR];
+      micro_kernel(kb, app, bpp, acc);
+      write_back(mr, nr, alpha, acc, c + ir + static_cast<long>(jr) * ldc,
+                 ldc, first_k, beta);
     }
   }
+}
+
+/// The Goto loop nest, parameterized over a team slice. Member `tid` of
+/// `nthreads` cooperatively packs the shared B panel (tile-interleaved),
+/// then takes every nthreads-th MC block of A, packing it privately. Two
+/// barriers per (jc, pc) step keep the shared panel coherent. With
+/// nthreads == 1 and a no-op barrier this is the sequential path.
+template <typename BarrierFn>
+void gemm_packed_region(Trans ta, Trans tb, int m, int n, int k, double alpha,
+                        const double* a, int lda, const double* b, int ldb,
+                        double beta, double* c, int ldc, const BlockSizes& bs,
+                        int tid, int nthreads, double* bp_shared,
+                        BarrierFn&& barrier) {
+  double* ap = tl_scratch.a.ensure(
+      static_cast<std::size_t>(round_up(bs.mc, kMR)) * bs.kc);
+  const int mc_blocks = ceil_div(m, bs.mc);
+  for (int jc = 0; jc < n; jc += bs.nc) {
+    const int nb = std::min(bs.nc, n - jc);
+    const int nb_tiles = ceil_div(nb, kNR);
+    for (int pc = 0; pc < k; pc += bs.kc) {
+      const int kb = std::min(bs.kc, k - pc);
+      const bool first_k = pc == 0;
+      for (int t = tid; t < nb_tiles; t += nthreads) {
+        const int j0 = t * kNR;
+        pack_b(tb, kb, std::min(kNR, nb - j0),
+               op_b_ptr(tb, b, ldb, pc, jc + j0), ldb,
+               bp_shared + static_cast<long>(t) * kb * kNR);
+      }
+      barrier();
+      for (int blk = tid; blk < mc_blocks; blk += nthreads) {
+        const int ic = blk * bs.mc;
+        const int mb = std::min(bs.mc, m - ic);
+        pack_a(ta, mb, kb, op_a_ptr(ta, a, lda, ic, pc), lda, ap);
+        macro_kernel(mb, nb, kb, alpha, ap, bp_shared,
+                     c + ic + static_cast<long>(jc) * ldc, ldc, first_k,
+                     beta);
+      }
+      barrier();
+    }
+  }
+}
+
+/// Internal gemm used by dtrsm's trailing updates: never tries to take
+/// the team (the caller may already hold the lease).
+void gemm_sequential(Trans ta, Trans tb, int m, int n, int k, double alpha,
+                     const double* a, int lda, const double* b, int ldb,
+                     double beta, double* c, int ldc) {
+  if (2.0 * m * n * k < kPackFlopCutoff) {
+    gemm_small(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  const BlockSizes bs = block_sizes();
+  double* bp = tl_scratch.b.ensure(
+      static_cast<std::size_t>(round_up(bs.nc, kNR)) * bs.kc);
+  gemm_packed_region(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+                     bs, 0, 1, bp, [] {});
 }
 
 }  // namespace
@@ -57,61 +175,127 @@ void dgemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
   HPLX_CHECK(lda >= ((ta == Trans::No) ? std::max(1, m) : std::max(1, k)));
   HPLX_CHECK(ldb >= ((tb == Trans::No) ? std::max(1, k) : std::max(1, n)));
 
-  // Scale C by beta first; the multiply then always accumulates.
-  for (int j = 0; j < n; ++j) {
-    double* ccol = c + static_cast<long>(j) * ldc;
-    if (beta == 0.0) {
-      for (int i = 0; i < m; ++i) ccol[i] = 0.0;
-    } else if (beta != 1.0) {
-      for (int i = 0; i < m; ++i) ccol[i] *= beta;
-    }
-  }
-  if (k <= 0 || alpha == 0.0) return;
-
-  if (ta == Trans::No && tb == Trans::No && alpha == 1.0) {
-    // Fast path: the shape HPL's trailing update uses. Blocked for cache.
-    for (int jj = 0; jj < n; jj += kNC) {
-      const int nb = std::min(kNC, n - jj);
-      for (int pp = 0; pp < k; pp += kKC) {
-        const int kb = std::min(kKC, k - pp);
-        for (int ii = 0; ii < m; ii += kMC) {
-          const int mb = std::min(kMC, m - ii);
-          gemm_nn_block(mb, nb, kb, a + ii + static_cast<long>(pp) * lda, lda,
-                        b + pp + static_cast<long>(jj) * ldb, ldb,
-                        c + ii + static_cast<long>(jj) * ldc, ldc);
-        }
+  if (k <= 0 || alpha == 0.0) {
+    // Degenerate multiply: only the beta scaling of C remains.
+    for (int j = 0; j < n; ++j) {
+      double* ccol = c + static_cast<long>(j) * ldc;
+      if (beta == 0.0) {
+        for (int i = 0; i < m; ++i) ccol[i] = 0.0;
+      } else if (beta != 1.0) {
+        for (int i = 0; i < m; ++i) ccol[i] *= beta;
       }
     }
     return;
   }
 
-  // General path: correct for every transpose/alpha combination.
-  auto A = [&](int i, int p) -> double {
-    return (ta == Trans::No) ? a[static_cast<long>(p) * lda + i]
-                             : a[static_cast<long>(i) * lda + p];
-  };
-  auto B = [&](int p, int j) -> double {
-    return (tb == Trans::No) ? b[static_cast<long>(j) * ldb + p]
-                             : b[static_cast<long>(p) * ldb + j];
-  };
-  for (int j = 0; j < n; ++j) {
-    double* ccol = c + static_cast<long>(j) * ldc;
-    for (int p = 0; p < k; ++p) {
-      const double t = alpha * B(p, j);
+  const double flops = 2.0 * m * n * k;
+  if (flops < kPackFlopCutoff) {
+    gemm_small(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+
+  const BlockSizes bs = block_sizes();
+  if (flops >= kTeamFlopCutoff) {
+    detail::TeamLease lease;
+    if (ThreadTeam* team = lease.team()) {
+      const int nthreads = team->size();
+      double* bp = g_team_b.ensure(
+          static_cast<std::size_t>(round_up(bs.nc, kNR)) * bs.kc);
+      team->run([&](int tid) {
+        gemm_packed_region(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                           ldc, bs, tid, nthreads, bp,
+                           [&] { team->barrier(); });
+      });
+      return;
+    }
+  }
+  double* bp = tl_scratch.b.ensure(
+      static_cast<std::size_t>(round_up(bs.nc, kNR)) * bs.kc);
+  gemm_packed_region(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+                     bs, 0, 1, bp, [] {});
+}
+
+namespace {
+
+/// Unblocked forward substitution: L(tb×tb) * X = B on the block's rows,
+/// vectorized across the n right-hand sides.
+void trsm_unblocked_lower(Diag diag, int tb, int n, const double* a, int lda,
+                          double* b, int ldb) {
+  const bool unit = diag == Diag::Unit;
+  for (int p = 0; p < tb; ++p) {
+    if (!unit) {
+      const double d = a[static_cast<long>(p) * lda + p];
+      for (int j = 0; j < n; ++j) b[static_cast<long>(j) * ldb + p] /= d;
+    }
+    const double* acol = a + static_cast<long>(p) * lda;
+    for (int j = 0; j < n; ++j) {
+      double* bcol = b + static_cast<long>(j) * ldb;
+      const double t = bcol[p];
       if (t == 0.0) continue;
-      for (int i = 0; i < m; ++i) ccol[i] += A(i, p) * t;
+      for (int i = p + 1; i < tb; ++i) bcol[i] -= acol[i] * t;
     }
   }
 }
 
-void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
-           double alpha, const double* a, int lda, double* b, int ldb) {
-  if (m <= 0 || n <= 0) return;
-  HPLX_CHECK(ldb >= m);
-  const int na = (side == Side::Left) ? m : n;
-  HPLX_CHECK(lda >= std::max(1, na));
-  const bool unit = (diag == Diag::Unit);
+/// Unblocked back substitution: U(tb×tb) * X = B on the block's rows.
+void trsm_unblocked_upper(Diag diag, int tb, int n, const double* a, int lda,
+                          double* b, int ldb) {
+  const bool unit = diag == Diag::Unit;
+  for (int p = tb - 1; p >= 0; --p) {
+    if (!unit) {
+      const double d = a[static_cast<long>(p) * lda + p];
+      for (int j = 0; j < n; ++j) b[static_cast<long>(j) * ldb + p] /= d;
+    }
+    const double* acol = a + static_cast<long>(p) * lda;
+    for (int j = 0; j < n; ++j) {
+      double* bcol = b + static_cast<long>(j) * ldb;
+      const double t = bcol[p];
+      if (t == 0.0) continue;
+      for (int i = 0; i < p; ++i) bcol[i] -= acol[i] * t;
+    }
+  }
+}
 
+/// Right-looking blocked solve for the Side::Left, Trans::No cases: solve
+/// a kTrsmBlock diagonal block unblocked, then fold its rows into the
+/// remaining RHS rows with one packed dgemm — the bulk of the flops runs
+/// at dgemm speed instead of scalar-substitution speed.
+void trsm_left_notrans_blocked(Uplo uplo, Diag diag, int m, int n,
+                               const double* a, int lda, double* b, int ldb) {
+  if (uplo == Uplo::Lower) {
+    for (int p0 = 0; p0 < m; p0 += kTrsmBlock) {
+      const int tb = std::min(kTrsmBlock, m - p0);
+      trsm_unblocked_lower(diag, tb, n, a + p0 + static_cast<long>(p0) * lda,
+                           lda, b + p0, ldb);
+      const int rem = m - p0 - tb;
+      if (rem > 0) {
+        gemm_sequential(Trans::No, Trans::No, rem, n, tb, -1.0,
+                        a + p0 + tb + static_cast<long>(p0) * lda, lda,
+                        b + p0, ldb, 1.0, b + p0 + tb, ldb);
+      }
+    }
+  } else {
+    for (int p1 = m; p1 > 0;) {
+      const int tb = std::min(kTrsmBlock, p1);
+      const int p0 = p1 - tb;
+      trsm_unblocked_upper(diag, tb, n, a + p0 + static_cast<long>(p0) * lda,
+                           lda, b + p0, ldb);
+      if (p0 > 0) {
+        gemm_sequential(Trans::No, Trans::No, p0, n, tb, -1.0,
+                        a + static_cast<long>(p0) * lda, lda, b + p0, ldb,
+                        1.0, b, ldb);
+      }
+      p1 = p0;
+    }
+  }
+}
+
+/// Sequential dtrsm over one slice of B: alpha scaling plus the solve.
+/// Side::Left slices are column ranges of B; Side::Right slices are row
+/// ranges — both are independent across the slicing dimension, which is
+/// what makes the team split embarrassingly parallel.
+void trsm_serial(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+                 double alpha, const double* a, int lda, double* b, int ldb) {
   auto A = [&](int i, int j) -> double {
     return a[static_cast<long>(j) * lda + i];
   };
@@ -126,41 +310,11 @@ void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
 
   if (side == Side::Left) {
     if (trans == Trans::No) {
-      if (uplo == Uplo::Lower) {
-        // Solve L * X = B: forward substitution down the rows, vectorized
-        // across all n right-hand sides per column of L.
-        for (int p = 0; p < m; ++p) {
-          if (!unit) {
-            const double d = A(p, p);
-            for (int j = 0; j < n; ++j) Bv(p, j) /= d;
-          }
-          for (int j = 0; j < n; ++j) {
-            const double t = Bv(p, j);
-            if (t == 0.0) continue;
-            double* bcol = &Bv(0, j);
-            const double* acol = &a[static_cast<long>(p) * lda];
-            for (int i = p + 1; i < m; ++i) bcol[i] -= acol[i] * t;
-          }
-        }
-      } else {
-        // Solve U * X = B: back substitution.
-        for (int p = m - 1; p >= 0; --p) {
-          if (!unit) {
-            const double d = A(p, p);
-            for (int j = 0; j < n; ++j) Bv(p, j) /= d;
-          }
-          for (int j = 0; j < n; ++j) {
-            const double t = Bv(p, j);
-            if (t == 0.0) continue;
-            double* bcol = &Bv(0, j);
-            const double* acol = &a[static_cast<long>(p) * lda];
-            for (int i = 0; i < p; ++i) bcol[i] -= acol[i] * t;
-          }
-        }
-      }
+      trsm_left_notrans_blocked(uplo, diag, m, n, a, lda, b, ldb);
     } else {
       // op(A) = A^T. Solving A^T X = B with A lower is the same as solving
       // an upper system with A's transpose.
+      const bool unit = diag == Diag::Unit;
       if (uplo == Uplo::Lower) {
         for (int p = m - 1; p >= 0; --p) {
           for (int j = 0; j < n; ++j) {
@@ -180,6 +334,7 @@ void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
       }
     }
   } else {  // Side::Right: X * op(A) = B
+    const bool unit = diag == Diag::Unit;
     if (trans == Trans::No) {
       if (uplo == Uplo::Upper) {
         // X * U = B: columns solved left to right.
@@ -238,6 +393,46 @@ void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
       }
     }
   }
+}
+
+}  // namespace
+
+void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+           double alpha, const double* a, int lda, double* b, int ldb) {
+  if (m <= 0 || n <= 0) return;
+  HPLX_CHECK(ldb >= m);
+  const int na = (side == Side::Left) ? m : n;
+  HPLX_CHECK(lda >= std::max(1, na));
+
+  // Independent-slice team split: columns of B for Left (each RHS column
+  // solves alone), rows of B for Right (each X row solves alone). Every
+  // member runs the full serial solve on its slice — no barriers, no
+  // shared writes, and results match the serial order bit-for-bit.
+  const int splittable = (side == Side::Left) ? n : m;
+  const double work = static_cast<double>(na) * na * ((side == Side::Left)
+                                                         ? n
+                                                         : m);
+  if (work >= kTeamFlopCutoff && splittable >= 2 * kTrsmSliceMin) {
+    detail::TeamLease lease;
+    if (ThreadTeam* team = lease.team()) {
+      const int nthreads = team->size();
+      team->run([&](int tid) {
+        const int chunk = ceil_div(splittable, nthreads);
+        const int lo = std::min(splittable, tid * chunk);
+        const int hi = std::min(splittable, lo + chunk);
+        if (lo >= hi) return;
+        if (side == Side::Left) {
+          trsm_serial(side, uplo, trans, diag, m, hi - lo, alpha, a, lda,
+                      b + static_cast<long>(lo) * ldb, ldb);
+        } else {
+          trsm_serial(side, uplo, trans, diag, hi - lo, n, alpha, a, lda,
+                      b + lo, ldb);
+        }
+      });
+      return;
+    }
+  }
+  trsm_serial(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
 }
 
 }  // namespace hplx::blas

@@ -1,0 +1,90 @@
+#pragma once
+/// \file pack.hpp
+/// \brief Panel packing for the blocked BLAS-3 engine (GotoBLAS layout).
+///
+/// dgemm streams A and B through cache-resident packed tiles instead of
+/// walking the caller's (possibly strided, possibly transposed) storage in
+/// the inner loop:
+///
+///   - A blocks (MC×KC) are packed into row panels of kMR rows each, laid
+///     out so the micro-kernel reads kMR contiguous doubles per k step.
+///   - B panels (KC×NC) are packed into column panels of kNR columns each,
+///     kNR contiguous doubles per k step.
+///
+/// Both packers read through op(·), so every transpose combination funnels
+/// into the same contiguous micro-kernel — there are no strided inner
+/// loops left on the compute path. Ragged edges are zero-padded to full
+/// kMR/kNR tiles; the micro-kernel always runs full tiles and the
+/// write-back masks the padding.
+
+#include <cstddef>
+
+#include "blas/blas.hpp"
+
+namespace hplx::blas {
+
+/// Micro-tile rows (A panel height). Chosen with kNR so the accumulator
+/// block fits the baseline-x86-64 register file; see microkernel.hpp.
+inline constexpr int kMR = 4;
+/// Micro-tile columns (B panel width).
+inline constexpr int kNR = 8;
+
+/// Runtime cache-blocking parameters (the MC/KC/NC of the Goto loop
+/// ordering). Defaults keep one packed A block (MC×KC = 256 KiB) plus the
+/// B stripe inside L2. Settable at runtime for experiments; values are
+/// snapshotted at the top of each dgemm call.
+struct BlockSizes {
+  int mc = 128;
+  int kc = 256;
+  int nc = 512;
+};
+
+/// Install new pack block sizes (clamped to multiples of kMR/kNR, minimum
+/// one tile). Not thread-safe against in-flight dgemm calls; intended for
+/// configuration time.
+void set_block_sizes(const BlockSizes& bs);
+BlockSizes block_sizes();
+
+/// 64-byte-aligned, lazily grown double scratch buffer. Packed tiles live
+/// here; alignment keeps tile rows on cache-line boundaries so the
+/// vectorizer can use aligned loads.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { ::operator delete[](data_, std::align_val_t{64}); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Grow (never shrink) to at least `count` doubles and return the base.
+  double* ensure(std::size_t count) {
+    if (count > capacity_) {
+      ::operator delete[](data_, std::align_val_t{64});
+      data_ = static_cast<double*>(
+          ::operator new[](count * sizeof(double), std::align_val_t{64}));
+      capacity_ = count;
+    }
+    return data_;
+  }
+
+  double* data() { return data_; }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// Pack op(A)(ic:ic+mb, pc:pc+kb) into kMR-row panels at `ap`.
+/// `a`/`lda` address the stored matrix; `trans` selects which axis is
+/// rows of op(A). Rows past mb within the last tile are zero-filled.
+/// Destination size: round_up(mb, kMR) * kb doubles.
+void pack_a(Trans trans, int mb, int kb, const double* a, int lda,
+            double* ap);
+
+/// Pack op(B)(pc:pc+kb, jc:jc+nb) into kNR-column panels at `bp`.
+/// Columns past nb within the last tile are zero-filled.
+/// Destination size: round_up(nb, kNR) * kb doubles.
+void pack_b(Trans trans, int kb, int nb, const double* b, int ldb,
+            double* bp);
+
+}  // namespace hplx::blas

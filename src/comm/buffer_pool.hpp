@@ -1,0 +1,106 @@
+#pragma once
+/// \file buffer_pool.hpp
+/// \brief Size-classed message buffer pool for the minimpi transport.
+///
+/// Every eager send used to heap-allocate a std::vector payload and every
+/// matched receive freed it — one malloc/free pair per message, on the
+/// critical path of the panel broadcast and the row-swap collectives. The
+/// pool replaces that with power-of-two freelists per communicator
+/// (per-Fabric): a send acquires a recycled buffer of the right class,
+/// the matched receive's envelope returns it on destruction. Buffers
+/// above the largest class fall back to direct allocation (counted in the
+/// stats as oversize) so pathological sizes cannot pin memory forever.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hplx::comm {
+
+class BufferPool;
+
+/// Movable RAII handle to one pooled allocation. Destruction returns the
+/// storage to its owning pool's freelist (thread-safe: buffers routinely
+/// die on the receiving rank's thread).
+class PoolBuffer {
+ public:
+  PoolBuffer() = default;
+  PoolBuffer(PoolBuffer&& other) noexcept { swap(other); }
+  PoolBuffer& operator=(PoolBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  PoolBuffer(const PoolBuffer&) = delete;
+  PoolBuffer& operator=(const PoolBuffer&) = delete;
+  ~PoolBuffer() { release(); }
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  /// Logical payload size (<= the class capacity).
+  std::size_t size() const { return size_; }
+
+ private:
+  friend class BufferPool;
+  PoolBuffer(BufferPool* pool, std::byte* data, std::size_t size, int cls)
+      : pool_(pool), data_(data), size_(size), cls_(cls) {}
+
+  void release();
+  void swap(PoolBuffer& other) noexcept {
+    std::swap(pool_, other.pool_);
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(cls_, other.cls_);
+  }
+
+  BufferPool* pool_ = nullptr;
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  int cls_ = -1;  // size class; -1 = oversize direct allocation
+};
+
+class BufferPool {
+ public:
+  /// Smallest pooled class: 256 B. Largest: 16 MiB; beyond that requests
+  /// are served by plain allocation and freed on release.
+  static constexpr int kMinClassLog = 8;
+  static constexpr int kMaxClassLog = 24;
+
+  BufferPool() : free_(kMaxClassLog - kMinClassLog + 1) {}
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer with capacity >= bytes and logical size == bytes. bytes == 0
+  /// yields a valid empty handle that never touches the pool.
+  PoolBuffer acquire(std::size_t bytes);
+
+  struct Stats {
+    std::uint64_t acquires = 0;   ///< total acquire() calls (bytes > 0)
+    std::uint64_t hits = 0;       ///< served from a freelist
+    std::uint64_t oversize = 0;   ///< above kMaxClassLog, direct alloc
+    std::size_t outstanding = 0;  ///< live buffers not yet released
+    std::size_t cached_bytes = 0; ///< capacity parked on freelists
+    double hit_rate() const {
+      return acquires == 0 ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(acquires);
+    }
+  };
+  Stats stats() const;
+
+ private:
+  friend class PoolBuffer;
+  void release(std::byte* data, int cls);
+  static int class_of(std::size_t bytes);
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::byte*>> free_;  // freelist per class
+  Stats stats_;
+};
+
+}  // namespace hplx::comm

@@ -37,12 +37,21 @@ void chain_forward(Communicator& comm, void* buf, std::size_t bytes,
   const int n = static_cast<int>(order.size());
   for (int i = 0; i < n; ++i) {
     if (order[static_cast<std::size_t>(i)] != me) continue;
-    if (i > 0)
-      comm.recv_internal(buf, bytes, order[static_cast<std::size_t>(i - 1)],
-                         kTagBcast);
-    if (i + 1 < n)
+    if (i > 0) {
+      // Relay: take ownership of the pooled payload, copy it into buf
+      // once, and forward the same storage to the successor. The old
+      // recv-then-send pair cost an allocation plus two copies here.
+      PoolBuffer pb = comm.recv_internal_buffer(
+          bytes, order[static_cast<std::size_t>(i - 1)], kTagBcast);
+      if (bytes > 0) std::memcpy(buf, pb.data(), bytes);
+      if (i + 1 < n)
+        comm.send_internal_buffer(std::move(pb),
+                                  order[static_cast<std::size_t>(i + 1)],
+                                  kTagBcast);
+    } else if (i + 1 < n) {
       comm.send_internal(buf, bytes, order[static_cast<std::size_t>(i + 1)],
                          kTagBcast);
+    }
     return;
   }
 }
@@ -103,10 +112,14 @@ void binomial_bcast(Communicator& comm, void* buf, std::size_t bytes,
 
   // Receive from the parent, then relay to children at increasing strides.
   int mask = 1;
+  PoolBuffer pb;
+  bool have_pb = false;
   while (mask < n) {
     if (vr & mask) {
       const int src = (vr - mask + root) % n;
-      comm.recv_internal(buf, bytes, src, kTagBcast);
+      pb = comm.recv_internal_buffer(bytes, src, kTagBcast);
+      if (bytes > 0) std::memcpy(buf, pb.data(), bytes);
+      have_pb = true;
       break;
     }
     mask <<= 1;
@@ -115,7 +128,13 @@ void binomial_bcast(Communicator& comm, void* buf, std::size_t bytes,
   while (mask > 0) {
     if (vr + mask < n) {
       const int dst = (vr + mask + root) % n;
-      comm.send_internal(buf, bytes, dst, kTagBcast);
+      // Once vr+mask < n holds it holds for every smaller mask too, so the
+      // mask == 1 send is always the last — forward the pooled payload
+      // itself there instead of copying it again.
+      if (have_pb && mask == 1)
+        comm.send_internal_buffer(std::move(pb), dst, kTagBcast);
+      else
+        comm.send_internal(buf, bytes, dst, kTagBcast);
     }
     mask >>= 1;
   }
@@ -324,8 +343,10 @@ void allreduce_bytes(
   if (n == 1) return;
   const int vr = comm.rank();  // root is rank 0 for the reduce tree
 
-  // Binomial reduce to rank 0.
-  std::vector<std::byte> incoming(bytes);
+  // Binomial reduce to rank 0. Scratch for partner contributions comes
+  // from the fabric's pool instead of a fresh heap allocation per call —
+  // the pivot allreduce runs once per column, so this is hot.
+  PoolBuffer incoming;
   int mask = 1;
   while (mask < n) {
     if (vr & mask) {
@@ -333,6 +354,8 @@ void allreduce_bytes(
       break;
     }
     if (vr + mask < n) {
+      if (incoming.size() < bytes)
+        incoming = comm.fabric().pool().acquire(bytes);
       comm.recv_internal(incoming.data(), bytes, vr + mask, kTagAllreduce);
       combine(buf, incoming.data());
     }

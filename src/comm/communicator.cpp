@@ -22,22 +22,15 @@ namespace {
 void do_send(Fabric& fabric, int src, const void* buf, std::size_t bytes,
              int dst, int tag) {
   HPLX_CHECK(dst >= 0 && dst < fabric.size());
-  MessageEnvelope msg;
-  msg.src = src;
-  msg.tag = tag;
-  msg.payload.resize(bytes);
-  if (bytes > 0) std::memcpy(msg.payload.data(), buf, bytes);
-  fabric.mailbox(dst).deposit(std::move(msg));
+  fabric.mailbox(dst).deliver(src, tag, buf, bytes, fabric.pool(),
+                              fabric.direct_threshold(),
+                              fabric.direct_counter());
 }
 
 void do_recv(Fabric& fabric, int self, void* buf, std::size_t bytes, int src,
              int tag) {
-  MessageEnvelope msg = fabric.mailbox(self).match(src, tag);
-  HPLX_CHECK_MSG(msg.payload.size() == bytes,
-                 "size mismatch in recv: expected " << bytes << " bytes, got "
-                 << msg.payload.size() << " (src=" << msg.src
-                 << ", tag=" << tag << ")");
-  if (bytes > 0) std::memcpy(buf, msg.payload.data(), bytes);
+  // Posts the receive so a large sender can deliver straight into buf.
+  fabric.mailbox(self).recv_into(src, tag, buf, bytes);
 }
 }  // namespace
 
@@ -83,6 +76,26 @@ void Communicator::recv_internal(void* buf, std::size_t bytes, int src,
   do_recv(*fabric_, rank_, buf, bytes, src, kMaxUserTag + coll_tag);
 }
 
+PoolBuffer Communicator::recv_internal_buffer(std::size_t bytes, int src,
+                                              int coll_tag) {
+  MessageEnvelope msg =
+      fabric_->mailbox(rank_).match(src, kMaxUserTag + coll_tag);
+  HPLX_CHECK_MSG(msg.payload.size() == bytes,
+                 "size mismatch in recv: expected " << bytes << " bytes, got "
+                 << msg.payload.size() << " (src=" << msg.src << ")");
+  return std::move(msg.payload);
+}
+
+void Communicator::send_internal_buffer(PoolBuffer&& payload, int dst,
+                                        int coll_tag) {
+  HPLX_CHECK(dst >= 0 && dst < fabric_->size());
+  MessageEnvelope msg;
+  msg.src = rank_;
+  msg.tag = kMaxUserTag + coll_tag;
+  msg.payload = std::move(payload);
+  fabric_->mailbox(dst).deposit(std::move(msg));
+}
+
 Communicator Communicator::split(int color, int key) {
   Fabric& f = *fabric_;
   const std::uint64_t seq = split_seq_++;
@@ -115,6 +128,7 @@ Communicator Communicator::split(int color, int key) {
              slot.color[static_cast<std::size_t>(order[j])] == c)
         ++j;
       auto child = std::make_shared<Fabric>(static_cast<int>(j - i));
+      child->set_direct_threshold(f.direct_threshold());
       for (std::size_t k = i; k < j; ++k) {
         const auto member = static_cast<std::size_t>(order[k]);
         slot.child_of_rank[member] = child;

@@ -1,5 +1,7 @@
 #include "comm/fabric.hpp"
 
+#include <cstring>
+
 #include "util/error.hpp"
 
 namespace hplx::comm {
@@ -18,6 +20,49 @@ bool matches(const MessageEnvelope& m, int src, int tag) {
 }
 }  // namespace
 
+void Mailbox::deliver(int src, int tag, const void* data, std::size_t bytes,
+                      BufferPool& pool, std::size_t direct_threshold,
+                      std::atomic<std::uint64_t>& direct_count) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    PostedRecv* pr = *it;
+    if (!((pr->src == kAnySource || pr->src == src) && pr->tag == tag))
+      continue;
+    // Oldest matching posted receive. Direct delivery must not overtake a
+    // message that arrived eagerly after the receive was posted but before
+    // the receiver woke — FIFO says that older message is the match.
+    bool queued_match = false;
+    for (const auto& q : queue_) {
+      if ((pr->src == kAnySource || pr->src == q.src) && pr->tag == q.tag) {
+        queued_match = true;
+        break;
+      }
+    }
+    // Hand off directly when the message is large enough to be worth it
+    // and the sizes agree; otherwise fall through to the eager queue and
+    // let the receiver's own size check fire on its thread (keeps error
+    // attribution on the receiver).
+    if (!queued_match && bytes >= direct_threshold && bytes == pr->bytes) {
+      if (bytes != 0) std::memcpy(pr->dst, data, bytes);
+      pr->done = true;
+      posted_.erase(it);
+      direct_count.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      cv_.notify_all();
+      return;
+    }
+    break;
+  }
+  MessageEnvelope msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.payload = pool.acquire(bytes);
+  if (bytes != 0) std::memcpy(msg.payload.data(), data, bytes);
+  queue_.push_back(std::move(msg));
+  lock.unlock();
+  cv_.notify_all();
+}
+
 MessageEnvelope Mailbox::match(int src, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -30,6 +75,46 @@ MessageEnvelope Mailbox::match(int src, int tag) {
     }
     cv_.wait(lock);
   }
+}
+
+void Mailbox::recv_into(int src, int tag, void* dst, std::size_t bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto find_queued = [&] {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it)
+      if (matches(*it, src, tag)) return it;
+    return queue_.end();
+  };
+  auto consume = [&](std::deque<MessageEnvelope>::iterator it) {
+    HPLX_CHECK_MSG(it->payload.size() == bytes,
+                   "recv size mismatch: expected " + std::to_string(bytes) +
+                       " bytes, got " + std::to_string(it->payload.size()));
+    if (bytes != 0) std::memcpy(dst, it->payload.data(), bytes);
+    queue_.erase(it);  // envelope dies here, payload returns to the pool
+  };
+
+  auto it = find_queued();
+  if (it != queue_.end()) {
+    consume(it);
+    return;
+  }
+  // Nothing queued: post the receive so a large incoming message can be
+  // written straight into dst by the sender (single copy).
+  PostedRecv pr{src, tag, dst, bytes, false};
+  posted_.push_back(&pr);
+  std::deque<MessageEnvelope>::iterator qit;
+  cv_.wait(lock, [&] {
+    if (pr.done) return true;
+    qit = find_queued();
+    return qit != queue_.end();
+  });
+  if (pr.done) return;  // delivered directly; sender removed the post
+  for (auto pit = posted_.begin(); pit != posted_.end(); ++pit) {
+    if (*pit == &pr) {
+      posted_.erase(pit);
+      break;
+    }
+  }
+  consume(qit);
 }
 
 bool Mailbox::try_match(int src, int tag, MessageEnvelope& out) {

@@ -1,16 +1,27 @@
 #pragma once
 /// \file fabric.hpp
 /// \brief Shared-memory transport backing a communicator: one mailbox per
-/// rank, tagged FIFO matching.
+/// rank, tagged FIFO matching, pooled payloads, eager/rendezvous delivery.
 ///
-/// This is the layer below Communicator. A Fabric owns `size` mailboxes.
-/// Sends are eager and buffered: the payload is copied into the destination
-/// mailbox and the sender never blocks (the MPI analogue is a buffered
-/// send). Receives block until a message matching (source, tag) arrives.
-/// Matching is FIFO among messages with the same (source, tag), which gives
-/// the same non-overtaking guarantee MPI provides and is what the
+/// This is the layer below Communicator. A Fabric owns `size` mailboxes
+/// and one BufferPool shared by all of them. Two delivery regimes:
+///
+///   - **Eager** (bytes < direct threshold, or the receiver has not posted
+///     yet): the payload is copied into a pooled buffer and queued at the
+///     destination; the sender never blocks (MPI's buffered send). The
+///     matched receive copies out and the buffer returns to the freelist.
+///   - **Direct** (bytes >= threshold and a matching receive is already
+///     posted): the sender copies straight into the receiver's destination
+///     buffer — a single copy end to end, no intermediate buffer at all.
+///     This is the rendezvous-style handoff large transfers (panel bcast,
+///     row-swap allgatherv) want, but with an eager fallback instead of a
+///     blocking sender, so no send/recv ordering can deadlock.
+///
+/// Matching is FIFO among messages with the same (source, tag), which
+/// gives the same non-overtaking guarantee MPI provides and is what the
 /// collective algorithms rely on.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -19,25 +30,45 @@
 #include <mutex>
 #include <vector>
 
+#include "comm/buffer_pool.hpp"
+
 namespace hplx::comm {
 
 /// Matches any source rank in recv.
 inline constexpr int kAnySource = -1;
 
+/// Default eager/direct cutover: below this, messages always travel
+/// through the pool; at or above it, a posted receiver gets the payload
+/// in one copy. Tunable per fabric (HplConfig::comm_eager_bytes).
+inline constexpr std::size_t kDefaultEagerThreshold = 32 * 1024;
+
 struct MessageEnvelope {
   int src = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+  PoolBuffer payload;
 };
 
-/// One rank's incoming-message queue.
+/// One rank's incoming-message queue plus its posted (waiting) receives.
 class Mailbox {
  public:
+  /// Queue a ready-made envelope (used by the zero-copy forwarding path;
+  /// the payload changes owner without being copied).
   void deposit(MessageEnvelope msg);
+
+  /// Deliver `bytes` from `data`: directly into a posted receive when one
+  /// matches and bytes >= direct_threshold, else eagerly via `pool`.
+  /// `direct_count` is bumped on the direct path.
+  void deliver(int src, int tag, const void* data, std::size_t bytes,
+               BufferPool& pool, std::size_t direct_threshold,
+               std::atomic<std::uint64_t>& direct_count);
 
   /// Block until a message matching (src, tag) is available and return it.
   /// src may be kAnySource. FIFO among matches.
   MessageEnvelope match(int src, int tag);
+
+  /// Blocking receive of exactly `bytes` into `dst` — posts the receive so
+  /// an incoming large message can be delivered directly (single copy).
+  void recv_into(int src, int tag, void* dst, std::size_t bytes);
 
   /// Non-blocking variant: returns true and fills out if a match exists.
   bool try_match(int src, int tag, MessageEnvelope& out);
@@ -50,19 +81,44 @@ class Mailbox {
   std::size_t pending() const;
 
  private:
+  struct PostedRecv {
+    int src;
+    int tag;
+    void* dst;
+    std::size_t bytes;
+    bool done = false;
+  };
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<MessageEnvelope> queue_;
+  std::deque<PostedRecv*> posted_;  // waiting blocking receives, FIFO
 };
 
 /// The transport shared by all ranks of one communicator (and its
-/// split-off children, each of which gets its own Fabric).
+/// split-off children, each of which gets its own Fabric and pool).
 class Fabric {
  public:
   explicit Fabric(int size);
 
   int size() const { return size_; }
   Mailbox& mailbox(int rank);
+
+  BufferPool& pool() { return pool_; }
+  BufferPool::Stats pool_stats() const { return pool_.stats(); }
+
+  std::size_t direct_threshold() const {
+    return direct_threshold_.load(std::memory_order_relaxed);
+  }
+  void set_direct_threshold(std::size_t bytes) {
+    direct_threshold_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Messages that skipped the intermediate buffer entirely.
+  std::uint64_t direct_deliveries() const {
+    return direct_deliveries_.load(std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t>& direct_counter() { return direct_deliveries_; }
 
   /// Collective coordination scratch used by Communicator::split: the
   /// nth split on this fabric uses slot n. Guarded by mutex_.
@@ -81,6 +137,11 @@ class Fabric {
 
  private:
   const int size_;
+  // Declared before the mailboxes: envelopes queued in a mailbox hold
+  // pool buffers, so the pool must outlive them at destruction.
+  BufferPool pool_;
+  std::atomic<std::size_t> direct_threshold_{kDefaultEagerThreshold};
+  std::atomic<std::uint64_t> direct_deliveries_{0};
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   std::mutex split_mutex_;

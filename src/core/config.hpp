@@ -85,6 +85,16 @@ struct HplConfig {
   /// main thread.
   int fact_threads = 1;
 
+  /// Worker threads for the packed BLAS-3 engine (blas::set_num_threads).
+  /// 0 leaves whatever team is already installed untouched, so callers
+  /// that configured blas threading themselves are not overridden.
+  int blas_threads = 0;
+
+  /// Eager/direct cutover for the minimpi transport: messages of at least
+  /// this many bytes are copied straight into a posted receive instead of
+  /// staging through a pooled eager buffer.
+  std::size_t comm_eager_bytes = comm::kDefaultEagerThreshold;
+
   /// Per-rank simulated accelerator: capacity and cost model.
   std::size_t hbm_bytes = 1ull << 32;  // tests use small N; 4 GiB default
   device::DeviceModel dev_model = device::DeviceModel::mi250x_gcd();

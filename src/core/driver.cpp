@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "blas/threading.hpp"
 #include "comm/collectives.hpp"
 #include "core/backsolve.hpp"
 #include "core/matrix.hpp"
@@ -522,6 +523,11 @@ HplResult run_hpl(comm::Communicator& world, const HplConfig& cfg) {
                  "run_hpl needs " << cfg.p * cfg.q << " ranks, got "
                  << world.size());
   HPLX_CHECK(cfg.n >= 1 && cfg.nb >= 1);
+  // Transport + BLAS knobs are process/fabric-global: the threshold is an
+  // atomic every rank stores identically, and set_num_threads is a no-op
+  // when the team already has the requested size.
+  world.fabric().set_direct_threshold(cfg.comm_eager_bytes);
+  if (cfg.blas_threads > 0) blas::set_num_threads(cfg.blas_threads);
   Solver solver(world, cfg);
   return solver.solve();
 }

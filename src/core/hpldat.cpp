@@ -218,6 +218,16 @@ HplDat parse_hpldat(std::istream& in) {
     HPLX_CHECK_MSG(dat.fact_threads >= 1,
                    "HPL.dat: fact threads must be >= 1");
   }
+  if (!r.eof()) {
+    dat.blas_threads = static_cast<int>(r.integer("blas threads"));
+    HPLX_CHECK_MSG(dat.blas_threads >= 0,
+                   "HPL.dat: blas threads must be >= 0");
+  }
+  if (!r.eof()) {
+    dat.comm_eager_bytes = r.integer("eager threshold");
+    HPLX_CHECK_MSG(dat.comm_eager_bytes >= 0,
+                   "HPL.dat: eager threshold must be >= 0");
+  }
   return dat;
 }
 
@@ -259,6 +269,9 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
                   cfg.swap_threshold = dat.swap_threshold;
                   cfg.split_fraction = dat.split_fraction;
                   cfg.fact_threads = dat.fact_threads;
+                  cfg.blas_threads = dat.blas_threads;
+                  cfg.comm_eager_bytes =
+                      static_cast<std::size_t>(dat.comm_eager_bytes);
                   out.push_back(cfg);
                 }
               }
@@ -328,6 +341,8 @@ std::string format_hpldat(const HplDat& dat) {
   os << dat.alignment << "  memory alignment in double (> 0)\n";
   os << dat.split_fraction << "  split fraction (rocHPL extension)\n";
   os << dat.fact_threads << "  FACT threads (rocHPL extension)\n";
+  os << dat.blas_threads << "  BLAS threads (hplx extension, 0=inherit)\n";
+  os << dat.comm_eager_bytes << "  eager threshold bytes (hplx extension)\n";
   return os.str();
 }
 

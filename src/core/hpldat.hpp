@@ -54,6 +54,8 @@ struct HplDat {
   // rocHPL-style extension (non-classic, optional trailing lines).
   double split_fraction = 0.5;
   int fact_threads = 1;
+  int blas_threads = 0;           ///< 0 = leave the installed team alone
+  long comm_eager_bytes = 32768;  ///< transport eager/direct threshold
 };
 
 /// Parse an HPL.dat stream. Throws hplx::Error with a line diagnostic on

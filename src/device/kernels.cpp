@@ -20,6 +20,10 @@ void gemm(Stream& s, long m, long n, long k, double alpha, const double* a,
           long ldc) {
   if (m <= 0 || n <= 0) return;
   const double modeled = s.device().model().gemm_seconds(m, n, k);
+  // The stream worker thread runs the same process-global packed BLAS-3
+  // engine as host code: large updates lease the shared thread team
+  // (blas::set_num_threads / HplConfig::blas_threads) when it is free, and
+  // fall back to the sequential packed path when FACT holds it.
   s.enqueue(modeled, [=] {
     blas::dgemm(blas::Trans::No, blas::Trans::No, as_int(m), as_int(n),
                 as_int(k), alpha, a, as_int(lda), b, as_int(ldb), beta, c,
