@@ -1,0 +1,96 @@
+/// \file bench_solver.cpp
+/// \brief K-SOLVE: end-to-end solver benchmark. Runs full run_hpl solves
+/// (generate, factor, backsolve, verify) across the three pipeline modes
+/// and reports GF/s plus the per-phase second totals (fact / mpi /
+/// transfer / gpu) as counters, so a snapshot records where the wall time
+/// goes and regressions in any phase are visible, not just the headline
+/// rate. Emits BENCH_solver.json via the shared JSON main.
+///
+/// Shapes: a 1x1 rank at N=1024/2048 (pure kernel path, no transport) and
+/// a 2x2 grid at N=1024 (row swaps cross ranks). Each iteration is a
+/// complete solve; residuals are asserted PASSED so a benchmark run doubles
+/// as an end-to-end correctness check.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/gbench_json_main.hpp"
+#include "comm/world.hpp"
+#include "core/driver.hpp"
+
+namespace {
+
+using namespace hplx;
+
+core::PipelineMode mode_of(long tag) {
+  switch (tag) {
+    case 0: return core::PipelineMode::Simple;
+    case 1: return core::PipelineMode::Lookahead;
+    default: return core::PipelineMode::LookaheadSplit;
+  }
+}
+
+/// One full solve; returns rank 0's result.
+core::HplResult solve_once(const core::HplConfig& cfg) {
+  core::HplResult result;
+  comm::World::run(cfg.p * cfg.q, [&](comm::Communicator& world) {
+    core::HplResult r = core::run_hpl(world, cfg);
+    if (world.rank() == 0) result = std::move(r);
+  });
+  return result;
+}
+
+/// Args: {N, NB, P, Q, pipeline tag}.
+void BM_Solver(benchmark::State& state) {
+  core::HplConfig cfg;
+  cfg.n = state.range(0);
+  cfg.nb = static_cast<int>(state.range(1));
+  cfg.p = static_cast<int>(state.range(2));
+  cfg.q = static_cast<int>(state.range(3));
+  cfg.pipeline = mode_of(state.range(4));
+  cfg.fact_threads = 2;
+
+  double gflops = 0.0, fact_s = 0.0, mpi_s = 0.0, xfer_s = 0.0, gpu_s = 0.0;
+  long solves = 0;
+  for (auto _ : state) {
+    const core::HplResult r = solve_once(cfg);
+    if (!r.verify.passed) {
+      state.SkipWithError("residual check FAILED");
+      return;
+    }
+    gflops += r.gflops;
+    fact_s += r.fact_seconds;
+    mpi_s += r.mpi_seconds;
+    xfer_s += r.transfer_seconds;
+    gpu_s += r.gpu_seconds;
+    ++solves;
+    benchmark::DoNotOptimize(r.seconds);
+  }
+  if (solves > 0) {
+    const double inv = 1.0 / static_cast<double>(solves);
+    state.counters["GF/s"] = gflops * inv;
+    state.counters["fact_s"] = fact_s * inv;
+    state.counters["mpi_s"] = mpi_s * inv;
+    state.counters["transfer_s"] = xfer_s * inv;
+    state.counters["gpu_s"] = gpu_s * inv;
+  }
+  state.SetLabel(to_string(cfg.pipeline));
+}
+
+BENCHMARK(BM_Solver)
+    ->Args({1024, 128, 1, 1, 0})
+    ->Args({1024, 128, 1, 1, 1})
+    ->Args({1024, 128, 1, 1, 2})
+    ->Args({2048, 256, 1, 1, 2})
+    ->Args({1024, 128, 2, 2, 2})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hplx::benchutil::run_with_default_json(argc, argv,
+                                                "BENCH_solver.json");
+}

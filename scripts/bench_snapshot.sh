@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
-# Snapshot the substrate kernel benchmarks (K-BLAS, K-COMM) as JSON.
+# Snapshot the benchmark suites (K-BLAS, K-COMM, K-KERN, K-SOLVE) as JSON.
 #
-# Builds the bench targets if needed, runs bench_cpu_blas and bench_comm,
-# and leaves BENCH_blas.json / BENCH_comm.json in the chosen output
-# directory. Use it to record before/after numbers for a perf PR:
+# Builds the bench targets if needed, runs bench_cpu_blas, bench_comm,
+# bench_kernels and bench_solver, and leaves BENCH_{blas,comm,kernels,
+# solver}.json in the chosen output directory. Use it to record
+# before/after numbers for a perf PR:
 #
-#   scripts/bench_snapshot.sh              # -> ./BENCH_{blas,comm}.json
+#   scripts/bench_snapshot.sh              # -> ./BENCH_*.json
 #   scripts/bench_snapshot.sh out/after    # -> out/after/BENCH_*.json
 #   MIN_TIME=0.5 scripts/bench_snapshot.sh # longer, steadier runs
 set -eu
@@ -19,7 +20,8 @@ mkdir -p "$out"
 out=$(cd "$out" && pwd)
 
 cmake -B "$build" -S "$repo" >/dev/null
-cmake --build "$build" --target bench_cpu_blas bench_comm -j >/dev/null
+cmake --build "$build" --target bench_cpu_blas bench_comm bench_kernels \
+  bench_solver -j >/dev/null
 
 cd "$out"
 "$build/bench/bench_cpu_blas" \
@@ -30,5 +32,13 @@ cd "$out"
   --benchmark_min_time="$min_time" \
   --benchmark_out="$out/BENCH_comm.json" \
   --benchmark_out_format=json
+"$build/bench/bench_kernels" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out/BENCH_kernels.json" \
+  --benchmark_out_format=json
+"$build/bench/bench_solver" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out/BENCH_solver.json" \
+  --benchmark_out_format=json
 
-echo "wrote $out/BENCH_blas.json and $out/BENCH_comm.json"
+echo "wrote $out/BENCH_{blas,comm,kernels,solver}.json"

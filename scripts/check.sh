@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# One-command tier-1 gate: configure + build + full ctest in the default
+# build, then rebuild the concurrency-heavy suites (ctest label "tsan":
+# util/blas/comm/device) under ThreadSanitizer and run just those. This is
+# what CI runs and what a perf PR must keep green.
+#
+#   scripts/check.sh             # build/ + build-tsan/
+#   SKIP_TSAN=1 scripts/check.sh # tier-1 only (e.g. no TSan runtime)
+#   JOBS=4 scripts/check.sh
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build="${BUILD_DIR:-$repo/build}"
+build_tsan="${TSAN_BUILD_DIR:-$repo/build-tsan}"
+jobs="${JOBS:-2}"
+
+echo "== tier-1: build + ctest ($build)"
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+if [ "${SKIP_TSAN:-0}" = "1" ]; then
+  echo "== skipping TSan pass (SKIP_TSAN=1)"
+  exit 0
+fi
+
+echo "== tsan: build + ctest -L tsan ($build_tsan)"
+cmake -B "$build_tsan" -S "$repo" -DHPLX_SANITIZE=thread >/dev/null
+cmake --build "$build_tsan" -j "$jobs" \
+  --target test_util test_blas test_comm test_device
+ctest --test-dir "$build_tsan" --output-on-failure -j "$jobs" -L tsan
+
+echo "== check.sh: all green"

@@ -95,6 +95,15 @@ struct HplConfig {
   /// staging through a pooled eager buffer.
   std::size_t comm_eager_bytes = comm::kDefaultEagerThreshold;
 
+  /// Column-tile width for the device row-swap/copy kernel engine
+  /// (device::EngineConfig::tile_cols): the cache-blocking grain and the
+  /// unit of team parallelism inside one kernel.
+  long swap_tile_cols = 256;
+
+  /// Team members one device data-motion kernel may use: 0 = the whole
+  /// leased BLAS team (blas_threads), 1 = always sequential, n > 1 = cap.
+  int kernel_threads = 0;
+
   /// Per-rank simulated accelerator: capacity and cost model.
   std::size_t hbm_bytes = 1ull << 32;  // tests use small N; 4 GiB default
   device::DeviceModel dev_model = device::DeviceModel::mi250x_gcd();

@@ -16,6 +16,7 @@
 #include "core/pfact.hpp"
 #include "core/rowswap.hpp"
 #include "core/update.hpp"
+#include "device/engine.hpp"
 #include "device/kernels.hpp"
 #include "grid/process_grid.hpp"
 #include "util/error.hpp"
@@ -55,6 +56,15 @@ class Solver {
     u_right_ = dev_.alloc(ucap);
     rs_right_ = std::make_unique<RowSwapper>();
     rs_right_next_ = std::make_unique<RowSwapper>();
+    // All swap staging and panel scratch is reserved once at its maximum
+    // size here; the per-iteration prepare()/resize() calls then reuse the
+    // same allocations instead of reallocating (and re-zeroing) per panel.
+    for (RowSwapper* rs : {&rs_main_, &rs_la_, &rs_left_, rs_right_.get(),
+                           rs_right_next_.get()})
+      rs->reserve(cfg.nb, a_.nloc(), cfg.p);
+    w_.reserve(static_cast<std::size_t>(std::max<long>(a_.mloc(), 1)) *
+               static_cast<std::size_t>(cfg.nb));
+    glob_.reserve(static_cast<std::size_t>(std::max<long>(a_.mloc(), 1)));
   }
 
   HplResult solve() {
@@ -220,6 +230,7 @@ class Solver {
 
   void solve_simple() {
     PanelData panel;
+    panel.reserve(cfg_.nb, a_.mloc());
     int iter = 0;
     for (long j = 0; j < cfg_.n; j += cfg_.nb, ++iter) {
       const int jb = jb_at(j);
@@ -259,6 +270,8 @@ class Solver {
 
   void solve_lookahead(bool split) {
     PanelData panel_a, panel_b;
+    panel_a.reserve(cfg_.nb, a_.mloc());
+    panel_b.reserve(cfg_.nb, a_.mloc());
     PanelData* cur = &panel_a;
     PanelData* nxt = &panel_b;
 
@@ -528,6 +541,7 @@ HplResult run_hpl(comm::Communicator& world, const HplConfig& cfg) {
   // when the team already has the requested size.
   world.fabric().set_direct_threshold(cfg.comm_eager_bytes);
   if (cfg.blas_threads > 0) blas::set_num_threads(cfg.blas_threads);
+  device::configure_engine({cfg.swap_tile_cols, cfg.kernel_threads});
   Solver solver(world, cfg);
   return solver.solve();
 }

@@ -228,6 +228,16 @@ HplDat parse_hpldat(std::istream& in) {
     HPLX_CHECK_MSG(dat.comm_eager_bytes >= 0,
                    "HPL.dat: eager threshold must be >= 0");
   }
+  if (!r.eof()) {
+    dat.swap_tile_cols = r.integer("swap tile cols");
+    HPLX_CHECK_MSG(dat.swap_tile_cols >= 1,
+                   "HPL.dat: swap tile cols must be >= 1");
+  }
+  if (!r.eof()) {
+    dat.kernel_threads = static_cast<int>(r.integer("kernel threads"));
+    HPLX_CHECK_MSG(dat.kernel_threads >= 0,
+                   "HPL.dat: kernel threads must be >= 0");
+  }
   return dat;
 }
 
@@ -272,6 +282,8 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
                   cfg.blas_threads = dat.blas_threads;
                   cfg.comm_eager_bytes =
                       static_cast<std::size_t>(dat.comm_eager_bytes);
+                  cfg.swap_tile_cols = dat.swap_tile_cols;
+                  cfg.kernel_threads = dat.kernel_threads;
                   out.push_back(cfg);
                 }
               }
@@ -343,6 +355,9 @@ std::string format_hpldat(const HplDat& dat) {
   os << dat.fact_threads << "  FACT threads (rocHPL extension)\n";
   os << dat.blas_threads << "  BLAS threads (hplx extension, 0=inherit)\n";
   os << dat.comm_eager_bytes << "  eager threshold bytes (hplx extension)\n";
+  os << dat.swap_tile_cols << "  swap tile cols (hplx extension)\n";
+  os << dat.kernel_threads
+     << "  kernel threads (hplx extension, 0=whole team)\n";
   return os.str();
 }
 

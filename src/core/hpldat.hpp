@@ -56,6 +56,8 @@ struct HplDat {
   int fact_threads = 1;
   int blas_threads = 0;           ///< 0 = leave the installed team alone
   long comm_eager_bytes = 32768;  ///< transport eager/direct threshold
+  long swap_tile_cols = 256;      ///< kernel-engine column tile width
+  int kernel_threads = 0;         ///< kernel-engine team cap (0 = whole team)
 };
 
 /// Parse an HPL.dat stream. Throws hplx::Error with a line diagnostic on

@@ -27,6 +27,13 @@ std::size_t wire_doubles(int jb, long ml2) {
 }
 }  // namespace
 
+void PanelData::reserve(int max_jb, long max_ml2) {
+  top.reserve(static_cast<std::size_t>(max_jb) * max_jb);
+  ipiv.reserve(static_cast<std::size_t>(max_jb));
+  l2.reserve(static_cast<std::size_t>(max_ml2) * max_jb);
+  wire.reserve(wire_doubles(max_jb, max_ml2));
+}
+
 void panel_broadcast(comm::Communicator& row_comm, comm::BcastAlgo algo,
                      int root, PanelData& panel, double* mpi_seconds,
                      const BcastFn* custom) {

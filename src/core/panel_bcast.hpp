@@ -35,6 +35,11 @@ struct PanelData {
   std::vector<double> wire;
 
   void resize(int jb_, long ml2_);
+
+  /// Reserve capacity for the largest panel of a run (jb <= max_jb,
+  /// ml2 <= max_ml2) including the wire scratch, so the per-iteration
+  /// resize() calls never reallocate.
+  void reserve(int max_jb, long max_ml2);
 };
 
 /// User-replaceable broadcast primitive (see HplConfig::custom_bcast).

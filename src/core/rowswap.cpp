@@ -1,7 +1,6 @@
 #include "core/rowswap.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "comm/collectives.hpp"
 #include "device/kernels.hpp"
@@ -15,34 +14,82 @@ RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv) {
   plan.j = j;
   plan.jb = jb;
 
-  // Replay the sequential swaps on a sparse content map:
-  // content[slot] = original row currently sitting there.
-  std::map<long, long> content;
-  auto get = [&](long slot) {
-    const auto it = content.find(slot);
-    return it == content.end() ? slot : it->second;
-  };
+  // Replay the sequential swaps on flat content arrays (the former
+  // std::map allocated O(jb log jb) nodes on every panel of the hot
+  // loop): the jb top-block slots index directly into u_source, and the
+  // few displaced below-block slots live in a small flat vector probed
+  // linearly — it holds at most jb entries and is typically much smaller.
+  std::vector<long>& top = plan.u_source;
+  top.resize(static_cast<std::size_t>(jb));
+  for (int k = 0; k < jb; ++k) top[static_cast<std::size_t>(k)] = j + k;
+
+  std::vector<std::pair<long, long>>& below = plan.displaced;
+  below.reserve(static_cast<std::size_t>(jb));
+
   for (int k = 0; k < jb; ++k) {
     const long a = j + k;
     const long b = ipiv[k];
     HPLX_CHECK_MSG(b >= a, "pivot row " << b << " above current row " << a);
     if (a == b) continue;
-    const long ca = get(a);
-    const long cb = get(b);
-    content[a] = cb;
-    content[b] = ca;
+    long& ca = top[static_cast<std::size_t>(k)];
+    if (b < j + jb) {
+      std::swap(ca, top[static_cast<std::size_t>(b - j)]);
+      continue;
+    }
+    std::pair<long, long>* entry = nullptr;
+    for (auto& p : below) {
+      if (p.first == b) {
+        entry = &p;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      below.emplace_back(b, b);
+      entry = &below.back();
+    }
+    std::swap(ca, entry->second);
   }
 
-  plan.u_source.resize(static_cast<std::size_t>(jb));
-  for (int k = 0; k < jb; ++k) plan.u_source[static_cast<std::size_t>(k)] = get(j + k);
-
-  for (const auto& [slot, orig] : content) {
-    if (slot >= j && slot < j + jb) continue;  // top block: handled as U
-    if (orig == slot) continue;
+  // u_source already holds get(j+k) for every k (it *is* the top-block
+  // content array). The displaced list keeps only slots whose content
+  // changed, sorted by destination — the order prepare() packs in.
+  below.erase(
+      std::remove_if(below.begin(), below.end(),
+                     [](const auto& p) { return p.first == p.second; }),
+      below.end());
+  std::sort(below.begin(), below.end());
+  for (const auto& [slot, orig] : below) {
+    (void)slot;
     HPLX_CHECK(orig >= j && orig < j + jb);  // sources always from the top
-    plan.displaced.emplace_back(slot, orig);
   }
   return plan;
+}
+
+namespace {
+/// Grow-only resize for the staging buffers: every byte a kernel or
+/// collective reads is written first (pack fills exactly the packed row
+/// count, the collectives move exact byte counts), so stale tail content
+/// past the live region is never observed and re-zeroing each panel —
+/// what assign() did — is pure overhead.
+void ensure_size(std::vector<double>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+}
+}  // namespace
+
+void RowSwapper::reserve(int max_jb, long max_njl, int nprow) {
+  const std::size_t u = static_cast<std::size_t>(max_jb) *
+                        static_cast<std::size_t>(std::max<long>(max_njl, 1));
+  my_u_.reserve(u);
+  gathered_u_.reserve(u);
+  disp_send_.reserve(u);
+  disp_recv_.reserve(u);
+  my_u_slots_.reserve(static_cast<std::size_t>(max_jb));
+  u_dest_of_packed_.reserve(static_cast<std::size_t>(max_jb));
+  disp_src_slots_.reserve(static_cast<std::size_t>(max_jb));
+  my_disp_dest_slots_.reserve(static_cast<std::size_t>(max_jb));
+  u_counts_.reserve(static_cast<std::size_t>(nprow));
+  u_displs_.reserve(static_cast<std::size_t>(nprow));
+  disp_counts_.reserve(static_cast<std::size_t>(nprow));
 }
 
 void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
@@ -66,40 +113,35 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
   // --- U assembly bookkeeping -------------------------------------------
   // Determine, for each U row k, the owning grid row of its source and the
   // pack order: ranks contribute their sources in ascending k. All ranks
-  // compute the same tables (the plan is replicated).
+  // compute the same tables (the plan is replicated). The grouping runs
+  // owner-major over the jb sources directly — no per-owner scratch
+  // vectors in the hot loop.
   my_u_slots_.clear();
   u_dest_of_packed_.clear();
   u_counts_.assign(static_cast<std::size_t>(nprow_), 0);
   u_displs_.assign(static_cast<std::size_t>(nprow_), 0);
 
-  std::vector<std::vector<long>> ks_of_row(static_cast<std::size_t>(nprow_));
-  for (int k = 0; k < jb_; ++k) {
-    const long src = plan.u_source[static_cast<std::size_t>(k)];
-    const int owner = rows.owner(src);
-    ks_of_row[static_cast<std::size_t>(owner)].push_back(k);
-  }
   const std::size_t row_bytes =
       static_cast<std::size_t>(njl_) * sizeof(double);
+  for (int k = 0; k < jb_; ++k) {
+    const long src = plan.u_source[static_cast<std::size_t>(k)];
+    u_counts_[static_cast<std::size_t>(rows.owner(src))] += row_bytes;
+  }
   std::size_t off = 0;
   for (int r = 0; r < nprow_; ++r) {
     u_displs_[static_cast<std::size_t>(r)] = off;
-    u_counts_[static_cast<std::size_t>(r)] =
-        ks_of_row[static_cast<std::size_t>(r)].size() * row_bytes;
     off += u_counts_[static_cast<std::size_t>(r)];
-    for (long k : ks_of_row[static_cast<std::size_t>(r)])
+    for (int k = 0; k < jb_; ++k) {
+      const long src = plan.u_source[static_cast<std::size_t>(k)];
+      if (rows.owner(src) != r) continue;
       u_dest_of_packed_.push_back(k);
-  }
-
-  // My own sources, in the same ascending-k order, as local row ids.
-  for (int k = 0; k < jb_; ++k) {
-    const long src = plan.u_source[static_cast<std::size_t>(k)];
-    if (rows.owner(src) == myrow_) {
-      my_u_slots_.push_back(rows.to_local(src));
+      if (r == myrow_) my_u_slots_.push_back(rows.to_local(src));
     }
   }
 
-  my_u_.assign(my_u_slots_.size() * static_cast<std::size_t>(njl_), 0.0);
-  gathered_u_.assign(static_cast<std::size_t>(jb_) * njl_, 0.0);
+  ensure_size(my_u_, my_u_slots_.size() * static_cast<std::size_t>(njl_));
+  ensure_size(gathered_u_,
+              static_cast<std::size_t>(jb_) * static_cast<std::size_t>(njl_));
 
   // --- displaced rows ----------------------------------------------------
   disp_src_slots_.clear();
@@ -107,16 +149,16 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
   disp_counts_.assign(static_cast<std::size_t>(nprow_), 0);
 
   // Rank order for the scatter: destination owner, then ascending dest.
-  std::vector<std::pair<long, long>> sorted = plan.displaced;
-  std::sort(sorted.begin(), sorted.end());
-  for (const auto& [dest, orig] : sorted) {
-    const int owner = rows.owner(dest);
-    disp_counts_[static_cast<std::size_t>(owner)] += row_bytes;
+  // plan.displaced is already sorted by destination (build_rowswap_plan's
+  // contract), so the per-owner sweeps below visit it in that order.
+  for (const auto& [dest, orig] : plan.displaced) {
+    (void)orig;
+    disp_counts_[static_cast<std::size_t>(rows.owner(dest))] += row_bytes;
   }
   // Root packs sources grouped by destination owner, ascending dest within
   // a group — matching the order destinations will unpack.
   for (int r = 0; r < nprow_; ++r) {
-    for (const auto& [dest, orig] : sorted) {
+    for (const auto& [dest, orig] : plan.displaced) {
       if (rows.owner(dest) != r) continue;
       if (in_diag_row_) disp_src_slots_.push_back(rows.to_local(orig));
       if (r == myrow_) my_disp_dest_slots_.push_back(rows.to_local(dest));
@@ -124,12 +166,11 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
   }
   if (!in_diag_row_) disp_src_slots_.clear();
 
-  disp_send_.assign(in_diag_row_ ? disp_src_slots_.size() *
-                                       static_cast<std::size_t>(njl_)
-                                 : 0,
-                    0.0);
-  disp_recv_.assign(my_disp_dest_slots_.size() * static_cast<std::size_t>(njl_),
-                    0.0);
+  ensure_size(disp_send_, in_diag_row_ ? disp_src_slots_.size() *
+                                             static_cast<std::size_t>(njl_)
+                                       : 0);
+  ensure_size(disp_recv_,
+              my_disp_dest_slots_.size() * static_cast<std::size_t>(njl_));
 }
 
 void RowSwapper::gather(device::Stream& stream, DistMatrix& a) {

@@ -35,12 +35,15 @@ struct RowSwapPlan {
   std::vector<long> u_source;
 
   /// (destination slot, original top-block row moving there) for every
-  /// displaced row. Destinations lie strictly below the top block; sources
-  /// are always rows j..j+jb-1, owned by the diagonal process row.
+  /// displaced row, sorted by destination slot (RowSwapper::prepare packs
+  /// in this order). Destinations lie strictly below the top block;
+  /// sources are always rows j..j+jb-1, owned by the diagonal process row.
   std::vector<std::pair<long, long>> displaced;
 };
 
-/// Build the plan by replaying the swap sequence on an index map.
+/// Build the plan by replaying the swap sequence on flat content arrays
+/// (allocation-light: one resize of u_source plus one reserve of
+/// displaced, no per-swap node allocations).
 RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv);
 
 /// Per-window workspace + this rank's precomputed index lists. One
@@ -48,6 +51,12 @@ RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv);
 /// right in the split update).
 class RowSwapper {
  public:
+  /// Pre-size every workspace for the largest window this swapper will
+  /// see (jb <= max_jb, njl <= max_njl, a process column of nprow ranks),
+  /// so per-panel prepare() calls neither allocate nor re-zero. Optional:
+  /// without it the buffers grow to their high-water mark on first use.
+  void reserve(int max_jb, long max_njl, int nprow);
+
   /// Prepare for applying `plan` to local columns [jl0, jl0+njl) on this
   /// rank, whose grid row coordinate is `myrow`. njl may be 0; the rank
   /// still participates in the collectives. `algo`/`threshold` select the

@@ -1,9 +1,11 @@
 #include "device/kernels.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "blas/blas.hpp"
+#include "device/engine.hpp"
 #include "util/error.hpp"
 
 namespace hplx::device {
@@ -54,6 +56,25 @@ void copy_d2h(Stream& s, double* dst, const double* src, std::size_t count) {
   copy_h2d(s, dst, src, count);  // symmetric link, same cost & mechanics
 }
 
+namespace {
+/// Shared body of the strided m×n column-major copies: one memcpy per
+/// column, column tiles fanned out over the engine. When both sides are
+/// gap-free the whole tile collapses into a single memcpy.
+void tiled_matrix_copy(long m, long n, const double* src, long lds,
+                       double* dst, long ldd) {
+  run_column_tiles(n, [&](long c0, long c1) {
+    if (lds == m && ldd == m) {
+      std::memcpy(dst + c0 * m, src + c0 * m,
+                  static_cast<std::size_t>(m) * (c1 - c0) * sizeof(double));
+      return;
+    }
+    for (long j = c0; j < c1; ++j)
+      std::memcpy(dst + j * ldd, src + j * lds,
+                  static_cast<std::size_t>(m) * sizeof(double));
+  });
+}
+}  // namespace
+
 void copy_matrix(Stream& s, long m, long n, const double* src, long lds,
                  double* dst, long ldd) {
   if (m <= 0 || n <= 0) return;
@@ -61,11 +82,7 @@ void copy_matrix(Stream& s, long m, long n, const double* src, long lds,
       2ul * static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
       sizeof(double);
   const double modeled = s.device().model().dmove_seconds(bytes);
-  s.enqueue(modeled, [=] {
-    for (long j = 0; j < n; ++j)
-      std::memcpy(dst + j * ldd, src + j * lds,
-                  static_cast<std::size_t>(m) * sizeof(double));
-  });
+  s.enqueue(modeled, [=] { tiled_matrix_copy(m, n, src, lds, dst, ldd); });
 }
 
 namespace {
@@ -75,11 +92,7 @@ void strided_hcopy(Stream& s, long m, long n, const double* src, long lds,
   const std::size_t bytes = static_cast<std::size_t>(m) *
                             static_cast<std::size_t>(n) * sizeof(double);
   const double modeled = s.device().model().hcopy_seconds(bytes);
-  s.enqueue(modeled, [=] {
-    for (long j = 0; j < n; ++j)
-      std::memcpy(dst + j * ldd, src + j * lds,
-                  static_cast<std::size_t>(m) * sizeof(double));
-  });
+  s.enqueue(modeled, [=] { tiled_matrix_copy(m, n, src, lds, dst, ldd); });
 }
 }  // namespace
 
@@ -93,17 +106,64 @@ void copy_matrix_d2h(Stream& s, long m, long n, const double* src, long lds,
   strided_hcopy(s, m, n, src, lds, dst, ldd);
 }
 
+// The row-swap kernels below all iterate column-by-column inside a tile,
+// with the row list in the inner loop: every inner iteration touches a
+// single column of the column-major matrix (one contiguous lda-spaced
+// region, so nearby pivot rows share cache lines) and the packed side is
+// walked at unit or tile-bounded stride. The seed kernels iterated rows
+// outermost with columns inside — one cache line touched per element at
+// HPL trailing-window widths. Gather-side kernels additionally visit
+// their source rows in ascending address order (the row list is sorted
+// once per call) so each column is read as a monotone sweep the hardware
+// prefetcher can follow instead of a random walk.
+
+namespace {
+/// (sorted source row, original slot) pairs for a gather row list.
+std::vector<std::pair<long, long>> sorted_rows(const std::vector<long>& rows) {
+  std::vector<std::pair<long, long>> order(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    order[i] = {rows[i], static_cast<long>(i)};
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+/// Prefetch distance for the scattered per-column row walks: far enough to
+/// cover a memory round-trip, short enough to stay inside the column.
+constexpr long kPrefetchAhead = 24;
+
+inline void prefetch_row(const double* acol,
+                         const std::pair<long, long>* op, long i, long nr) {
+  if (i + kPrefetchAhead < nr)
+    __builtin_prefetch(acol + op[i + kPrefetchAhead].first, 0, 3);
+}
+
+inline void prefetch_row_w(double* acol, const std::pair<long, long>* op,
+                           long i, long nr) {
+  if (i + kPrefetchAhead < nr)
+    __builtin_prefetch(acol + op[i + kPrefetchAhead].first, 1, 3);
+}
+}  // namespace
+
 void row_gather(Stream& s, const double* a, long lda, std::vector<long> rows,
                 long n, double* out, long ldo) {
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(rows.size()), n);
-  s.enqueue(modeled, [=, rows = std::move(rows)] {
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      const long src_row = rows[r];
-      for (long j = 0; j < n; ++j)
-        out[static_cast<long>(r) + j * ldo] = a[src_row + j * lda];
-    }
+  s.enqueue(modeled, [=, order = sorted_rows(rows)] {
+    const long nr = static_cast<long>(order.size());
+    const std::pair<long, long>* op = order.data();
+    run_column_tiles(n, [&](long c0, long c1) {
+      for (long c = c0; c < c1; ++c) {
+        const double* acol = a + c * lda;
+        double* ocol = out + c * ldo;
+        // Reads sweep the column upward; the shuffled writes stay inside
+        // one jb-length output column (a few KB, cache-resident).
+        for (long r = 0; r < nr; ++r) {
+          prefetch_row(acol, op, r, nr);
+          ocol[op[r].second] = acol[op[r].first];
+        }
+      }
+    });
   });
 }
 
@@ -112,12 +172,22 @@ void row_scatter(Stream& s, double* a, long lda, std::vector<long> rows,
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(rows.size()), n);
-  s.enqueue(modeled, [=, rows = std::move(rows)] {
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      const long dst_row = rows[r];
-      for (long j = 0; j < n; ++j)
-        a[dst_row + j * lda] = in[static_cast<long>(r) + j * ldi];
-    }
+  s.enqueue(modeled, [=, order = sorted_rows(rows)] {
+    const long nr = static_cast<long>(order.size());
+    const std::pair<long, long>* op = order.data();
+    run_column_tiles(n, [&](long c0, long c1) {
+      for (long c = c0; c < c1; ++c) {
+        double* acol = a + c * lda;
+        const double* icol = in + c * ldi;
+        // Destinations sweep the column upward (rows are distinct, so the
+        // reorder cannot change which write wins); the shuffled reads stay
+        // inside one cache-resident input column.
+        for (long r = 0; r < nr; ++r) {
+          prefetch_row_w(acol, op, r, nr);
+          acol[op[r].first] = icol[op[r].second];
+        }
+      }
+    });
   });
 }
 
@@ -126,12 +196,35 @@ void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(rows.size()), n);
-  s.enqueue(modeled, [=, rows = std::move(rows)] {
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const long src = rows[i];
-      double* out = out_rowmajor + static_cast<long>(i) * n;
-      for (long c = 0; c < n; ++c) out[c] = a[src + c * lda];
-    }
+  s.enqueue(modeled, [=, order = sorted_rows(rows)] {
+    const long nr = static_cast<long>(order.size());
+    const std::pair<long, long>* op = order.data();
+    // Column-major ↔ row-major crossing goes through a per-thread scratch
+    // tile: stage 1 gathers down contiguous matrix columns in ascending
+    // row order (the expensive, cache-line-wasting side of the seed loop),
+    // stage 2 transposes the L2-resident tile into the wire rows. Either
+    // stage alone would stride a cold array per element.
+    run_column_tiles(n, [&](long c0, long c1) {
+      const long tc = c1 - c0;
+      static thread_local std::vector<double> scratch;
+      if (static_cast<long>(scratch.size()) < nr * tc)
+        scratch.resize(static_cast<std::size_t>(nr) * tc);
+      double* t = scratch.data();
+      for (long c = c0; c < c1; ++c) {
+        const double* acol = a + c * lda;
+        double* tcol = t + (c - c0) * nr;
+        for (long i = 0; i < nr; ++i) {
+          prefetch_row(acol, op, i, nr);
+          tcol[i] = acol[op[i].first];
+        }
+      }
+      // Scratch slot i holds sorted-order row i; route it to its original
+      // wire slot while reading the tile at unit stride per destination.
+      for (long i = 0; i < nr; ++i) {
+        double* orow = out_rowmajor + op[i].second * n;
+        for (long c = c0; c < c1; ++c) orow[c] = t[i + (c - c0) * nr];
+      }
+    });
   });
 }
 
@@ -140,12 +233,24 @@ void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(rows.size()), n);
-  s.enqueue(modeled, [=, rows = std::move(rows)] {
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const long dst = rows[i];
-      const double* in = in_rowmajor + static_cast<long>(i) * n;
-      for (long c = 0; c < n; ++c) a[dst + c * lda] = in[c];
-    }
+  s.enqueue(modeled, [=, order = sorted_rows(rows)] {
+    const long nr = static_cast<long>(order.size());
+    const std::pair<long, long>* op = order.data();
+    // Scatter each column in ascending destination order (rows are
+    // distinct, so the reorder cannot change which write wins). The wire
+    // reads in[i*n + c] look strided, but one cache line per wire row
+    // covers eight successive c — across a column tile the whole jb-line
+    // working set stays resident, so only the first column of every
+    // 8-wide group misses.
+    run_column_tiles(n, [&](long c0, long c1) {
+      for (long c = c0; c < c1; ++c) {
+        double* acol = a + c * lda;
+        for (long i = 0; i < nr; ++i) {
+          prefetch_row_w(acol, op, i, nr);
+          acol[op[i].first] = in_rowmajor[op[i].second * n + c];
+        }
+      }
+    });
   });
 }
 
@@ -154,13 +259,22 @@ void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv) {
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(ipiv.size()), n);
   s.enqueue(modeled, [=, ipiv = std::move(ipiv)] {
-    for (std::size_t k = 0; k < ipiv.size(); ++k) {
-      const long other = ipiv[k];
-      if (other == static_cast<long>(k)) continue;
-      for (long j = 0; j < n; ++j) {
-        std::swap(a[static_cast<long>(k) + j * lda], a[other + j * lda]);
+    const std::size_t np = ipiv.size();
+    const long* pp = ipiv.data();
+    // Swaps alias *rows*, so the sequential pivot order must be preserved
+    // within every column — but columns never interact, which makes the
+    // column tile the dependency-safe parallel unit: each tile replays the
+    // full pivot sequence in order over its own columns.
+    run_column_tiles(n, [&](long c0, long c1) {
+      for (long c = c0; c < c1; ++c) {
+        double* col = a + c * lda;
+        for (std::size_t k = 0; k < np; ++k) {
+          const long other = pp[k];
+          if (other == static_cast<long>(k)) continue;
+          std::swap(col[static_cast<long>(k)], col[other]);
+        }
       }
-    }
+    });
   });
 }
 

@@ -11,6 +11,16 @@
 /// All matrix pointers refer to device buffers (column-major, leading
 /// dimension in doubles). Host-side index vectors are captured by value at
 /// enqueue time, so callers may reuse them immediately.
+///
+/// The data-motion kernels (row gather/scatter/pack/unpack, laswp, and the
+/// strided matrix copies) execute on the column-tiled engine of
+/// engine.hpp: column tiles fan out over the leased BLAS thread team with
+/// a sequential fallback, and inner loops run down contiguous columns.
+/// Results are bitwise identical for every tile width and team size. The
+/// *modeled* durations still come from DeviceModel (they describe the
+/// simulated accelerator, whose kernels are parallel either way); the
+/// stream's real_busy_seconds wall clock naturally reflects the teamed
+/// execution, since the tiles run inside the enqueued op.
 
 #include <cstddef>
 #include <vector>
@@ -50,7 +60,9 @@ void copy_matrix_d2h(Stream& s, long m, long n, const double* src, long lds,
 void row_gather(Stream& s, const double* a, long lda,
                 std::vector<long> rows, long n, double* out, long ldo);
 
-/// a(rows[r], :) := in(r, :) — the inverse scatter.
+/// a(rows[r], :) := in(r, :) — the inverse scatter. `rows` must be
+/// distinct (every caller scatters into disjoint slots); the kernel
+/// reorders the writes by ascending destination row.
 void row_scatter(Stream& s, double* a, long lda, std::vector<long> rows,
                  long n, const double* in, long ldi);
 
@@ -66,7 +78,8 @@ void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv);
 void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
                long n, double* out_rowmajor);
 
-/// Inverse of pack_rows: a(rows[i], c) = in[i*n + c].
+/// Inverse of pack_rows: a(rows[i], c) = in[i*n + c]. Like row_scatter,
+/// `rows` must be distinct.
 void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
                  long n, double* a, long lda);
 
