@@ -4,6 +4,7 @@
 /// check the HPL residual.
 ///
 ///   ./quickstart --n=256 --nb=32 --p=2 --q=2 --threads=2
+///   ./quickstart --n=512 --nb=64 --p=1 --q=1 --streams=4   # banded update
 ///
 /// Every rank manages one simulated accelerator (as every rocHPL rank
 /// manages one GCD); the matrix lives in "HBM", panels hop to the CPU for
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 42));
   cfg.fact_threads = static_cast<int>(opt.get_int("threads", 2));
   cfg.split_fraction = opt.get_double("split", 0.5);
+  cfg.update_streams = static_cast<int>(opt.get_int("streams", 1));
+  cfg.update_band_cols = opt.get_int("band", 0);
   cfg.pipeline = core::PipelineMode::LookaheadSplit;
 
   std::printf("hplx quickstart: N=%ld NB=%d grid=%dx%d threads=%d\n", cfg.n,

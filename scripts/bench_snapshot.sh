@@ -37,8 +37,14 @@ cd "$out"
   --benchmark_out="$out/BENCH_kernels.json" \
   --benchmark_out_format=json
 "$build/bench/bench_solver" \
+  --benchmark_filter='BM_Solver/' \
   --benchmark_min_time="$min_time" \
   --benchmark_out="$out/BENCH_solver.json" \
   --benchmark_out_format=json
+"$build/bench/bench_solver" \
+  --benchmark_filter='BM_SolverStreams/' \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out/BENCH_streams.json" \
+  --benchmark_out_format=json
 
-echo "wrote $out/BENCH_{blas,comm,kernels,solver}.json"
+echo "wrote $out/BENCH_{blas,comm,kernels,solver,streams}.json"

@@ -4,6 +4,7 @@
 
 #include "blas/blas.hpp"
 #include "comm/collectives.hpp"
+#include "device/engine.hpp"
 #include "device/kernels.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -13,6 +14,23 @@ namespace hplx::core {
 namespace {
 constexpr int kTagB = 101;   ///< b segment moving to the diagonal owner
 constexpr int kTagY = 102;   ///< partial update flowing back to b's column
+
+/// dst[i] -= src[i] over [0, m), tiled over the kernel engine: elements
+/// are "columns" (disjoint, write-once), so the subtraction fans out over
+/// the leased BLAS team exactly like the device data-motion kernels and
+/// falls back to the sequential sweep when the team is busy.
+void sub_vector(double* dst, const double* src, long m) {
+  device::run_column_tiles(m, [&](long c0, long c1) {
+    for (long i = c0; i < c1; ++i) dst[i] -= src[i];
+  });
+}
+
+/// dst[i] = src[i] over [0, m), same tiling.
+void copy_vector(double* dst, const double* src, long m) {
+  device::run_column_tiles(m, [&](long c0, long c1) {
+    for (long i = c0; i < c1; ++i) dst[i] = src[i];
+  });
+}
 }  // namespace
 
 std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
@@ -61,8 +79,7 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
                           kTagB);
         mpi.stop();
       } else if (diag_col && have_b) {
-        for (int i = 0; i < jbk; ++i)
-          xk[static_cast<std::size_t>(i)] = bh[static_cast<std::size_t>(il + i)];
+        copy_vector(xk.data(), bh.data() + il, jbk);
       }
     }
 
@@ -84,8 +101,7 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
       comm::bcast(g.col_comm(), xk.data(), static_cast<std::size_t>(jbk),
                   prow_k);
       mpi.stop();
-      for (int i = 0; i < jbk; ++i)
-        x[static_cast<std::size_t>(jk + i)] = xk[static_cast<std::size_t>(i)];
+      copy_vector(x.data() + jk, xk.data(), jbk);
 
       const long m_above = a.row_offset(jk);
       y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)), 0.0);
@@ -104,8 +120,7 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
                           kTagY);
         mpi.stop();
       } else {
-        for (long i = 0; i < m_above; ++i)
-          bh[static_cast<std::size_t>(i)] -= y[static_cast<std::size_t>(i)];
+        sub_vector(bh.data(), y.data(), m_above);
       }
     } else if (have_b) {
       const long m_above = a.row_offset(jk);
@@ -114,8 +129,7 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
       g.row_comm().recv(y.data(), static_cast<std::size_t>(m_above), pcol_k,
                         kTagY);
       mpi.stop();
-      for (long i = 0; i < m_above; ++i)
-        bh[static_cast<std::size_t>(i)] -= y[static_cast<std::size_t>(i)];
+      sub_vector(bh.data(), y.data(), m_above);
     }
   }
 
@@ -126,9 +140,7 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
     const long jk = k * nb;
     const int jbk = static_cast<int>(std::min<long>(nb, n - jk));
     if (g.mycol() == a.cols().owner(jk) && g.myrow() == 0) {
-      for (int i = 0; i < jbk; ++i)
-        xsum[static_cast<std::size_t>(jk + i)] =
-            x[static_cast<std::size_t>(jk + i)];
+      copy_vector(xsum.data() + jk, x.data() + jk, jbk);
     }
   }
   mpi.start();

@@ -97,8 +97,25 @@ struct HplConfig {
 
   /// Column-tile width for the device row-swap/copy kernel engine
   /// (device::EngineConfig::tile_cols): the cache-blocking grain and the
-  /// unit of team parallelism inside one kernel.
+  /// unit of team parallelism inside one kernel. 0 = run the one-shot
+  /// startup probe (device::autotune_swap_tile_cols) and use its winner;
+  /// a nonzero value pins the width.
   long swap_tile_cols = 256;
+
+  /// Streams in the trailing-update pool: rocHPL's U1/U2 stream split
+  /// generalized to N in-order streams. 1 reproduces the seed
+  /// single-stream schedule; with more streams the trailing update is cut
+  /// into column bands fanned out across the pool with event fencing, so
+  /// the look-ahead band completes (and releases FACT) while the remaining
+  /// bands still compute. Bands never alias columns — results are bitwise
+  /// identical for every value. Clamped to [1, trace::kMaxUpdateStreams].
+  int update_streams = 1;
+
+  /// Column width of one trailing-update band. 0 = split each update
+  /// window evenly, one band per usable pool stream; a nonzero width tiles
+  /// the window at that many columns (more bands than streams round-robin,
+  /// which evens out ragged windows). Any value is bitwise-identical.
+  long update_band_cols = 0;
 
   /// Team members one device data-motion kernel may use: 0 = the whole
   /// leased BLAS team (blas_threads), 1 = always sequential, n > 1 = cap.

@@ -16,6 +16,7 @@
 #include "core/pfact.hpp"
 #include "core/rowswap.hpp"
 #include "core/update.hpp"
+#include "device/autotune.hpp"
 #include "device/engine.hpp"
 #include "device/kernels.hpp"
 #include "grid/process_grid.hpp"
@@ -45,7 +46,10 @@ class Solver {
         dev_("gcd" + std::to_string(world.rank()), cfg.hbm_bytes,
              cfg.dev_model),
         a_(dev_, grid_, cfg.n, cfg.nb, cfg.seed),
-        compute_(dev_, "compute"),
+        pool_(dev_,
+              std::clamp(cfg.update_streams, 1, trace::kMaxUpdateStreams),
+              "compute"),
+        compute_(pool_.primary()),
         data_(dev_, "data"),
         team_(std::max(1, cfg.fact_threads)) {
     const std::size_t ucap = static_cast<std::size_t>(cfg.nb) *
@@ -84,9 +88,14 @@ class Solver {
         break;
     }
 
+    // One end-of-factorization drain: backsolve reads A on the primary
+    // stream, but the final iteration's band streams and the data stream's
+    // panel write-back are only ordered against the primary queue — not
+    // against the host reads below (per-stream clocks, verification).
+    pool_.synchronize();
+    data_.synchronize();
+
     if (std::getenv("HPLX_DEBUG_DUMP") != nullptr) {
-      compute_.synchronize();
-      data_.synchronize();
       for (long jl = 0; jl < a_.nloc(); ++jl)
         for (long il = 0; il < a_.mloc(); ++il)
           std::fprintf(stderr, "DUMP %d %ld %ld %.17g\n",
@@ -111,7 +120,12 @@ class Solver {
     result.fact_seconds = fact_total_;
     result.mpi_seconds = mpi_total_;
     result.transfer_seconds = data_.real_busy_seconds();
-    result.gpu_seconds = compute_.real_busy_seconds();
+    result.gpu_seconds = pool_.real_busy_seconds();
+    for (int i = 0; i < pool_.size(); ++i) {
+      result.stream_busy_seconds.push_back(pool_.stream(i).busy_seconds());
+      result.stream_real_seconds.push_back(
+          pool_.stream(i).real_busy_seconds());
+    }
     collect_trace(result);
     return result;
   }
@@ -209,6 +223,18 @@ class Solver {
                     &st.mpi, &cfg_.custom_bcast);
   }
 
+  /// Latch every pool stream's busy clocks at iteration start so
+  /// record_iteration can attribute per-stream deltas. The clocks advance
+  /// as ops *complete*, so with overlap enabled an op may be charged to
+  /// the iteration that drained it rather than the one that enqueued it —
+  /// the whole-run sums are exact either way.
+  void snapshot_stream_clocks() {
+    for (int i = 0; i < pool_.size(); ++i) {
+      busy0_[i] = pool_.stream(i).busy_seconds();
+      real0_[i] = pool_.stream(i).real_busy_seconds();
+    }
+  }
+
   void record_iteration(long j, int iter, double total, double gpu,
                         const IterStats& st, double transfer) {
     fact_total_ += st.fact;
@@ -222,6 +248,12 @@ class Solver {
       rec.fact_s = st.fact;
       rec.mpi_s = st.mpi;
       rec.transfer_s = transfer;
+      rec.update_streams = pool_.size();
+      for (int i = 0; i < pool_.size(); ++i) {
+        rec.stream_busy_s[i] = pool_.stream(i).busy_seconds() - busy0_[i];
+        rec.stream_real_s[i] =
+            pool_.stream(i).real_busy_seconds() - real0_[i];
+      }
       my_records_.push_back(rec);
     }
   }
@@ -237,15 +269,16 @@ class Solver {
       IterStats st;
       Timer t_iter;
       t_iter.start();
-      const double gpu0 = compute_.real_busy_seconds();
+      const double gpu0 = pool_.real_busy_seconds();
       const double xfer0 = data_.real_busy_seconds();
+      snapshot_stream_clocks();
 
       make_panel(j, panel, st);
       apply_full_rowswap_and_update(j, jb, panel, st);
-      compute_.synchronize();
+      pool_.synchronize();
 
       record_iteration(j, iter, t_iter.stop(),
-                       compute_.real_busy_seconds() - gpu0, st,
+                       pool_.real_busy_seconds() - gpu0, st,
                        data_.real_busy_seconds() - xfer0);
     }
   }
@@ -258,12 +291,14 @@ class Solver {
     rs_main_.prepare(plan, a_, grid_.myrow(), jl0, njl, cfg_.swap,
                      cfg_.swap_threshold);
     rs_main_.gather(compute_, a_);
-    rs_main_.communicate(grid_.col_comm(), compute_, &st.mpi);
+    rs_main_.communicate(grid_.col_comm(), &st.mpi);
     rs_main_.scatter(compute_, a_, u_main_.data(), cfg_.nb);
-    enqueue_u_update(compute_, a_, panel, u_main_.data(), cfg_.nb, jl0, njl,
-                     my_row(j), row_of(j));
-    enqueue_tail_gemm(compute_, a_, panel, u_main_.data(), cfg_.nb, jl0, njl,
-                      row_of(j + jb));
+    const device::Event u_ready = compute_.record();
+    const BandSection sec = enqueue_update_bands(
+        pool_, u_ready, a_, panel, u_main_.data(), cfg_.nb, jl0, njl,
+        my_row(j), row_of(j), row_of(j + jb), cfg_.update_band_cols,
+        BandPlacement::Spread);
+    sec.join(compute_);
   }
 
   // -------------------------------------------- lookahead (+split) driver
@@ -298,7 +333,7 @@ class Solver {
                          a_.nloc() - right_start_, cfg_.swap,
                          cfg_.swap_threshold);
       rs_right_->gather(compute_, a_);
-      rs_right_->communicate(grid_.col_comm(), compute_, &st.mpi);
+      rs_right_->communicate(grid_.col_comm(), &st.mpi);
       pending_right = true;
       mpi_total_ += st.mpi;
     }
@@ -308,8 +343,9 @@ class Solver {
       IterStats st;
       Timer t_iter;
       t_iter.start();
-      const double gpu0 = compute_.real_busy_seconds();
+      const double gpu0 = pool_.real_busy_seconds();
       const double xfer0 = data_.real_busy_seconds();
+      snapshot_stream_clocks();
 
       const bool left_remains = split && col_of(j + jb_at(j)) < right_start_;
       if (left_remains) {
@@ -318,13 +354,21 @@ class Solver {
         iterate_lookahead(j, *cur, *nxt, st, pending_right);
         pending_right = false;
       }
-      compute_.synchronize();
+      // No host synchronize here: each iterate_* joins its banded sections
+      // back into the primary stream, so the next iteration's gathers are
+      // event-ordered behind this one's update while the host runs ahead
+      // (the driver-level fan-in the multi-stream schedule relies on).
       std::swap(cur, nxt);
 
       record_iteration(j, iter, t_iter.stop(),
-                       compute_.real_busy_seconds() - gpu0, st,
+                       pool_.real_busy_seconds() - gpu0, st,
                        data_.real_busy_seconds() - xfer0);
     }
+
+    // Drain the pool before the panel double-buffers (locals of this
+    // function) are destroyed: the last iteration's bands still read
+    // cur->top / cur->l2 through raw pointers captured at enqueue time.
+    pool_.synchronize();
   }
 
   /// One Fig. 3 iteration: row swap exposed, FACT/LBCAST of the next panel
@@ -352,29 +396,43 @@ class Solver {
       rs_main_.prepare(plan, a_, grid_.myrow(), jl0, njl, cfg_.swap,
                      cfg_.swap_threshold);
       rs_main_.gather(compute_, a_);
-      rs_main_.communicate(grid_.col_comm(), compute_, &st.mpi);
+      rs_main_.communicate(grid_.col_comm(), &st.mpi);
       rs_main_.scatter(compute_, a_, u, cfg_.nb);
     }
-
-    enqueue_u_update(compute_, a_, cur, u, cfg_.nb, jl0, njl, my_row(j),
-                     row_of(j));
+    const device::Event u_ready = compute_.record();
+    const bool in_diag = my_row(j);
+    const long u_row = row_of(j);
+    const long tail = row_of(j + jb);
+    BandSection sections;
 
     if (la_cols > 0) {
-      // Update the look-ahead columns first, then ship them to the host
-      // for FACT while the big DGEMM still runs (Fig. 3).
-      enqueue_tail_gemm(compute_, a_, cur, u, cfg_.nb, jl0, la_cols,
-                        row_of(j + jb));
-      device::Event la_done = compute_.record();
-      // The U buffer spans the whole window; the remaining columns start
-      // la_cols past its origin.
-      enqueue_tail_gemm(compute_, a_, cur, u + la_cols * cfg_.nb, cfg_.nb,
-                        jl0 + la_cols, njl - la_cols, row_of(j + jb));
-      data_.wait_event(la_done);
+      // Update the look-ahead columns first, on the primary alone, so
+      // their completion event fires the moment the band finishes and FACT
+      // starts while the rest of the window still computes (Fig. 3). The
+      // remaining columns fan out across the whole pool.
+      const BandSection la = enqueue_update_bands(
+          pool_, u_ready, a_, cur, u, cfg_.nb, jl0, la_cols, in_diag, u_row,
+          tail, cfg_.update_band_cols, BandPlacement::PrimaryOnly);
+      const BandSection rest = enqueue_update_bands(
+          pool_, u_ready, a_, cur, u + la_cols * cfg_.nb, cfg_.nb,
+          jl0 + la_cols, njl - la_cols, in_diag, u_row, tail,
+          cfg_.update_band_cols, BandPlacement::Spread);
+      for (const device::Event& ev : la.done) data_.wait_event(ev);
       fact_and_pack(next, jb_next, nxt, st);
+      rest.join(compute_);
+      sections = la;
+      sections.done.insert(sections.done.end(), rest.done.begin(),
+                           rest.done.end());
     } else {
-      enqueue_tail_gemm(compute_, a_, cur, u, cfg_.nb, jl0, njl,
-                        row_of(j + jb));
+      sections = enqueue_update_bands(
+          pool_, u_ready, a_, cur, u, cfg_.nb, jl0, njl, in_diag, u_row,
+          tail, cfg_.update_band_cols, BandPlacement::Spread);
+      sections.join(compute_);
       if (has_next) {
+        // Non-owner ranks reuse the panel double-buffer right away; the
+        // previous iteration's bands may still be reading it on spare
+        // streams, so fence them before the broadcast writes into it.
+        prev_update_.host_wait();
         nxt.j = next;
         nxt.resize(jb_next, a_.mloc() - row_of(next + jb_next));
       }
@@ -383,6 +441,7 @@ class Solver {
       panel_broadcast(grid_.row_comm(), cfg_.bcast, a_.cols().owner(next),
                       nxt, &st.mpi, &cfg_.custom_bcast);
     }
+    prev_update_ = std::move(sections);
   }
 
   /// One Fig. 6 iteration: the right-section row swap of this panel was
@@ -413,33 +472,51 @@ class Solver {
     rs_la_.prepare(plan, a_, grid_.myrow(), jl0, la_cols, cfg_.swap,
                    cfg_.swap_threshold);
     rs_la_.gather(compute_, a_);
-    device::Event la_gathered = compute_.record();
     rs_left_.prepare(plan, a_, grid_.myrow(), left_start, left_cols,
                      cfg_.swap, cfg_.swap_threshold);
     rs_left_.gather(compute_, a_);
-    device::Event left_gathered = compute_.record();
     rs_right_->scatter(compute_, a_, u_right_.data(), cfg_.nb);
+    const device::Event right_ready = compute_.record();
 
-    // Look-ahead: swap, update, stage to host.
-    rs_la_.communicate(grid_.col_comm(), la_gathered, &st.mpi);
+    // UPDATE2 (right section) — the work that hides everything below. With
+    // spare streams it launches *now*, off the primary, so the device is
+    // busy during the look-ahead communication; single-stream pools keep
+    // the seed order (look-ahead first, or its completion event — and with
+    // it FACT — would wait behind the whole right section).
+    BandSection update2;
+    const bool early_right = pool_.size() > 1;
+    const long right_cols = a_.nloc() - right_start_;
+    if (early_right) {
+      update2 = enqueue_update_bands(
+          pool_, right_ready, a_, cur, u_right_.data(), cfg_.nb,
+          right_start_, right_cols, in_diag, u_row, tail,
+          cfg_.update_band_cols, BandPlacement::SparePrimary);
+    }
+
+    // Look-ahead: swap, update on the primary, stage to host.
+    rs_la_.communicate(grid_.col_comm(), &st.mpi);
     rs_la_.scatter(compute_, a_, u_la_.data(), cfg_.nb);
-    enqueue_u_update(compute_, a_, cur, u_la_.data(), cfg_.nb, jl0, la_cols,
-                     in_diag, u_row);
-    enqueue_tail_gemm(compute_, a_, cur, u_la_.data(), cfg_.nb, jl0, la_cols,
-                      tail);
-    device::Event la_done = compute_.record();
+    const device::Event la_ready = compute_.record();
+    const BandSection la_sec = enqueue_update_bands(
+        pool_, la_ready, a_, cur, u_la_.data(), cfg_.nb, jl0, la_cols,
+        in_diag, u_row, tail, cfg_.update_band_cols,
+        BandPlacement::PrimaryOnly);
 
-    // UPDATE2 (right section) — the work that hides everything below.
-    enqueue_u_update(compute_, a_, cur, u_right_.data(), cfg_.nb,
-                     right_start_, a_.nloc() - right_start_, in_diag, u_row);
-    enqueue_tail_gemm(compute_, a_, cur, u_right_.data(), cfg_.nb,
-                      right_start_, a_.nloc() - right_start_, tail);
+    if (!early_right) {
+      update2 = enqueue_update_bands(
+          pool_, right_ready, a_, cur, u_right_.data(), cfg_.nb,
+          right_start_, right_cols, in_diag, u_row, tail,
+          cfg_.update_band_cols, BandPlacement::SparePrimary);
+    }
 
     // Hidden by UPDATE2: panel transfer + FACT + LBCAST ...
     if (la_cols > 0) {
-      data_.wait_event(la_done);
+      for (const device::Event& ev : la_sec.done) data_.wait_event(ev);
       fact_and_pack(next, jb_next, nxt, st);
     } else if (has_next) {
+      // Fence the previous iteration's bands off the recycled panel buffer
+      // before the broadcast writes into it (non-owner ranks only).
+      prev_update_.host_wait();
       nxt.j = next;
       nxt.resize(jb_next, a_.mloc() - row_of(next + jb_next));
     }
@@ -448,9 +525,12 @@ class Solver {
                       nxt, &st.mpi, &cfg_.custom_bcast);
     }
     // ... and the RS1 communication (its rows were gathered up front).
-    rs_left_.communicate(grid_.col_comm(), left_gathered, &st.mpi);
+    rs_left_.communicate(grid_.col_comm(), &st.mpi);
 
     // After UPDATE2: gather the next panel's right-section rows (RS2).
+    // The gather reads columns UPDATE2 writes, and UPDATE2's bands live on
+    // other streams now — join them into the primary first.
+    update2.join(compute_);
     bool pending = false;
     long next_right_start = right_start_;
     if (has_next) {
@@ -463,21 +543,28 @@ class Solver {
       rs_right_next_->gather(compute_, a_);
       pending = true;
     }
-    device::Event right_gathered = compute_.record();
 
-    // UPDATE1 (left section): scatter RS1 rows, update.
+    // UPDATE1 (left section): scatter RS1 rows, update across the pool.
     rs_left_.scatter(compute_, a_, u_left_.data(), cfg_.nb);
-    enqueue_u_update(compute_, a_, cur, u_left_.data(), cfg_.nb, left_start,
-                     left_cols, in_diag, u_row);
-    enqueue_tail_gemm(compute_, a_, cur, u_left_.data(), cfg_.nb, left_start,
-                      left_cols, tail);
+    const device::Event left_ready = compute_.record();
+    const BandSection left_sec = enqueue_update_bands(
+        pool_, left_ready, a_, cur, u_left_.data(), cfg_.nb, left_start,
+        left_cols, in_diag, u_row, tail, cfg_.update_band_cols,
+        BandPlacement::Spread);
 
     // RS2 communication, hidden by UPDATE1.
     if (has_next) {
-      rs_right_next_->communicate(grid_.col_comm(), right_gathered, &st.mpi);
+      rs_right_next_->communicate(grid_.col_comm(), &st.mpi);
       right_start_ = next_right_start;
       std::swap(rs_right_, rs_right_next_);
     }
+    left_sec.join(compute_);
+
+    prev_update_ = la_sec;
+    prev_update_.done.insert(prev_update_.done.end(), update2.done.begin(),
+                             update2.done.end());
+    prev_update_.done.insert(prev_update_.done.end(), left_sec.done.begin(),
+                             left_sec.done.end());
     return pending;
   }
 
@@ -512,7 +599,11 @@ class Solver {
   grid::ProcessGrid grid_;
   device::Device dev_;
   DistMatrix a_;
-  device::Stream compute_;
+  /// Trailing-update stream pool; pool_.primary() carries the row-swap
+  /// gather/scatter chain and U assembly (the legacy "compute" stream),
+  /// the others receive fanned-out update bands.
+  device::StreamPool pool_;
+  device::Stream& compute_;  ///< alias: pool_.primary()
   device::Stream data_;
   ThreadTeam team_;
 
@@ -521,12 +612,17 @@ class Solver {
   std::unique_ptr<RowSwapper> rs_right_, rs_right_next_;
   long csplit_ = 0;
   long right_start_ = 0;
+  /// Completion events of the previous iteration's update sections: the
+  /// fence non-owner ranks take before recycling the panel double-buffer.
+  BandSection prev_update_;
 
   std::vector<double> w_;
   std::vector<long> glob_;
   std::vector<trace::IterationRecord> my_records_;
   double fact_total_ = 0.0;
   double mpi_total_ = 0.0;
+  double busy0_[trace::kMaxUpdateStreams] = {};
+  double real0_[trace::kMaxUpdateStreams] = {};
 };
 
 }  // namespace
@@ -541,7 +637,11 @@ HplResult run_hpl(comm::Communicator& world, const HplConfig& cfg) {
   // when the team already has the requested size.
   world.fabric().set_direct_threshold(cfg.comm_eager_bytes);
   if (cfg.blas_threads > 0) blas::set_num_threads(cfg.blas_threads);
-  device::configure_engine({cfg.swap_tile_cols, cfg.kernel_threads});
+  // swap_tile_cols = 0 asks for the measured width: a one-shot ~10 ms
+  // startup probe shared by every rank (they are threads of one process).
+  long tile_cols = cfg.swap_tile_cols;
+  if (tile_cols == 0) tile_cols = device::autotune_swap_tile_cols();
+  device::configure_engine({tile_cols, cfg.kernel_threads});
   Solver solver(world, cfg);
   return solver.solve();
 }

@@ -31,6 +31,13 @@ struct HplResult {
   double mpi_seconds = 0.0;
   double transfer_seconds = 0.0;
   double gpu_seconds = 0.0;
+
+  /// Per-stream occupancy of the trailing-update pool (this rank), one
+  /// entry per pool stream: modeled busy seconds and wall-clock busy
+  /// seconds. Entry 0 is the primary stream. Size = effective
+  /// update_streams (>= 1 even when the pool knob is 1).
+  std::vector<double> stream_busy_seconds;
+  std::vector<double> stream_real_seconds;
 };
 
 /// Solve. Returns the (identical) result on every rank; the trace is only

@@ -230,13 +230,23 @@ HplDat parse_hpldat(std::istream& in) {
   }
   if (!r.eof()) {
     dat.swap_tile_cols = r.integer("swap tile cols");
-    HPLX_CHECK_MSG(dat.swap_tile_cols >= 1,
-                   "HPL.dat: swap tile cols must be >= 1");
+    HPLX_CHECK_MSG(dat.swap_tile_cols >= 0,
+                   "HPL.dat: swap tile cols must be >= 0 (0 = autotune)");
   }
   if (!r.eof()) {
     dat.kernel_threads = static_cast<int>(r.integer("kernel threads"));
     HPLX_CHECK_MSG(dat.kernel_threads >= 0,
                    "HPL.dat: kernel threads must be >= 0");
+  }
+  if (!r.eof()) {
+    dat.update_streams = static_cast<int>(r.integer("update streams"));
+    HPLX_CHECK_MSG(dat.update_streams >= 1,
+                   "HPL.dat: update streams must be >= 1");
+  }
+  if (!r.eof()) {
+    dat.update_band_cols = r.integer("update band cols");
+    HPLX_CHECK_MSG(dat.update_band_cols >= 0,
+                   "HPL.dat: update band cols must be >= 0 (0 = even split)");
   }
   return dat;
 }
@@ -284,6 +294,8 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
                       static_cast<std::size_t>(dat.comm_eager_bytes);
                   cfg.swap_tile_cols = dat.swap_tile_cols;
                   cfg.kernel_threads = dat.kernel_threads;
+                  cfg.update_streams = dat.update_streams;
+                  cfg.update_band_cols = dat.update_band_cols;
                   out.push_back(cfg);
                 }
               }
@@ -355,9 +367,14 @@ std::string format_hpldat(const HplDat& dat) {
   os << dat.fact_threads << "  FACT threads (rocHPL extension)\n";
   os << dat.blas_threads << "  BLAS threads (hplx extension, 0=inherit)\n";
   os << dat.comm_eager_bytes << "  eager threshold bytes (hplx extension)\n";
-  os << dat.swap_tile_cols << "  swap tile cols (hplx extension)\n";
+  os << dat.swap_tile_cols
+     << "  swap tile cols (hplx extension, 0=autotune)\n";
   os << dat.kernel_threads
      << "  kernel threads (hplx extension, 0=whole team)\n";
+  os << dat.update_streams
+     << "  update streams (hplx extension, >=1)\n";
+  os << dat.update_band_cols
+     << "  update band cols (hplx extension, 0=even split)\n";
   return os.str();
 }
 

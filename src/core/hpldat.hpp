@@ -57,7 +57,10 @@ struct HplDat {
   int blas_threads = 0;           ///< 0 = leave the installed team alone
   long comm_eager_bytes = 32768;  ///< transport eager/direct threshold
   long swap_tile_cols = 256;      ///< kernel-engine column tile width
+                                  ///< (0 = startup autotune probe)
   int kernel_threads = 0;         ///< kernel-engine team cap (0 = whole team)
+  int update_streams = 1;         ///< trailing-update stream pool size
+  long update_band_cols = 0;      ///< update band width (0 = even split)
 };
 
 /// Parse an HPL.dat stream. Throws hplx::Error with a line diagnostic on

@@ -116,6 +116,20 @@ void print_phase_breakdown(std::ostream& os, const HplResult& result) {
   line("CPU panel factorization", result.fact_seconds);
   line("communication", result.mpi_seconds);
   line("host<->device transfers", result.transfer_seconds);
+  if (result.stream_real_seconds.size() > 1) {
+    os << "Update-stream occupancy (stream 0 = primary; busy is "
+          "wall-clock, modeled in parens):\n";
+    for (std::size_t i = 0; i < result.stream_real_seconds.size(); ++i) {
+      const double real = result.stream_real_seconds[i];
+      const double modeled = i < result.stream_busy_seconds.size()
+                                 ? result.stream_busy_seconds[i]
+                                 : 0.0;
+      os << "  stream " << i << std::right << std::fixed
+         << std::setprecision(3) << std::setw(20) << real << " s  ("
+         << modeled << " s)  " << std::setprecision(1) << std::setw(6)
+         << 100.0 * real / wall << " %\n";
+    }
+  }
   os << kDash;
   os.unsetf(std::ios::floatfield);
 }

@@ -95,6 +95,16 @@ void RowSwapper::reserve(int max_jb, long max_njl, int nprow) {
 void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
                          int myrow, long jl0, long njl, RowSwapAlgo algo,
                          long threshold) {
+  // The previous cycle's scatter kernels captured raw pointers into
+  // gathered_u_ / disp_recv_ at enqueue time. Before this cycle resizes
+  // those buffers (ensure_size may reallocate — the displaced-row count
+  // varies per panel) or communicate() rewrites them, wait for the unpacks
+  // to drain. The wait is usually already satisfied; it only blocks when
+  // the host has run a full iteration ahead of the device.
+  if (scatter_pending_) {
+    scatter_done_.wait();
+    scatter_pending_ = false;
+  }
   const bool binexch = algo == RowSwapAlgo::BinaryExchange ||
                        (algo == RowSwapAlgo::Mix && njl <= threshold);
   u_algo_ = binexch ? comm::AllgatherAlgo::RecursiveDoubling
@@ -174,27 +184,35 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
 }
 
 void RowSwapper::gather(device::Stream& stream, DistMatrix& a) {
+  gather_pending_ = false;
   if (njl_ == 0) return;
   double* window = a.at(0, jl0_);
+  bool enqueued = false;
   if (!my_u_slots_.empty()) {
     device::pack_rows(stream, window, a.lda(), my_u_slots_, njl_,
                       my_u_.data());
+    enqueued = true;
   }
   if (in_diag_row_ && !disp_src_slots_.empty()) {
     device::pack_rows(stream, window, a.lda(), disp_src_slots_, njl_,
                       disp_send_.data());
+    enqueued = true;
+  }
+  // Record the fence immediately after the last pack: communicate() then
+  // waits for exactly these kernels, not for whatever the driver queues on
+  // the stream between gather and the communication hop.
+  if (enqueued) {
+    gather_done_ = stream.record();
+    gather_pending_ = true;
   }
 }
 
 void RowSwapper::communicate(comm::Communicator& col_comm,
-                             device::Stream& stream, double* mpi_seconds) {
-  stream.synchronize();
-  do_communicate(col_comm, mpi_seconds);
-}
-
-void RowSwapper::communicate(comm::Communicator& col_comm,
-                             device::Event gather_done, double* mpi_seconds) {
-  gather_done.wait();
+                             double* mpi_seconds) {
+  if (gather_pending_) {
+    gather_done_.wait();
+    gather_pending_ = false;
+  }
   do_communicate(col_comm, mpi_seconds);
 }
 
@@ -236,6 +254,11 @@ void RowSwapper::scatter(device::Stream& stream, DistMatrix& a,
   // from packed row i.
   device::unpack_rows(stream, gathered_u_.data(), u_dest_of_packed_, njl_,
                       u_dev, ldu);
+
+  // Fence for the next cycle's prepare(): the unpacks above read
+  // gathered_u_ / disp_recv_ through pointers captured here.
+  scatter_done_ = stream.record();
+  scatter_pending_ = true;
 }
 
 }  // namespace hplx::core

@@ -67,23 +67,24 @@ class RowSwapper {
                long threshold = 64);
 
   /// Stage 1: enqueue the device gathers (U source rows this rank owns,
-  /// plus displaced top rows if this rank is in the diagonal process row).
+  /// plus displaced top rows if this rank is in the diagonal process row)
+  /// and record a completion event right after the last pack enqueue.
+  /// communicate() waits on that event — not on the whole stream — so
+  /// device work enqueued after the gather (trailing-update bands, other
+  /// sections' scatters) never delays this section's communication hop.
   void gather(device::Stream& stream, DistMatrix& a);
 
-  /// Stage 2: blocking communication over the column communicator.
-  /// Synchronizes `stream` first (the gathers must have landed). Adds the
-  /// time spent inside communication calls to *mpi_seconds.
-  void communicate(comm::Communicator& col_comm, device::Stream& stream,
-                   double* mpi_seconds);
-
-  /// Stage 2 variant gated on an event recorded right after this
-  /// section's gather — lets later-enqueued device work (UPDATE1 in the
-  /// split schedule) keep running while the host communicates.
-  void communicate(comm::Communicator& col_comm, device::Event gather_done,
-                   double* mpi_seconds);
+  /// Stage 2: blocking communication over the column communicator, gated
+  /// on the event gather() recorded (a no-op wait when this rank had
+  /// nothing to pack). Adds the time spent inside communication calls to
+  /// *mpi_seconds.
+  void communicate(comm::Communicator& col_comm, double* mpi_seconds);
 
   /// Stage 3: enqueue the device scatters: displaced rows into A, and the
-  /// replicated U (jb × njl, ld >= jb) assembled in pivot order.
+  /// replicated U (jb × njl, ld >= jb) assembled in pivot order. Records a
+  /// completion event; the next cycle's prepare() waits on it before it
+  /// resizes or lets communicate() rewrite the staging buffers these
+  /// kernels read (they capture raw pointers at enqueue time).
   void scatter(device::Stream& stream, DistMatrix& a, double* u_dev,
                long ldu);
 
@@ -102,6 +103,10 @@ class RowSwapper {
   int diag_root_ = 0;
   bool in_diag_row_ = false;
   comm::AllgatherAlgo u_algo_ = comm::AllgatherAlgo::Ring;
+  device::Event gather_done_;   ///< recorded after the last pack enqueue
+  bool gather_pending_ = false; ///< a gather was enqueued and not yet waited
+  device::Event scatter_done_;   ///< recorded after the last unpack enqueue
+  bool scatter_pending_ = false; ///< a scatter is (possibly) still in flight
 
   // U assembly.
   std::vector<long> my_u_slots_;        ///< local rows of my U sources

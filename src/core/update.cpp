@@ -1,5 +1,7 @@
 #include "core/update.hpp"
 
+#include <algorithm>
+
 #include "device/kernels.hpp"
 #include "util/error.hpp"
 
@@ -28,6 +30,53 @@ void enqueue_tail_gemm(device::Stream& s, DistMatrix& a,
                  << mtail << ") at panel j=" << panel.j);
   device::gemm(s, mtail, njl, panel.jb, -1.0, panel.l2.data(), panel.ml2,
                u_dev, ldu, 1.0, a.at(tail_off, jl0), a.lda());
+}
+
+BandSection enqueue_update_bands(device::StreamPool& pool,
+                                 const device::Event& u_ready, DistMatrix& a,
+                                 const PanelData& panel, double* u_dev,
+                                 long ldu, long jl0, long njl,
+                                 bool in_diag_row, long u_row_off,
+                                 long tail_off, long band_cols,
+                                 BandPlacement placement) {
+  BandSection section;
+  if (njl <= 0) return section;
+
+  // The streams this section may use, primary first when allowed.
+  const int pool_n = pool.size();
+  const int first =
+      (placement == BandPlacement::SparePrimary && pool_n > 1) ? 1 : 0;
+  const int nuse =
+      placement == BandPlacement::PrimaryOnly ? 1 : pool_n - first;
+
+  long width = band_cols > 0 ? std::min(band_cols, njl)
+                             : (njl + nuse - 1) / nuse;
+  width = std::max<long>(width, 1);
+  const long nbands = (njl + width - 1) / width;
+
+  // Fence every non-primary stream on the U scatter once, up front. The
+  // primary needs no fence: u_ready was recorded on its own queue, after
+  // the scatter, so its bands are ordered already.
+  for (int i = std::max(first, 1); i < first + nuse; ++i)
+    pool.stream(i).wait_event(u_ready);
+
+  std::vector<bool> used(static_cast<std::size_t>(pool_n), false);
+  for (long b = 0; b < nbands; ++b) {
+    const int si = first + static_cast<int>(b % nuse);
+    device::Stream& s = pool.stream(si);
+    used[static_cast<std::size_t>(si)] = true;
+    const long c0 = b * width;
+    const long bc = std::min(width, njl - c0);
+    enqueue_u_update(s, a, panel, u_dev + c0 * ldu, ldu, jl0 + c0, bc,
+                     in_diag_row, u_row_off);
+    enqueue_tail_gemm(s, a, panel, u_dev + c0 * ldu, ldu, jl0 + c0, bc,
+                      tail_off);
+  }
+
+  for (int i = 0; i < pool_n; ++i)
+    if (used[static_cast<std::size_t>(i)])
+      section.done.push_back(pool.stream(i).record());
+  return section;
 }
 
 }  // namespace hplx::core

@@ -33,4 +33,52 @@ void enqueue_tail_gemm(device::Stream& s, DistMatrix& a,
                        const PanelData& panel, const double* u_dev, long ldu,
                        long jl0, long njl, long tail_off);
 
+/// Which pool streams a banded section may use. The split/lookahead
+/// schedules need the *placement* degree of freedom: the look-ahead band
+/// must stay on the primary stream so its completion event fires the
+/// moment it finishes (releasing FACT), while the big right-section bands
+/// should avoid the primary so the row-swap scatter chain queued there is
+/// never stuck behind them.
+enum class BandPlacement {
+  Spread,        ///< round-robin over every pool stream
+  SparePrimary,  ///< streams 1..N-1 only (primary if the pool has one stream)
+  PrimaryOnly,   ///< primary stream only (the seed single-stream schedule)
+};
+
+/// Completion handle for one banded section: one event per pool stream
+/// that received bands, each recorded after that stream's last band.
+struct BandSection {
+  std::vector<device::Event> done;
+
+  /// Make subsequently enqueued work on `s` wait for every band (the
+  /// fan-in edge; call on the primary before enqueueing anything that
+  /// reads the section's output).
+  void join(device::Stream& s) const {
+    for (const device::Event& ev : done) s.wait_event(ev);
+  }
+
+  /// Host-side blocking wait for every band.
+  void host_wait() const {
+    for (const device::Event& ev : done) ev.wait();
+  }
+};
+
+/// Banded trailing update of the column window [jl0, jl0+njl): the window
+/// is cut into `band_cols`-wide column bands (0 = split evenly, one band
+/// per usable stream) and each band runs the full
+/// trsm → diagonal-writeback → tail-gemm chain of
+/// enqueue_u_update + enqueue_tail_gemm on its round-robin pool stream.
+/// `u_ready` must be an event recorded on the primary after the U window
+/// scatter; every non-primary stream is fenced on it before its first
+/// band. Bands never alias columns (each owns a disjoint column slice of
+/// U and of A), so results are bitwise identical for every pool size,
+/// band width and placement.
+BandSection enqueue_update_bands(device::StreamPool& pool,
+                                 const device::Event& u_ready, DistMatrix& a,
+                                 const PanelData& panel, double* u_dev,
+                                 long ldu, long jl0, long njl,
+                                 bool in_diag_row, long u_row_off,
+                                 long tail_off, long band_cols,
+                                 BandPlacement placement);
+
 }  // namespace hplx::core

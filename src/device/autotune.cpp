@@ -1,0 +1,82 @@
+#include "device/autotune.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "device/device.hpp"
+#include "device/engine.hpp"
+#include "device/kernels.hpp"
+#include "device/stream.hpp"
+#include "util/timer.hpp"
+
+namespace hplx::device {
+
+namespace {
+
+/// Probe matrix shape: tall enough that pivot rows land on distinct pages,
+/// wide enough that every candidate width gets several tiles.
+constexpr long kProbeRows = 2048;
+constexpr long kProbeCols = 1024;
+constexpr int kProbeJb = 64;
+constexpr int kProbeReps = 3;
+
+long run_probe() {
+  const EngineConfig entry = engine_config();
+
+  Device dev("autotune", static_cast<std::size_t>(kProbeRows + kProbeJb) *
+                             kProbeCols * sizeof(double) * 2,
+             DeviceModel::mi250x_gcd());
+  Stream s(dev, "autotune");
+  Buffer a = dev.alloc(static_cast<std::size_t>(kProbeRows) * kProbeCols);
+  Buffer packed =
+      dev.alloc(static_cast<std::size_t>(kProbeJb) * kProbeCols);
+  for (std::size_t i = 0; i < a.count(); ++i)
+    a.data()[i] = static_cast<double>(i % 1021);
+
+  // The row list a swap panel would use: jb rows scattered down the
+  // window, like pivots drawn from the whole trailing block.
+  std::vector<long> rows(kProbeJb);
+  for (int k = 0; k < kProbeJb; ++k)
+    rows[static_cast<std::size_t>(k)] = (static_cast<long>(k) * 31) %
+                                        kProbeRows;
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  const long candidates[] = {64, 128, 256, 512, 1024};
+  long best = entry.tile_cols > 0 ? entry.tile_cols : 256;
+  double best_t = -1.0;
+  for (const long cand : candidates) {
+    configure_engine({cand, entry.threads});
+    // Warm-up pass so first-touch and team wake-up cost is not billed to
+    // the first candidate.
+    pack_rows(s, a.data(), kProbeRows, rows, kProbeCols, packed.data());
+    s.synchronize();
+    Timer t;
+    t.start();
+    for (int rep = 0; rep < kProbeReps; ++rep) {
+      pack_rows(s, a.data(), kProbeRows, rows, kProbeCols, packed.data());
+      unpack_rows(s, packed.data(), rows, kProbeCols, a.data(), kProbeRows);
+    }
+    s.synchronize();
+    const double dt = t.stop();
+    if (best_t < 0.0 || dt < best_t) {
+      best_t = dt;
+      best = cand;
+    }
+  }
+
+  configure_engine(entry);
+  return best;
+}
+
+}  // namespace
+
+long autotune_swap_tile_cols() {
+  static std::once_flag flag;
+  static long winner = 0;
+  std::call_once(flag, [] { winner = run_probe(); });
+  return winner;
+}
+
+}  // namespace hplx::device

@@ -1,0 +1,23 @@
+#pragma once
+/// \file autotune.hpp
+/// \brief One-shot startup calibration of the kernel-engine tile width.
+///
+/// The best swap_tile_cols (EngineConfig::tile_cols) depends on cache
+/// sizes and core count of the host actually running the simulated
+/// kernels, not on the problem: it bounds the per-tile working set of the
+/// row-swap pack/unpack kernels and sets their parallel grain. Rather than
+/// ship a magic constant, HPL.dat's `swap_tile_cols 0` asks for a ~10 ms
+/// measured probe: each candidate width runs a few pack+unpack round
+/// trips — the dlaswp-shaped traffic of Fig. 4 — on a throwaway device,
+/// and the fastest width wins.
+
+namespace hplx::device {
+
+/// Probe once per process and return the winning tile width. Thread-safe
+/// and idempotent: concurrent callers (ranks are threads) block until the
+/// single probe finishes, later callers get the cached winner. The
+/// process-global engine configuration is restored to its entry value
+/// before returning.
+long autotune_swap_tile_cols();
+
+}  // namespace hplx::device

@@ -105,4 +105,48 @@ void Stream::worker_loop() {
   }
 }
 
+StreamPool::StreamPool(Device& device, int count, const std::string& prefix) {
+  HPLX_CHECK_MSG(count >= 1, "stream pool needs >= 1 stream, got " << count);
+  streams_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    streams_.push_back(
+        std::make_unique<Stream>(device, prefix + std::to_string(i)));
+}
+
+Stream& StreamPool::stream(int i) {
+  HPLX_CHECK_MSG(i >= 0 && i < size(),
+                 "stream index " << i << " out of pool of " << size());
+  return *streams_[static_cast<std::size_t>(i)];
+}
+
+void StreamPool::fan_out(const Event& ev) {
+  for (int i = 1; i < size(); ++i) stream(i).wait_event(ev);
+}
+
+Event StreamPool::fan_in() {
+  for (int i = 1; i < size(); ++i) primary().wait_event(stream(i).record());
+  return primary().record();
+}
+
+void StreamPool::synchronize() {
+  // Primary last: its queue may hold fan-in waits on the other streams.
+  for (int i = size() - 1; i >= 0; --i) stream(i).synchronize();
+}
+
+double StreamPool::busy_seconds() const {
+  double t = 0.0;
+  for (const auto& s : streams_) t += s->busy_seconds();
+  return t;
+}
+
+double StreamPool::real_busy_seconds() const {
+  double t = 0.0;
+  for (const auto& s : streams_) t += s->real_busy_seconds();
+  return t;
+}
+
+void StreamPool::reset_busy() {
+  for (const auto& s : streams_) s->reset_busy();
+}
+
 }  // namespace hplx::device

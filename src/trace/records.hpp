@@ -10,6 +10,12 @@
 
 namespace hplx::trace {
 
+/// Upper bound on the trailing-update stream pool size a record can hold.
+/// Records travel between ranks as raw bytes (comm::Communicator's
+/// trivially-copyable send), so the per-stream columns are fixed arrays,
+/// not vectors.
+inline constexpr int kMaxUpdateStreams = 8;
+
 struct IterationRecord {
   int iteration = 0;       ///< 0-based iteration index
   long column = 0;         ///< global column at which the iteration starts
@@ -18,6 +24,15 @@ struct IterationRecord {
   double fact_s = 0.0;     ///< CPU panel factorization time
   double mpi_s = 0.0;      ///< time in communication calls
   double transfer_s = 0.0; ///< host<->device transfer wait time
+
+  /// Streams in the trailing-update pool this iteration ran with; entries
+  /// [0, update_streams) of the arrays below are meaningful.
+  int update_streams = 1;
+  /// Modeled busy seconds per pool stream within the iteration (stream 0
+  /// is the primary carrying row swaps and U assembly).
+  double stream_busy_s[kMaxUpdateStreams] = {};
+  /// Wall-clock busy seconds per pool stream within the iteration.
+  double stream_real_s[kMaxUpdateStreams] = {};
 };
 
 struct RunTrace {

@@ -100,5 +100,92 @@ TEST(Stream, ManySmallOpsDrainCompletely) {
   EXPECT_EQ(count.load(), 1000);
 }
 
+TEST(StreamPool, PrimaryIsStreamZero) {
+  StreamPool pool(test_device(), 3, "p");
+  EXPECT_EQ(pool.size(), 3);
+  EXPECT_EQ(&pool.primary(), &pool.stream(0));
+}
+
+TEST(StreamPool, FanOutOrdersSparesBehindEvent) {
+  StreamPool pool(test_device(), 4, "fo");
+  std::atomic<int> stage{0};
+  pool.primary().enqueue(0.0, [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stage = 1;
+  });
+  const Event ev = pool.primary().record();
+  pool.fan_out(ev);
+  std::atomic<int> wrong{0};
+  for (int i = 1; i < pool.size(); ++i) {
+    pool.stream(i).enqueue(0.0, [&] {
+      if (stage.load() != 1) wrong++;
+    });
+  }
+  pool.synchronize();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(StreamPool, FanInObservesEveryStream) {
+  StreamPool pool(test_device(), 4, "fi");
+  std::atomic<int> done{0};
+  for (int i = 1; i < pool.size(); ++i) {
+    pool.stream(i).enqueue(0.0, [&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done++;
+    });
+  }
+  const Event joined = pool.fan_in();
+  joined.wait();
+  EXPECT_EQ(done.load(), pool.size() - 1);
+}
+
+TEST(StreamPool, AggregateBusyClocksSumMembers) {
+  StreamPool pool(test_device(), 2, "bz");
+  pool.stream(0).enqueue(0.25, [] {});
+  pool.stream(1).enqueue(0.5, [] {});
+  pool.synchronize();
+  EXPECT_DOUBLE_EQ(pool.busy_seconds(), 0.75);
+  pool.reset_busy();
+  EXPECT_DOUBLE_EQ(pool.busy_seconds(), 0.0);
+}
+
+// The banded-update access pattern under contention: one "scatter" op on
+// the primary produces a buffer, every stream fences on its event, then
+// disjoint column bands are updated round-robin across the pool and the
+// host joins on per-stream tail events. Run under TSan via the test_device
+// suite label, this stresses exactly the event edges the trailing update
+// relies on.
+TEST(StreamPool, BandedFanOutStress) {
+  constexpr int kStreams = 4;
+  constexpr int kCols = 64;
+  constexpr int kRounds = 25;
+  StreamPool pool(test_device(), kStreams, "band");
+  std::vector<double> data(kCols, 0.0);
+  for (int round = 0; round < kRounds; ++round) {
+    pool.primary().enqueue(0.0, [&data] {
+      for (double& v : data) v += 1.0;  // the "scatter"
+    });
+    const Event ready = pool.primary().record();
+    pool.fan_out(ready);
+    for (int band = 0; band < kStreams; ++band) {
+      const int c0 = band * (kCols / kStreams);
+      const int c1 = c0 + kCols / kStreams;
+      pool.stream(band).enqueue(0.0, [&data, c0, c1] {
+        for (int c = c0; c < c1; ++c) data[static_cast<std::size_t>(c)] *= 2.0;
+      });
+    }
+    // Join every band back into the primary, as the driver does, so the
+    // next round's scatter is ordered behind all of them.
+    for (int band = 1; band < kStreams; ++band) {
+      pool.primary().wait_event(pool.stream(band).record());
+    }
+  }
+  pool.synchronize();
+  // Each round: v <- 2*(v+1), starting at 0 → v_n = 2^n+ ... = 2(v+1).
+  double expect = 0.0;
+  for (int round = 0; round < kRounds; ++round) expect = 2.0 * (expect + 1.0);
+  for (double v : data) EXPECT_DOUBLE_EQ(v, expect);
+}
+
 }  // namespace
 }  // namespace hplx::device
