@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
       if (world.rank() == 0) result = std::move(r);
     });
     emit([&](std::ostream& os) { core::print_hpl_result(os, cfg, result); });
+    emit([&](std::ostream& os) { core::print_hazard_report(os, result); });
     if (result.verify.passed) ++passed;
   }
   emit([&](std::ostream& os) {

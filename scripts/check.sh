@@ -1,33 +1,51 @@
 #!/usr/bin/env sh
 # One-command tier-1 gate: configure + build + full ctest in the default
-# build, then rebuild the concurrency-heavy suites (ctest label "tsan":
-# util/blas/comm/device) under ThreadSanitizer and run just those. This is
-# what CI runs and what a perf PR must keep green.
+# build (warnings-as-errors for src/), then rebuild the concurrency-heavy
+# suites (ctest label "tsan": util/blas/comm/device) under ThreadSanitizer,
+# then the allocation-heavy suites (ctest label "asan": grid/rng/trace +
+# the hazard-checker suites) under AddressSanitizer+LeakSanitizer+UBSan.
+# This is what CI runs and what a perf PR must keep green.
 #
-#   scripts/check.sh             # build/ + build-tsan/
-#   SKIP_TSAN=1 scripts/check.sh # tier-1 only (e.g. no TSan runtime)
+#   scripts/check.sh             # build/ + build-tsan/ + build-asan/
+#   SKIP_TSAN=1 scripts/check.sh # skip the TSan leg (e.g. no TSan runtime)
+#   SKIP_ASAN=1 scripts/check.sh # skip the ASan leg
 #   JOBS=4 scripts/check.sh
 set -eu
 
 repo=$(cd "$(dirname "$0")/.." && pwd)
 build="${BUILD_DIR:-$repo/build}"
 build_tsan="${TSAN_BUILD_DIR:-$repo/build-tsan}"
+build_asan="${ASAN_BUILD_DIR:-$repo/build-asan}"
 jobs="${JOBS:-2}"
 
 echo "== tier-1: build + ctest ($build)"
-cmake -B "$build" -S "$repo" >/dev/null
+cmake -B "$build" -S "$repo" -DHPLX_WERROR=ON >/dev/null
 cmake --build "$build" -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
 if [ "${SKIP_TSAN:-0}" = "1" ]; then
   echo "== skipping TSan pass (SKIP_TSAN=1)"
-  exit 0
+else
+  echo "== tsan: build + ctest -L tsan ($build_tsan)"
+  cmake -B "$build_tsan" -S "$repo" -DHPLX_SANITIZE=thread \
+    -DHPLX_WERROR=ON >/dev/null
+  cmake --build "$build_tsan" -j "$jobs" \
+    --target test_util test_blas test_comm test_device
+  ctest --test-dir "$build_tsan" --output-on-failure -j "$jobs" -L tsan
 fi
 
-echo "== tsan: build + ctest -L tsan ($build_tsan)"
-cmake -B "$build_tsan" -S "$repo" -DHPLX_SANITIZE=thread >/dev/null
-cmake --build "$build_tsan" -j "$jobs" \
-  --target test_util test_blas test_comm test_device
-ctest --test-dir "$build_tsan" --output-on-failure -j "$jobs" -L tsan
+if [ "${SKIP_ASAN:-0}" = "1" ]; then
+  echo "== skipping ASan pass (SKIP_ASAN=1)"
+else
+  echo "== asan: build + ctest -L asan ($build_asan)"
+  cmake -B "$build_asan" -S "$repo" -DHPLX_SANITIZE=address,undefined \
+    -DHPLX_WERROR=ON >/dev/null
+  cmake --build "$build_asan" -j "$jobs" \
+    --target test_grid test_rng test_trace test_hazard
+  # LSan rides along with ASan by default on Linux; halt_on_error keeps UB
+  # findings fatal so the leg cannot silently pass over them.
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+    ctest --test-dir "$build_asan" --output-on-failure -j "$jobs" -L asan
+fi
 
 echo "== check.sh: all green"

@@ -5,6 +5,7 @@
 #include "blas/blas.hpp"
 #include "comm/collectives.hpp"
 #include "device/engine.hpp"
+#include "device/hazard.hpp"
 #include "device/kernels.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -90,6 +91,12 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
       device::copy_matrix_d2h(stream, jbk, jbk, a.at(il, jl), a.lda(),
                               ukk.data(), jbk);
       stream.synchronize();
+      // Host solve of the staged triangle: the synchronize above is the
+      // edge that makes reading ukk (just written by the d2h) legal.
+      device::HostAccessScope trsv_guard(
+          a.dev().hazard(), "backsolve.trsv",
+          {device::span_read(ukk.data(), static_cast<std::size_t>(jbk) * jbk),
+           device::span_write(xk.data(), static_cast<std::size_t>(jbk))});
       blas::dtrsv(blas::Uplo::Upper, blas::Trans::No, blas::Diag::NonUnit,
                   jbk, ukk.data(), jbk, xk.data(), 1);
     }
@@ -120,6 +127,13 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
                           kTagY);
         mpi.stop();
       } else {
+        // y was produced by the device gemm above; its synchronize is the
+        // ordering edge for this host read-modify-write.
+        device::HostAccessScope axpy_guard(
+            a.dev().hazard(), "backsolve.axpy",
+            {device::span_read(y.data(), static_cast<std::size_t>(m_above)),
+             device::span_write(bh.data(),
+                                static_cast<std::size_t>(m_above))});
         sub_vector(bh.data(), y.data(), m_above);
       }
     } else if (have_b) {

@@ -126,6 +126,13 @@ struct HplConfig {
   device::DeviceModel dev_model = device::DeviceModel::mi250x_gcd();
 
   bool verify = true;  ///< run the residual check after the solve
+
+  /// Attach the hazard-checking runtime (device::HazardTracker) to every
+  /// rank's device: enqueued ops declare access sets, happens-before is
+  /// tracked across streams/events/host, and violations land in
+  /// HplResult::hazards. OR-combined with the HPLX_HAZARD environment
+  /// variable; off by default (zero instrumentation cost when off).
+  bool hazard_check = false;
 };
 
 }  // namespace hplx::core

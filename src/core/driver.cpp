@@ -29,6 +29,7 @@ namespace hplx::core {
 namespace {
 
 constexpr int kTagTrace = 201;
+constexpr int kTagHazard = 202;
 
 /// Per-iteration phase accumulators (the Fig. 7 timers).
 struct IterStats {
@@ -44,7 +45,7 @@ class Solver {
               cfg.row_major_grid ? grid::GridOrder::RowMajor
                                  : grid::GridOrder::ColMajor),
         dev_("gcd" + std::to_string(world.rank()), cfg.hbm_bytes,
-             cfg.dev_model),
+             cfg.dev_model, cfg.hazard_check),
         a_(dev_, grid_, cfg.n, cfg.nb, cfg.seed),
         pool_(dev_,
               std::clamp(cfg.update_streams, 1, trace::kMaxUpdateStreams),
@@ -127,6 +128,7 @@ class Solver {
           pool_.stream(i).real_busy_seconds());
     }
     collect_trace(result);
+    collect_hazards(result);
     return result;
   }
 
@@ -164,8 +166,24 @@ class Solver {
     if (mw > 0) {
       device::copy_matrix_d2h(data_, mw, jb, a_.at(ii, jlp), a_.lda(),
                               w_.data(), ldw);
-      data_.synchronize();
     }
+    // Unconditional even when mw == 0 (nothing staged): the synchronize is
+    // also the ordering edge the guard below relies on — data_'s queue
+    // waited on the look-ahead section, and bands read panel.top on every
+    // rank with local columns, including row-less ones.
+    data_.synchronize();
+
+    // Host rewrite of the recycled panel double-buffer and workspace: the
+    // previous iteration's bands read this buffer's top/l2 through raw
+    // pointers. The data_ synchronize above is the ordering edge (its
+    // queue waited on the look-ahead section, which the primary joined
+    // behind everything older), so under the tracker this is silent in a
+    // correctly fenced schedule.
+    device::HostAccessScope fact_guard(
+        dev_.hazard(), "driver.fact",
+        {device::span_write(w_.data(), w_.size()),
+         device::span_write(panel.top.data(), panel.top.size()),
+         device::span_write(panel.l2.data(), panel.l2.size())});
 
     panel.j = j;
     panel.resize(jb, ml2);
@@ -433,6 +451,10 @@ class Solver {
         // previous iteration's bands may still be reading it on spare
         // streams, so fence them before the broadcast writes into it.
         prev_update_.host_wait();
+        device::HostAccessScope recv_guard(
+            dev_.hazard(), "driver.panel_recv",
+            {device::span_write(nxt.top.data(), nxt.top.size()),
+             device::span_write(nxt.l2.data(), nxt.l2.size())});
         nxt.j = next;
         nxt.resize(jb_next, a_.mloc() - row_of(next + jb_next));
       }
@@ -517,6 +539,10 @@ class Solver {
       // Fence the previous iteration's bands off the recycled panel buffer
       // before the broadcast writes into it (non-owner ranks only).
       prev_update_.host_wait();
+      device::HostAccessScope recv_guard(
+          dev_.hazard(), "driver.panel_recv",
+          {device::span_write(nxt.top.data(), nxt.top.size()),
+           device::span_write(nxt.l2.data(), nxt.l2.size())});
       nxt.j = next;
       nxt.resize(jb_next, a_.mloc() - row_of(next + jb_next));
     }
@@ -592,6 +618,32 @@ class Solver {
       world.send(&count, 1, 0, kTagTrace);
       if (count > 0)
         world.send(my_records_.data(), my_records_.size(), 0, kTagTrace);
+    }
+  }
+
+  /// Gather every rank's deduplicated hazard records onto rank 0 (same
+  /// shape as collect_trace). No-op when checking is off.
+  void collect_hazards(HplResult& result) {
+    device::HazardTracker* hz = dev_.hazard();
+    if (hz == nullptr) return;
+    result.hazard_checked = true;
+    std::vector<trace::HazardRecord> mine = hz->report();
+    comm::Communicator& world = grid_.all_comm();
+    if (world.rank() == 0) {
+      result.hazards = std::move(mine);
+      for (int r = 1; r < world.size(); ++r) {
+        long c = 0;
+        world.recv(&c, 1, r, kTagHazard);
+        std::vector<trace::HazardRecord> theirs(static_cast<std::size_t>(c));
+        if (c > 0) world.recv(theirs.data(), theirs.size(), r, kTagHazard);
+        result.hazards.insert(result.hazards.end(), theirs.begin(),
+                              theirs.end());
+      }
+    } else {
+      const long count = static_cast<long>(mine.size());
+      world.send(&count, 1, 0, kTagHazard);
+      if (count > 0) world.send(mine.data(), mine.size(), 0, kTagHazard);
+      result.hazards = std::move(mine);
     }
   }
 

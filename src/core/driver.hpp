@@ -38,6 +38,14 @@ struct HplResult {
   /// update_streams (>= 1 even when the pool knob is 1).
   std::vector<double> stream_busy_seconds;
   std::vector<double> stream_real_seconds;
+
+  /// True when the hazard-checking runtime (device::HazardTracker) was
+  /// attached to this run's devices (cfg.hazard_check or HPLX_HAZARD).
+  bool hazard_checked = false;
+  /// Deduplicated hazard-checker violations. Rank 0 holds the union of
+  /// every rank's records (like `trace`); other ranks hold their own.
+  /// Empty when the run was clean — the expected state.
+  std::vector<trace::HazardRecord> hazards;
 };
 
 /// Solve. Returns the (identical) result on every rank; the trace is only

@@ -248,6 +248,11 @@ HplDat parse_hpldat(std::istream& in) {
     HPLX_CHECK_MSG(dat.update_band_cols >= 0,
                    "HPL.dat: update band cols must be >= 0 (0 = even split)");
   }
+  if (!r.eof()) {
+    dat.hazard_check = static_cast<int>(r.integer("hazard check"));
+    HPLX_CHECK_MSG(dat.hazard_check == 0 || dat.hazard_check == 1,
+                   "HPL.dat: hazard check must be 0 or 1");
+  }
   return dat;
 }
 
@@ -296,6 +301,7 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
                   cfg.kernel_threads = dat.kernel_threads;
                   cfg.update_streams = dat.update_streams;
                   cfg.update_band_cols = dat.update_band_cols;
+                  cfg.hazard_check = dat.hazard_check != 0;
                   out.push_back(cfg);
                 }
               }
@@ -375,6 +381,8 @@ std::string format_hpldat(const HplDat& dat) {
      << "  update streams (hplx extension, >=1)\n";
   os << dat.update_band_cols
      << "  update band cols (hplx extension, 0=even split)\n";
+  os << dat.hazard_check
+     << "  hazard check (hplx extension, 0=off,1=on)\n";
   return os.str();
 }
 

@@ -61,6 +61,7 @@ struct HplDat {
   int kernel_threads = 0;         ///< kernel-engine team cap (0 = whole team)
   int update_streams = 1;         ///< trailing-update stream pool size
   long update_band_cols = 0;      ///< update band width (0 = even split)
+  int hazard_check = 0;           ///< 1 = attach the hazard-checking runtime
 };
 
 /// Parse an HPL.dat stream. Throws hplx::Error with a line diagnostic on

@@ -47,7 +47,7 @@ class DistMatrix {
   /// Device pointer to local element (il, jl).
   double* at(long il, long jl) { return buf_.data() + jl * lda_ + il; }
 
-  device::Device& dev() { return dev_; }
+  device::Device& dev() const { return dev_; }
 
  private:
   device::Device& dev_;

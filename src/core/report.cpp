@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <ostream>
 
+#include "device/hazard.hpp"
+
 namespace hplx::core {
 
 namespace {
@@ -132,6 +134,29 @@ void print_phase_breakdown(std::ostream& os, const HplResult& result) {
   }
   os << kDash;
   os.unsetf(std::ios::floatfield);
+}
+
+void print_hazard_report(std::ostream& os, const HplResult& result) {
+  if (!result.hazard_checked) return;
+  if (result.hazards.empty()) {
+    os << "Hazard check: no violations detected.\n";
+    return;
+  }
+  std::uint64_t total = 0;
+  for (const auto& r : result.hazards) total += r.count;
+  os << kDash << "Hazard check: " << total << " violation(s) in "
+     << result.hazards.size() << " distinct site(s):\n";
+  os << "  " << std::left << std::setw(22) << "kind" << std::setw(8)
+     << "count" << "ops\n";
+  for (const auto& r : result.hazards) {
+    os << "  " << std::left << std::setw(22)
+       << device::HazardTracker::kind_name(
+              static_cast<device::HazardTracker::Kind>(r.kind))
+       << std::setw(8) << r.count << r.op_a;
+    if (r.op_b[0] != '\0') os << " vs " << r.op_b;
+    os << "\n      " << r.detail << '\n';
+  }
+  os << kDash;
 }
 
 }  // namespace hplx::core

@@ -41,4 +41,11 @@ void print_hpl_footer(std::ostream& os, int tests, int passed);
 /// in aggregate — phases overlap by design).
 void print_phase_breakdown(std::ostream& os, const HplResult& result);
 
+/// End-of-run hazard-checker table (result.hazards): one row per
+/// deduplicated violation with its kind, occurrence count, the two op
+/// labels and the first occurrence's context. Prints a one-line all-clear
+/// when the run was checked and clean; prints nothing when checking was
+/// off.
+void print_hazard_report(std::ostream& os, const HplResult& result);
+
 }  // namespace hplx::core

@@ -1,13 +1,23 @@
 #include "core/rowswap.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "comm/collectives.hpp"
+#include "device/hazard.hpp"
 #include "device/kernels.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace hplx::core {
+
+namespace {
+std::atomic<bool> g_skip_scatter_fence{false};
+}  // namespace
+
+void RowSwapper::set_test_skip_scatter_fence(bool skip) {
+  g_skip_scatter_fence.store(skip, std::memory_order_relaxed);
+}
 
 RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv) {
   RowSwapPlan plan;
@@ -102,9 +112,24 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
   // to drain. The wait is usually already satisfied; it only blocks when
   // the host has run a full iteration ahead of the device.
   if (scatter_pending_) {
-    scatter_done_.wait();
+    if (g_skip_scatter_fence.load(std::memory_order_relaxed)) {
+      // Test hook: the wait still happens (no real race), but without the
+      // tracker's happens-before join — modeling the fence as omitted.
+      scatter_done_.wait_unordered();
+    } else {
+      scatter_done_.wait();
+    }
     scatter_pending_ = false;
   }
+  // Declare the staging rewrite this cycle is about to do (the resizes
+  // below plus communicate()'s collectives) against whatever the tracker
+  // still considers in flight. With the fence above intact the pending
+  // unpacks are host-ordered and this is silent; without it, this is the
+  // PR-4 bug reported as a host-write-vs-device-read hazard.
+  device::HostAccessScope rewrite_guard(
+      hz_, "rowswap.prepare",
+      {device::span_write(gathered_u_.data(), gathered_u_.size()),
+       device::span_write(disp_recv_.data(), disp_recv_.size())});
   const bool binexch = algo == RowSwapAlgo::BinaryExchange ||
                        (algo == RowSwapAlgo::Mix && njl <= threshold);
   u_algo_ = binexch ? comm::AllgatherAlgo::RecursiveDoubling
@@ -184,6 +209,7 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
 }
 
 void RowSwapper::gather(device::Stream& stream, DistMatrix& a) {
+  hz_ = stream.device().hazard();
   gather_pending_ = false;
   if (njl_ == 0) return;
   double* window = a.at(0, jl0_);
@@ -218,6 +244,22 @@ void RowSwapper::communicate(comm::Communicator& col_comm,
 
 void RowSwapper::do_communicate(comm::Communicator& col_comm,
                                 double* mpi_seconds) {
+  // Host touches of device-visible staging: reads what the gather kernels
+  // packed, writes what the scatter kernels will read. gather()'s event
+  // wait in communicate() is the edge that makes the reads safe.
+  device::HostAccessScope comm_guard(
+      hz_, "rowswap.communicate",
+      {device::span_read(my_u_.data(),
+                         my_u_slots_.size() * static_cast<std::size_t>(njl_)),
+       device::span_read(disp_send_.data(),
+                         disp_src_slots_.size() *
+                             static_cast<std::size_t>(njl_)),
+       device::span_write(gathered_u_.data(),
+                          static_cast<std::size_t>(jb_) *
+                              static_cast<std::size_t>(njl_)),
+       device::span_write(disp_recv_.data(),
+                          my_disp_dest_slots_.size() *
+                              static_cast<std::size_t>(njl_))});
   Timer timer;
   timer.start();
   // U assembly: everyone ends up with all jb rows (rank-packed order).

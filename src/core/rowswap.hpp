@@ -91,6 +91,14 @@ class RowSwapper {
   long njl() const { return njl_; }
   int jb() const { return jb_; }
 
+  /// Test hook: when set, prepare() still performs the scatter_done wait
+  /// (execution stays correct) but through Event::wait_unordered, so the
+  /// hazard tracker models the fence as absent. This re-introduces, for
+  /// the checker only, the bug class the fence was added for: rewriting
+  /// staging buffers that in-flight scatter kernels read. Global, not
+  /// thread-safe against concurrent solves; tests set it around one run.
+  static void set_test_skip_scatter_fence(bool skip);
+
  private:
   void do_communicate(comm::Communicator& col_comm, double* mpi_seconds);
 
@@ -103,6 +111,9 @@ class RowSwapper {
   int diag_root_ = 0;
   bool in_diag_row_ = false;
   comm::AllgatherAlgo u_algo_ = comm::AllgatherAlgo::Ring;
+  /// The owning device's hazard tracker (null when checking is off);
+  /// latched from the stream in gather().
+  device::HazardTracker* hz_ = nullptr;
   device::Event gather_done_;   ///< recorded after the last pack enqueue
   bool gather_pending_ = false; ///< a gather was enqueued and not yet waited
   device::Event scatter_done_;   ///< recorded after the last unpack enqueue

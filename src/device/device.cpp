@@ -1,10 +1,16 @@
 #include "device/device.hpp"
 
+#include <cstdio>
+#include <utility>
+
+#include "device/hazard.hpp"
+
 namespace hplx::device {
 
 Buffer::Buffer(Device& dev, std::size_t count) : device_(&dev), count_(count) {
   device_->account_alloc(bytes());
   storage_ = std::make_unique<double[]>(count);
+  if (HazardTracker* hz = device_->hazard()) hz->on_alloc(storage_.get(), count_);
 }
 
 Buffer::~Buffer() { release(); }
@@ -18,19 +24,24 @@ Buffer::Buffer(Buffer&& other) noexcept
 }
 
 Buffer& Buffer::operator=(Buffer&& other) noexcept {
-  if (this != &other) {
-    release();
-    device_ = other.device_;
-    storage_ = std::move(other.storage_);
-    count_ = other.count_;
-    other.device_ = nullptr;
-    other.count_ = 0;
-  }
+  // Steal into locals first so self-move-assignment (`b = std::move(b)`)
+  // cannot release the storage it is about to adopt.
+  Device* dev = other.device_;
+  std::unique_ptr<double[]> storage = std::move(other.storage_);
+  const std::size_t count = other.count_;
+  other.device_ = nullptr;
+  other.count_ = 0;
+  release();
+  device_ = dev;
+  storage_ = std::move(storage);
+  count_ = count;
   return *this;
 }
 
 void Buffer::release() {
   if (storage_ && device_ != nullptr) {
+    if (HazardTracker* hz = device_->hazard())
+      hz->on_free(storage_.get(), count_);
     device_->account_free(bytes());
   }
   storage_.reset();
@@ -38,8 +49,23 @@ void Buffer::release() {
   count_ = 0;
 }
 
-Device::Device(std::string name, std::size_t hbm_bytes, DeviceModel model)
-    : name_(std::move(name)), hbm_bytes_(hbm_bytes), model_(model) {}
+Device::Device(std::string name, std::size_t hbm_bytes, DeviceModel model,
+               bool hazard_check)
+    : name_(std::move(name)), hbm_bytes_(hbm_bytes), model_(model) {
+  if (hazard_check || hazard_env_enabled())
+    hazard_ = std::make_unique<HazardTracker>(name_);
+}
+
+Device::~Device() {
+  // Buffers normally die before their Device; anything still accounted
+  // here leaked. Report each live allocation under the tracker (the
+  // tracker kept their identities) — a destructor must not throw, so this
+  // surfaces on stderr and in the tracker's records instead.
+  if (hazard_ != nullptr && hbm_used() != 0) {
+    hazard_->report_live_buffers_as_leaks();
+    std::fprintf(stderr, "%s", hazard_->format_report().c_str());
+  }
+}
 
 void Device::account_alloc(std::size_t bytes) {
   const std::size_t now = used_bytes_.fetch_add(bytes) + bytes;

@@ -21,6 +21,7 @@
 namespace hplx::device {
 
 class Device;
+class HazardTracker;
 
 /// RAII device allocation of doubles. Movable, not copyable.
 class Buffer {
@@ -51,13 +52,28 @@ class Device {
  public:
   /// \param hbm_bytes capacity limit; allocation beyond it throws, like
   /// hipMalloc returning hipErrorOutOfMemory.
+  /// \param hazard_check attach a HazardTracker (the racecheck-style
+  /// instrumentation of hazard.hpp) to this device. OR-combined with the
+  /// HPLX_HAZARD environment override, so any run can be checked without
+  /// a rebuild. When off, hazard() is null and every instrumentation site
+  /// in the runtime is a single pointer test.
   Device(std::string name, std::size_t hbm_bytes,
-         DeviceModel model = DeviceModel::mi250x_gcd());
+         DeviceModel model = DeviceModel::mi250x_gcd(),
+         bool hazard_check = false);
+
+  /// Reports leaked allocations (hbm_used() != 0) under the tracker.
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
 
   const std::string& name() const { return name_; }
   const DeviceModel& model() const { return model_; }
   std::size_t hbm_capacity() const { return hbm_bytes_; }
   std::size_t hbm_used() const { return used_bytes_.load(); }
+
+  /// The hazard-checking runtime, or nullptr when checking is off.
+  HazardTracker* hazard() { return hazard_.get(); }
 
   /// Allocate `count` doubles of device memory.
   Buffer alloc(std::size_t count) { return Buffer(*this, count); }
@@ -71,6 +87,7 @@ class Device {
   std::size_t hbm_bytes_;
   DeviceModel model_;
   std::atomic<std::size_t> used_bytes_{0};
+  std::unique_ptr<HazardTracker> hazard_;
 };
 
 }  // namespace hplx::device

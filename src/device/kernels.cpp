@@ -26,34 +26,50 @@ void gemm(Stream& s, long m, long n, long k, double alpha, const double* a,
   // engine as host code: large updates lease the shared thread team
   // (blas::set_num_threads / HplConfig::blas_threads) when it is free, and
   // fall back to the sequential packed path when FACT holds it.
-  s.enqueue(modeled, [=] {
-    blas::dgemm(blas::Trans::No, blas::Trans::No, as_int(m), as_int(n),
-                as_int(k), alpha, a, as_int(lda), b, as_int(ldb), beta, c,
-                as_int(ldc));
-  });
+  s.enqueue_annotated(
+      modeled, "gemm",
+      {span_matrix(a, m, k, lda, false), span_matrix(b, k, n, ldb, false),
+       span_matrix(c, m, n, ldc, true)},
+      [=] {
+        blas::dgemm(blas::Trans::No, blas::Trans::No, as_int(m), as_int(n),
+                    as_int(k), alpha, a, as_int(lda), b, as_int(ldb), beta, c,
+                    as_int(ldc));
+      });
 }
 
 void trsm_left_lower_unit(Stream& s, long nb, long n, const double* l1,
                           long ldl, double* u, long ldu) {
   if (nb <= 0 || n <= 0) return;
   const double modeled = s.device().model().trsm_seconds(nb, n);
-  s.enqueue(modeled, [=] {
-    blas::dtrsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
-                blas::Diag::Unit, as_int(nb), as_int(n), 1.0, l1, as_int(ldl),
-                u, as_int(ldu));
-  });
+  s.enqueue_annotated(
+      modeled, "trsm",
+      {span_matrix(l1, nb, nb, ldl, false), span_matrix(u, nb, n, ldu, true)},
+      [=] {
+        blas::dtrsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+                    blas::Diag::Unit, as_int(nb), as_int(n), 1.0, l1,
+                    as_int(ldl), u, as_int(ldu));
+      });
 }
 
-void copy_h2d(Stream& s, double* dst, const double* src, std::size_t count) {
+namespace {
+void linear_hcopy(Stream& s, const char* what, double* dst, const double* src,
+                  std::size_t count) {
   if (count == 0) return;
   const double modeled =
       s.device().model().hcopy_seconds(count * sizeof(double));
-  s.enqueue(modeled,
-            [=] { std::memcpy(dst, src, count * sizeof(double)); });
+  s.enqueue_annotated(modeled, what,
+                      {span_read(src, count), span_write(dst, count)},
+                      [=] { std::memcpy(dst, src, count * sizeof(double)); });
+}
+}  // namespace
+
+void copy_h2d(Stream& s, double* dst, const double* src, std::size_t count) {
+  linear_hcopy(s, "copy_h2d", dst, src, count);
 }
 
 void copy_d2h(Stream& s, double* dst, const double* src, std::size_t count) {
-  copy_h2d(s, dst, src, count);  // symmetric link, same cost & mechanics
+  // symmetric link, same cost & mechanics
+  linear_hcopy(s, "copy_d2h", dst, src, count);
 }
 
 namespace {
@@ -82,28 +98,34 @@ void copy_matrix(Stream& s, long m, long n, const double* src, long lds,
       2ul * static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
       sizeof(double);
   const double modeled = s.device().model().dmove_seconds(bytes);
-  s.enqueue(modeled, [=] { tiled_matrix_copy(m, n, src, lds, dst, ldd); });
+  s.enqueue_annotated(
+      modeled, "copy_matrix",
+      {span_matrix(src, m, n, lds, false), span_matrix(dst, m, n, ldd, true)},
+      [=] { tiled_matrix_copy(m, n, src, lds, dst, ldd); });
 }
 
 namespace {
-void strided_hcopy(Stream& s, long m, long n, const double* src, long lds,
-                   double* dst, long ldd) {
+void strided_hcopy(Stream& s, const char* what, long m, long n,
+                   const double* src, long lds, double* dst, long ldd) {
   if (m <= 0 || n <= 0) return;
   const std::size_t bytes = static_cast<std::size_t>(m) *
                             static_cast<std::size_t>(n) * sizeof(double);
   const double modeled = s.device().model().hcopy_seconds(bytes);
-  s.enqueue(modeled, [=] { tiled_matrix_copy(m, n, src, lds, dst, ldd); });
+  s.enqueue_annotated(
+      modeled, what,
+      {span_matrix(src, m, n, lds, false), span_matrix(dst, m, n, ldd, true)},
+      [=] { tiled_matrix_copy(m, n, src, lds, dst, ldd); });
 }
 }  // namespace
 
 void copy_matrix_h2d(Stream& s, long m, long n, const double* src, long lds,
                      double* dst, long ldd) {
-  strided_hcopy(s, m, n, src, lds, dst, ldd);
+  strided_hcopy(s, "copy_matrix_h2d", m, n, src, lds, dst, ldd);
 }
 
 void copy_matrix_d2h(Stream& s, long m, long n, const double* src, long lds,
                      double* dst, long ldd) {
-  strided_hcopy(s, m, n, src, lds, dst, ldd);
+  strided_hcopy(s, "copy_matrix_d2h", m, n, src, lds, dst, ldd);
 }
 
 // The row-swap kernels below all iterate column-by-column inside a tile,
@@ -149,7 +171,16 @@ void row_gather(Stream& s, const double* a, long lda, std::vector<long> rows,
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(rows.size()), n);
-  s.enqueue(modeled, [=, order = sorted_rows(rows)] {
+  auto order = sorted_rows(rows);
+  // Conservative row-band envelope: rows [rmin, rmax] of every column.
+  const long rmin = order.front().first;
+  const long rmax = order.back().first;
+  const long nr0 = static_cast<long>(order.size());
+  s.enqueue_annotated(
+      modeled, "row_gather",
+      {span_matrix(a + rmin, rmax - rmin + 1, n, lda, false),
+       span_matrix(out, nr0, n, ldo, true)},
+      [=, order = std::move(order)] {
     const long nr = static_cast<long>(order.size());
     const std::pair<long, long>* op = order.data();
     run_column_tiles(n, [&](long c0, long c1) {
@@ -172,7 +203,15 @@ void row_scatter(Stream& s, double* a, long lda, std::vector<long> rows,
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(rows.size()), n);
-  s.enqueue(modeled, [=, order = sorted_rows(rows)] {
+  auto order = sorted_rows(rows);
+  const long rmin = order.front().first;
+  const long rmax = order.back().first;
+  const long nr0 = static_cast<long>(order.size());
+  s.enqueue_annotated(
+      modeled, "row_scatter",
+      {span_matrix(a + rmin, rmax - rmin + 1, n, lda, true),
+       span_matrix(in, nr0, n, ldi, false)},
+      [=, order = std::move(order)] {
     const long nr = static_cast<long>(order.size());
     const std::pair<long, long>* op = order.data();
     run_column_tiles(n, [&](long c0, long c1) {
@@ -196,7 +235,16 @@ void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(rows.size()), n);
-  s.enqueue(modeled, [=, order = sorted_rows(rows)] {
+  auto order = sorted_rows(rows);
+  const long rmin = order.front().first;
+  const long rmax = order.back().first;
+  const long nr0 = static_cast<long>(order.size());
+  s.enqueue_annotated(
+      modeled, "pack_rows",
+      {span_matrix(a + rmin, rmax - rmin + 1, n, lda, false),
+       span_write(out_rowmajor,
+                  static_cast<std::size_t>(nr0) * static_cast<std::size_t>(n))},
+      [=, order = std::move(order)] {
     const long nr = static_cast<long>(order.size());
     const std::pair<long, long>* op = order.data();
     // Column-major ↔ row-major crossing goes through a per-thread scratch
@@ -233,7 +281,16 @@ void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(rows.size()), n);
-  s.enqueue(modeled, [=, order = sorted_rows(rows)] {
+  auto order = sorted_rows(rows);
+  const long rmin = order.front().first;
+  const long rmax = order.back().first;
+  const long nr0 = static_cast<long>(order.size());
+  s.enqueue_annotated(
+      modeled, "unpack_rows",
+      {span_read(in_rowmajor,
+                 static_cast<std::size_t>(nr0) * static_cast<std::size_t>(n)),
+       span_matrix(a + rmin, rmax - rmin + 1, n, lda, true)},
+      [=, order = std::move(order)] {
     const long nr = static_cast<long>(order.size());
     const std::pair<long, long>* op = order.data();
     // Scatter each column in ascending destination order (rows are
@@ -258,7 +315,12 @@ void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv) {
   if (ipiv.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
       static_cast<long>(ipiv.size()), n);
-  s.enqueue(modeled, [=, ipiv = std::move(ipiv)] {
+  // Swaps touch rows [0, max(np-1, max ipiv)] of every column.
+  long rmax = static_cast<long>(ipiv.size()) - 1;
+  for (long p : ipiv) rmax = std::max(rmax, p);
+  s.enqueue_annotated(modeled, "laswp",
+                      {span_matrix(a, rmax + 1, n, lda, true)},
+                      [=, ipiv = std::move(ipiv)] {
     const std::size_t np = ipiv.size();
     const long* pp = ipiv.data();
     // Swaps alias *rows*, so the sequential pivot order must be preserved

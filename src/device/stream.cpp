@@ -8,6 +8,18 @@ namespace hplx::device {
 Event::Event() : state_(std::make_shared<State>()) {}
 
 void Event::wait() const {
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+  // The host now happens-after everything ordered before this event.
+  // state_->hazard is written once before the handle escapes record(),
+  // so reading it unlocked here is safe.
+  if (state_->hazard && state_->hazard->tracker != nullptr)
+    state_->hazard->tracker->on_host_wait(*state_->hazard);
+}
+
+void Event::wait_unordered() const {
   std::unique_lock<std::mutex> lock(state_->mutex);
   state_->cv.wait(lock, [&] { return state_->done; });
 }
@@ -19,6 +31,8 @@ bool Event::complete() const {
 
 Stream::Stream(Device& device, std::string name)
     : device_(device), name_(std::move(name)) {
+  hz_ = device.hazard();
+  if (hz_ != nullptr) hz_id_ = hz_->register_stream(name_);
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -28,7 +42,8 @@ Stream::~Stream() {
     shutdown_ = true;
   }
   cv_work_.notify_all();
-  worker_.join();
+  worker_.join();  // the worker drains the queue before exiting
+  if (hz_ != nullptr) hz_->on_synchronize(hz_id_);
 }
 
 void Stream::enqueue(double modeled_seconds, std::function<void()> fn) {
@@ -40,9 +55,20 @@ void Stream::enqueue(double modeled_seconds, std::function<void()> fn) {
   cv_work_.notify_one();
 }
 
+void Stream::enqueue_annotated(double modeled_seconds, const char* what,
+                               std::initializer_list<MemSpan> spans,
+                               std::function<void()> fn) {
+  if (hz_ != nullptr) hz_->on_enqueue(hz_id_, what, spans.begin(), spans.size());
+  enqueue(modeled_seconds, std::move(fn));
+}
+
 Event Stream::record() {
   Event ev;
   auto state = ev.state_;
+  // The HB payload must be in place before the handle escapes; waiters
+  // read it without locking.
+  if (hz_ != nullptr)
+    state->hazard = std::make_shared<EventHazard>(hz_->on_record(hz_id_));
   Stream* self = this;
   enqueue(0.0, [state, self] {
     std::lock_guard<std::mutex> lock(state->mutex);
@@ -54,12 +80,24 @@ Event Stream::record() {
 }
 
 void Stream::wait_event(Event ev) {
-  enqueue(0.0, [ev] { ev.wait(); });
+  if (hz_ != nullptr && ev.state_->hazard)
+    hz_->on_wait_event(hz_id_, *ev.state_->hazard);
+  // The worker must block on the raw state, not Event::wait(): the
+  // tracked wait joins the *host* clock, and this wait runs on the
+  // stream's worker thread.
+  auto state = ev.state_;
+  enqueue(0.0, [state] {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] { return state->done; });
+  });
 }
 
 void Stream::synchronize() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [&] { return queue_.empty() && !executing_; });
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_idle_.wait(lock, [&] { return queue_.empty() && !executing_; });
+  }
+  if (hz_ != nullptr) hz_->on_synchronize(hz_id_);
 }
 
 double Stream::busy_seconds() const {

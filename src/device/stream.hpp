@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "device/device.hpp"
+#include "device/hazard.hpp"
 
 namespace hplx::device {
 
@@ -31,8 +32,16 @@ class Event {
  public:
   Event();
 
-  /// Host-side blocking wait.
+  /// Host-side blocking wait. Under the hazard tracker this is also a
+  /// happens-before edge: the host clock joins the event's clock, so
+  /// everything ordered before the event is now safe to touch from host.
   void wait() const;
+
+  /// Blocking wait that deliberately skips the tracker's happens-before
+  /// join. Execution stays correct (the wait is real); only the hazard
+  /// model treats the fence as absent. Test hook for re-introducing
+  /// fence-omission bugs without actually racing.
+  void wait_unordered() const;
 
   bool complete() const;
 
@@ -43,6 +52,9 @@ class Event {
     std::condition_variable cv;
     bool done = false;
     double modeled_time = 0.0;  ///< stream virtual clock at completion
+    /// Happens-before payload, set once at record() before the handle
+    /// escapes; null when tracking is off.
+    std::shared_ptr<EventHazard> hazard;
   };
   std::shared_ptr<State> state_;
 };
@@ -62,6 +74,13 @@ class Stream {
   /// previously enqueued work; `modeled_seconds` is charged to the
   /// stream's virtual busy clock.
   void enqueue(double modeled_seconds, std::function<void()> fn);
+
+  /// enqueue() plus a hazard declaration: `what` names the op (static
+  /// storage duration) and `spans` is its access set. With tracking off
+  /// this is exactly enqueue() — one null-pointer test of overhead.
+  void enqueue_annotated(double modeled_seconds, const char* what,
+                         std::initializer_list<MemSpan> spans,
+                         std::function<void()> fn);
 
   /// Record an event after the currently enqueued work.
   Event record();
@@ -103,6 +122,11 @@ class Stream {
   bool shutdown_ = false;
   double busy_seconds_ = 0.0;
   double real_busy_seconds_ = 0.0;
+
+  /// Device's hazard tracker (null when checking is off) and this
+  /// stream's clock index in it.
+  HazardTracker* hz_ = nullptr;
+  int hz_id_ = -1;
 
   std::thread worker_;
 };

@@ -6,6 +6,8 @@
 /// the same five timers the paper plots: total iteration time, GPU active
 /// time, FACT (CPU) time, MPI time, and host<->device transfer time.
 
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace hplx::trace {
@@ -33,6 +35,26 @@ struct IterationRecord {
   double stream_busy_s[kMaxUpdateStreams] = {};
   /// Wall-clock busy seconds per pool stream within the iteration.
   double stream_real_s[kMaxUpdateStreams] = {};
+};
+
+/// One deduplicated hazard-checker violation (device::HazardTracker).
+/// Like IterationRecord these travel between ranks as raw bytes, so the
+/// op labels are fixed char arrays, not strings.
+struct HazardRecord {
+  /// Matches device::HazardTracker::Kind (kept as int so trace/ does not
+  /// depend on device/).
+  int kind = 0;
+  /// Occurrences collapsed into this record (same kind + label pair).
+  std::uint64_t count = 0;
+  char op_a[48] = {};    ///< label of the later / checking access
+  char op_b[48] = {};    ///< label of the conflicting earlier access
+  char detail[96] = {};  ///< first occurrence's address-range context
+
+  void set_labels(const char* a, const char* b, const char* d) {
+    std::strncpy(op_a, a ? a : "", sizeof(op_a) - 1);
+    std::strncpy(op_b, b ? b : "", sizeof(op_b) - 1);
+    std::strncpy(detail, d ? d : "", sizeof(detail) - 1);
+  }
 };
 
 struct RunTrace {

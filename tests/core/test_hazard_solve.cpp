@@ -1,0 +1,145 @@
+/// End-to-end hazard-checker coverage of the solver.
+///
+/// The positive half re-introduces PR 4's bug class on purpose: the
+/// RowSwapper's scatter fence is the event that orders the host's U
+/// staging-buffer rewrite behind the previous iteration's device-side
+/// unpack. `set_test_skip_scatter_fence(true)` keeps the *wait* (so the
+/// run stays numerically correct and race-free) but hides the
+/// happens-before edge from the tracker — exactly what the code would
+/// look like had the fence been forgotten — and the checker must report
+/// it. The negative half sweeps the real schedules (streams × bands ×
+/// pipelines) and demands zero violations: the fences the driver
+/// actually places are sufficient, with no false positives from the
+/// conservative span envelopes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "comm/world.hpp"
+#include "core/driver.hpp"
+#include "core/rowswap.hpp"
+#include "device/hazard.hpp"
+
+namespace hplx::core {
+namespace {
+
+HplConfig base_cfg(long n, int nb, int p, int q) {
+  HplConfig cfg;
+  cfg.n = n;
+  cfg.nb = nb;
+  cfg.p = p;
+  cfg.q = q;
+  cfg.seed = 20230601;
+  cfg.fact_threads = 2;
+  cfg.rfact_nbmin = 8;
+  cfg.verify = true;
+  cfg.hazard_check = true;
+  return cfg;
+}
+
+HplResult run(const HplConfig& cfg) {
+  HplResult out;
+  comm::World::run(cfg.p * cfg.q, [&](comm::Communicator& world) {
+    HplResult r = run_hpl(world, cfg);
+    if (world.rank() == 0) out = std::move(r);
+  });
+  return out;
+}
+
+/// Restores the fence even when an assertion fails mid-test.
+struct FenceSkipGuard {
+  FenceSkipGuard() { RowSwapper::set_test_skip_scatter_fence(true); }
+  ~FenceSkipGuard() { RowSwapper::set_test_skip_scatter_fence(false); }
+};
+
+constexpr int kHostDevice =
+    static_cast<int>(device::HazardTracker::Kind::HostDevice);
+
+TEST(HazardSolve, MissingScatterFenceIsReported) {
+  // P=1 so every rank owns all the rows it swaps: the pack-side ordering
+  // (gather_done) keeps the communicate-stage guard silent, making the
+  // prepare-stage rewrite of the U staging buffers the one deterministic
+  // detection point. With the fence hidden, the rank whose look-ahead
+  // window is empty reaches prepare() before the host ever joined the
+  // previous iteration's unpack.
+  HplConfig cfg = base_cfg(96, 16, 1, 2);
+  cfg.pipeline = PipelineMode::Lookahead;
+
+  HplResult bad;
+  {
+    FenceSkipGuard skip;
+    bad = run(cfg);
+  }
+  // The wait itself still happens, so the answer is untouched...
+  EXPECT_TRUE(bad.verify.passed) << "residual=" << bad.verify.residual;
+  // ...but the model must see the missing edge.
+  ASSERT_TRUE(bad.hazard_checked);
+  ASSERT_FALSE(bad.hazards.empty());
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& r : bad.hazards) {
+    EXPECT_EQ(r.kind, kHostDevice) << r.op_a << " vs " << r.op_b;
+    pairs.emplace(r.op_a, r.op_b);
+  }
+  // Exactly one distinct site: the prepare-stage host rewrite racing the
+  // previous cycle's device unpack. Nothing else may fire.
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs.begin()->first, "rowswap.prepare");
+  EXPECT_EQ(pairs.begin()->second, "unpack_rows");
+
+  // Same config with the fence back in place: completely clean.
+  const HplResult good = run(cfg);
+  EXPECT_TRUE(good.verify.passed);
+  ASSERT_TRUE(good.hazard_checked);
+  EXPECT_TRUE(good.hazards.empty()) << good.hazards.size() << " records, e.g. "
+                                    << good.hazards.front().op_a << " vs "
+                                    << good.hazards.front().op_b << ": "
+                                    << good.hazards.front().detail;
+}
+
+TEST(HazardSolve, CheckerOffLeavesResultUnmarked) {
+  HplConfig cfg = base_cfg(64, 16, 1, 1);
+  cfg.hazard_check = false;
+  const HplResult r = run(cfg);
+  EXPECT_TRUE(r.verify.passed);
+  EXPECT_FALSE(r.hazard_checked);
+  EXPECT_TRUE(r.hazards.empty());
+}
+
+using SweepShape = std::tuple<int /*p*/, int /*q*/, PipelineMode>;
+
+class HazardSweep : public ::testing::TestWithParam<SweepShape> {};
+
+TEST_P(HazardSweep, FencedSchedulesAreViolationFree) {
+  const auto [p, q, mode] = GetParam();
+  for (int streams : {1, 2, 4}) {
+    for (long band : {0L, 8L}) {
+      HplConfig cfg = base_cfg(96, 16, p, q);
+      cfg.pipeline = mode;
+      cfg.update_streams = streams;
+      cfg.update_band_cols = band;
+      const HplResult r = run(cfg);
+      EXPECT_TRUE(r.verify.passed)
+          << "streams=" << streams << " band=" << band;
+      ASSERT_TRUE(r.hazard_checked);
+      EXPECT_TRUE(r.hazards.empty())
+          << "streams=" << streams << " band=" << band << ": "
+          << r.hazards.size() << " records, e.g. " << r.hazards.front().op_a
+          << " vs " << r.hazards.front().op_b << ": "
+          << r.hazards.front().detail;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndModes, HazardSweep,
+    ::testing::Values(SweepShape{1, 1, PipelineMode::Lookahead},
+                      SweepShape{1, 1, PipelineMode::LookaheadSplit},
+                      SweepShape{1, 2, PipelineMode::Lookahead},
+                      SweepShape{2, 2, PipelineMode::LookaheadSplit},
+                      SweepShape{2, 1, PipelineMode::Simple}));
+
+}  // namespace
+}  // namespace hplx::core
