@@ -49,10 +49,16 @@ int main(int argc, char** argv) {
       "width threshold.\n");
 
   // Part 2: whole-run effect of the SWAP choice at 32 nodes (deep process
-  // columns make the latency hops visible in the tail).
-  std::printf("\nA-SWAP part 2: modeled 32-node score by SWAP selection\n\n");
+  // columns make the latency hops visible in the tail), with and without
+  // the pipelined chunked U assembly — spread-roll earns the overlap
+  // credit, binary exchange rides the blocking collective and cannot.
+  std::printf(
+      "\nA-SWAP part 2: modeled 32-node score by SWAP selection and "
+      "chunking\n\n");
   const sim::NodeModel node = sim::NodeModel::crusher();
-  trace::Table sweep({"swap", "threshold", "score_TF"});
+  const long chunk_bytes = opt.get_int("chunk", 256 * 1024);
+  trace::Table sweep(
+      {"swap", "threshold", "score_TF", "chunked_TF", "gain_pct"});
   for (auto algo : {core::RowSwapAlgo::SpreadRoll,
                     core::RowSwapAlgo::BinaryExchange,
                     core::RowSwapAlgo::Mix}) {
@@ -60,39 +66,69 @@ int main(int argc, char** argv) {
     cfg.swap = algo;
     cfg.swap_threshold = opt.get_int("threshold", 1024);
     const sim::SimResult r = sim::simulate_hpl(node, cfg);
+    cfg.swap_chunk_bytes = chunk_bytes;
+    const sim::SimResult rc = sim::simulate_hpl(node, cfg);
     sweep.row()
         .add(to_string(algo))
         .add(cfg.swap_threshold)
-        .add(r.gflops / 1e3, 1);
+        .add(r.gflops / 1e3, 1)
+        .add(rc.gflops / 1e3, 1)
+        .add(100.0 * (rc.gflops / r.gflops - 1.0), 2);
   }
   sweep.print(std::cout);
 
-  // Part 3: real-driver correctness with every SWAP selection.
+  // Part 2b: chunk-size sensitivity of the modeled credit (spread-roll).
+  std::printf(
+      "\nA-SWAP part 2b: modeled 32-node score by chunk size "
+      "(spread-roll)\n\n");
+  trace::Table chunks({"chunk_KiB", "score_TF"});
+  for (long kib : {0L, 16L, 64L, 256L, 1024L, 4096L}) {
+    sim::ClusterConfig cfg = sim::crusher_config(node, 32);
+    cfg.swap_chunk_bytes = kib * 1024;
+    const sim::SimResult r = sim::simulate_hpl(node, cfg);
+    chunks.row().add(kib).add(r.gflops / 1e3, 1);
+  }
+  chunks.print(std::cout);
+
+  // Part 3: real-driver correctness with every SWAP selection, wire
+  // format, and chunking mode. Residuals must agree across the whole
+  // table: the transport choices never touch the arithmetic.
   if (!opt.get_bool("skip-real", false)) {
     std::printf(
         "\nA-SWAP part 3: real driver (N=128 NB=16 4x1, power-of-two "
         "column for binary exchange)\n\n");
-    trace::Table real({"swap", "residual", "passed"});
+    trace::Table real(
+        {"swap", "wire", "chunk", "residual", "passed", "overlap_pct"});
     for (auto algo : {core::RowSwapAlgo::SpreadRoll,
                       core::RowSwapAlgo::BinaryExchange,
                       core::RowSwapAlgo::Mix}) {
-      core::HplConfig cfg;
-      cfg.n = 128;
-      cfg.nb = 16;
-      cfg.p = 4;
-      cfg.q = 1;
-      cfg.swap = algo;
-      cfg.swap_threshold = 48;
-      cfg.fact_threads = 2;
-      core::HplResult result;
-      comm::World::run(4, [&](comm::Communicator& world) {
-        core::HplResult r = core::run_hpl(world, cfg);
-        if (world.rank() == 0) result = std::move(r);
-      });
-      real.row()
-          .add(to_string(algo))
-          .add(result.verify.residual, 4)
-          .add(result.verify.passed ? "yes" : "NO");
+      for (auto wire :
+           {core::SwapWireFormat::RowMajor, core::SwapWireFormat::ColMajor}) {
+        for (long chunk : {-1L, 16L * 1024L}) {
+          core::HplConfig cfg;
+          cfg.n = 128;
+          cfg.nb = 16;
+          cfg.p = 4;
+          cfg.q = 1;
+          cfg.swap = algo;
+          cfg.swap_threshold = 48;
+          cfg.swap_wire = wire;
+          cfg.swap_chunk_bytes = chunk;
+          cfg.fact_threads = 2;
+          core::HplResult result;
+          comm::World::run(4, [&](comm::Communicator& world) {
+            core::HplResult r = core::run_hpl(world, cfg);
+            if (world.rank() == 0) result = std::move(r);
+          });
+          real.row()
+              .add(to_string(algo))
+              .add(to_string(wire))
+              .add(chunk < 0 ? "block" : "16K")
+              .add(result.verify.residual, 4)
+              .add(result.verify.passed ? "yes" : "NO")
+              .add(100.0 * result.rs_overlap_efficiency, 1);
+        }
+      }
     }
     real.print(std::cout);
   }

@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # One-command tier-1 gate: configure + build + full ctest in the default
 # build (warnings-as-errors for src/), then rebuild the concurrency-heavy
-# suites (ctest label "tsan": util/blas/comm/device) under ThreadSanitizer,
-# then the allocation-heavy suites (ctest label "asan": grid/rng/trace +
-# the hazard-checker suites) under AddressSanitizer+LeakSanitizer+UBSan.
+# suites (ctest label "tsan": util/blas/comm/device + the chunked-transport
+# stress suite) under ThreadSanitizer, then the allocation-heavy suites
+# (ctest label "asan": grid/rng/trace + the hazard-checker and
+# chunked-transport suites) under AddressSanitizer+LeakSanitizer+UBSan.
 # This is what CI runs and what a perf PR must keep green.
 #
 #   scripts/check.sh             # build/ + build-tsan/ + build-asan/
@@ -30,7 +31,7 @@ else
   cmake -B "$build_tsan" -S "$repo" -DHPLX_SANITIZE=thread \
     -DHPLX_WERROR=ON >/dev/null
   cmake --build "$build_tsan" -j "$jobs" \
-    --target test_util test_blas test_comm test_device
+    --target test_util test_blas test_comm test_comm_chunked test_device
   ctest --test-dir "$build_tsan" --output-on-failure -j "$jobs" -L tsan
 fi
 
@@ -41,7 +42,7 @@ else
   cmake -B "$build_asan" -S "$repo" -DHPLX_SANITIZE=address,undefined \
     -DHPLX_WERROR=ON >/dev/null
   cmake --build "$build_asan" -j "$jobs" \
-    --target test_grid test_rng test_trace test_hazard
+    --target test_grid test_rng test_trace test_hazard test_comm_chunked
   # LSan rides along with ASan by default on Linux; halt_on_error keeps UB
   # findings fatal so the leg cannot silently pass over them.
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \

@@ -114,6 +114,41 @@ void allgatherv_bytes(Communicator& comm, const void* sendbuf,
                       const std::vector<std::size_t>& displs, void* recvbuf,
                       AllgatherAlgo algo = AllgatherAlgo::Ring);
 
+/// One landed piece of a chunked allgatherv: `bytes` bytes of rank
+/// `rank`'s segment, already stored at recvbuf + `offset` (absolute, in
+/// bytes) when the callback fires.
+struct ChunkDelivery {
+  int rank;            ///< segment owner
+  std::size_t offset;  ///< absolute byte offset into recvbuf
+  std::size_t bytes;   ///< chunk length
+};
+
+/// Progress-driven allgatherv: same contract as allgatherv_bytes, but the
+/// wire traffic is split into chunks of at most `chunk_bytes` and
+/// `on_chunk` fires as soon as each chunk is resident in recvbuf — while
+/// the rest of the collective is still in flight. This is the paper's
+/// Fig 2c overlap lever: the receive-side deserialization (device
+/// scatters of U) can be enqueued per chunk instead of serializing after
+/// the full gather.
+///
+/// `grains[r]` is the indivisible unit (bytes) of rank r's segment — a
+/// wire row or column — so every delivered chunk is a whole number of
+/// rows/columns; the effective chunk size is chunk_bytes rounded down to
+/// a grain multiple (at least one grain). grain 0 means byte-granular.
+/// chunk_bytes == 0 delivers each segment as a single chunk.
+///
+/// The local segment is delivered first (one callback, no wire traffic).
+/// Chunked delivery is implemented for the Ring schedule; RecursiveDoubling
+/// falls back to the blocking collective followed by one whole-segment
+/// delivery per remote rank.
+void allgatherv_chunked(Communicator& comm, const void* sendbuf,
+                        const std::vector<std::size_t>& counts,
+                        const std::vector<std::size_t>& displs, void* recvbuf,
+                        std::size_t chunk_bytes,
+                        const std::vector<std::size_t>& grains,
+                        const std::function<void(const ChunkDelivery&)>& on_chunk,
+                        AllgatherAlgo algo = AllgatherAlgo::Ring);
+
 template <typename T>
 void allgatherv(Communicator& comm, const T* sendbuf,
                 const std::vector<std::size_t>& counts_elems,

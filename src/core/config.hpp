@@ -44,6 +44,17 @@ enum class RowSwapAlgo { SpreadRoll, BinaryExchange, Mix };
 
 const char* to_string(RowSwapAlgo a);
 
+/// Layout of the packed U rows on the wire (the row-swap allgatherv
+/// payload). RowMajor is the seed format: one contiguous wire row per
+/// communicated matrix row, unpacked with strided writes. ColMajor packs
+/// each rank's contribution as an nr×njl column-major block, so the
+/// receive side becomes contiguous column copies and any sub-range of
+/// wire columns can be unpacked independently — the enabler for fusing
+/// per-chunk unpacks into the collective.
+enum class SwapWireFormat { RowMajor, ColMajor };
+
+const char* to_string(SwapWireFormat f);
+
 struct HplConfig {
   long n = 1024;   ///< global problem size N
   int nb = 64;     ///< blocking factor NB
@@ -65,6 +76,20 @@ struct HplConfig {
   RowSwapAlgo swap = RowSwapAlgo::SpreadRoll;
   /// Column-width threshold for RowSwapAlgo::Mix.
   long swap_threshold = 64;
+
+  /// Wire format of the U-assembly allgatherv payload. ColMajor (default)
+  /// enables the fused unpack-on-delivery pipeline; RowMajor reproduces
+  /// the seed path byte-for-byte on the wire.
+  SwapWireFormat swap_wire = SwapWireFormat::ColMajor;
+
+  /// Chunk size (bytes) for the pipelined U-assembly broadcast: the
+  /// allgatherv is split into chunks of at most this many bytes and the
+  /// per-chunk device unpack is enqueued as each chunk lands, overlapping
+  /// deserialization with the remaining wire traffic. 0 = pick via the
+  /// startup autotune probe; negative = disable chunking (seed blocking
+  /// collective + one bulk unpack). Chunks are rounded to whole wire
+  /// rows/columns, so any value is bitwise-identical.
+  long swap_chunk_bytes = 256 * 1024;
 
   /// Optional user-supplied panel broadcast, overriding `bcast`. The
   /// paper's discussion notes rocHPL keeps its communication routines
@@ -133,6 +158,12 @@ struct HplConfig {
   /// HplResult::hazards. OR-combined with the HPLX_HAZARD environment
   /// variable; off by default (zero instrumentation cost when off).
   bool hazard_check = false;
+
+  /// Test-only: keep the RowSwapper's scatter-fence *wait* but hide the
+  /// happens-before edge from the hazard tracker (reintroduces the PR 4
+  /// bug class on purpose). Per-instance — every RowSwapper of the solve
+  /// inherits this flag; never set it outside hazard tests.
+  bool test_skip_scatter_fence = false;
 };
 
 }  // namespace hplx::core

@@ -35,11 +35,13 @@ constexpr int kTagHazard = 202;
 struct IterStats {
   double fact = 0.0;
   double mpi = 0.0;
+  RowSwapStats rs;  ///< row-swap wire/fused-unpack seconds
 };
 
 class Solver {
  public:
-  Solver(comm::Communicator& world, const HplConfig& cfg)
+  Solver(comm::Communicator& world, const HplConfig& cfg,
+         long swap_chunk_bytes)
       : cfg_(cfg),
         grid_(world, cfg.p, cfg.q,
               cfg.row_major_grid ? grid::GridOrder::RowMajor
@@ -65,8 +67,11 @@ class Solver {
     // size here; the per-iteration prepare()/resize() calls then reuse the
     // same allocations instead of reallocating (and re-zeroing) per panel.
     for (RowSwapper* rs : {&rs_main_, &rs_la_, &rs_left_, rs_right_.get(),
-                           rs_right_next_.get()})
+                           rs_right_next_.get()}) {
       rs->reserve(cfg.nb, a_.nloc(), cfg.p);
+      rs->set_pipeline(cfg.swap_wire, swap_chunk_bytes);
+      rs->set_test_skip_scatter_fence(cfg.test_skip_scatter_fence);
+    }
     w_.reserve(static_cast<std::size_t>(std::max<long>(a_.mloc(), 1)) *
                static_cast<std::size_t>(cfg.nb));
     glob_.reserve(static_cast<std::size_t>(std::max<long>(a_.mloc(), 1)));
@@ -120,6 +125,12 @@ class Solver {
 
     result.fact_seconds = fact_total_;
     result.mpi_seconds = mpi_total_;
+    result.rs_wire_seconds = rs_wire_total_;
+    result.rs_unpack_seconds = rs_unpack_total_;
+    result.rs_overlap_efficiency =
+        rs_wire_total_ > 0.0
+            ? std::min(rs_unpack_total_, rs_wire_total_) / rs_wire_total_
+            : 0.0;
     result.transfer_seconds = data_.real_busy_seconds();
     result.gpu_seconds = pool_.real_busy_seconds();
     for (int i = 0; i < pool_.size(); ++i) {
@@ -257,6 +268,8 @@ class Solver {
                         const IterStats& st, double transfer) {
     fact_total_ += st.fact;
     mpi_total_ += st.mpi;
+    rs_wire_total_ += st.rs.wire_s;
+    rs_unpack_total_ += st.rs.unpack_s;
     if (my_col(j) && my_row(j)) {
       trace::IterationRecord rec;
       rec.iteration = iter;
@@ -266,6 +279,8 @@ class Solver {
       rec.fact_s = st.fact;
       rec.mpi_s = st.mpi;
       rec.transfer_s = transfer;
+      rec.rs_wire_s = st.rs.wire_s;
+      rec.rs_unpack_s = st.rs.unpack_s;
       rec.update_streams = pool_.size();
       for (int i = 0; i < pool_.size(); ++i) {
         rec.stream_busy_s[i] = pool_.stream(i).busy_seconds() - busy0_[i];
@@ -309,7 +324,8 @@ class Solver {
     rs_main_.prepare(plan, a_, grid_.myrow(), jl0, njl, cfg_.swap,
                      cfg_.swap_threshold);
     rs_main_.gather(compute_, a_);
-    rs_main_.communicate(grid_.col_comm(), &st.mpi);
+    rs_main_.communicate(grid_.col_comm(), &st.mpi, &compute_,
+                         u_main_.data(), cfg_.nb, &st.rs);
     rs_main_.scatter(compute_, a_, u_main_.data(), cfg_.nb);
     const device::Event u_ready = compute_.record();
     const BandSection sec = enqueue_update_bands(
@@ -351,9 +367,12 @@ class Solver {
                          a_.nloc() - right_start_, cfg_.swap,
                          cfg_.swap_threshold);
       rs_right_->gather(compute_, a_);
-      rs_right_->communicate(grid_.col_comm(), &st.mpi);
+      rs_right_->communicate(grid_.col_comm(), &st.mpi, &compute_,
+                             u_right_.data(), cfg_.nb, &st.rs);
       pending_right = true;
       mpi_total_ += st.mpi;
+      rs_wire_total_ += st.rs.wire_s;
+      rs_unpack_total_ += st.rs.unpack_s;
     }
 
     int iter = 0;
@@ -414,7 +433,8 @@ class Solver {
       rs_main_.prepare(plan, a_, grid_.myrow(), jl0, njl, cfg_.swap,
                      cfg_.swap_threshold);
       rs_main_.gather(compute_, a_);
-      rs_main_.communicate(grid_.col_comm(), &st.mpi);
+      rs_main_.communicate(grid_.col_comm(), &st.mpi, &compute_, u, cfg_.nb,
+                           &st.rs);
       rs_main_.scatter(compute_, a_, u, cfg_.nb);
     }
     const device::Event u_ready = compute_.record();
@@ -516,7 +536,8 @@ class Solver {
     }
 
     // Look-ahead: swap, update on the primary, stage to host.
-    rs_la_.communicate(grid_.col_comm(), &st.mpi);
+    rs_la_.communicate(grid_.col_comm(), &st.mpi, &compute_, u_la_.data(),
+                       cfg_.nb, &st.rs);
     rs_la_.scatter(compute_, a_, u_la_.data(), cfg_.nb);
     const device::Event la_ready = compute_.record();
     const BandSection la_sec = enqueue_update_bands(
@@ -550,8 +571,11 @@ class Solver {
       panel_broadcast(grid_.row_comm(), cfg_.bcast, a_.cols().owner(next),
                       nxt, &st.mpi, &cfg_.custom_bcast);
     }
-    // ... and the RS1 communication (its rows were gathered up front).
-    rs_left_.communicate(grid_.col_comm(), &st.mpi);
+    // ... and the RS1 communication (its rows were gathered up front). The
+    // fused unpacks land on the primary and only write u_left_, which
+    // nothing reads until UPDATE1's bands (gated on left_ready below).
+    rs_left_.communicate(grid_.col_comm(), &st.mpi, &compute_,
+                         u_left_.data(), cfg_.nb, &st.rs);
 
     // After UPDATE2: gather the next panel's right-section rows (RS2).
     // The gather reads columns UPDATE2 writes, and UPDATE2's bands live on
@@ -578,9 +602,13 @@ class Solver {
         left_cols, in_diag, u_row, tail, cfg_.update_band_cols,
         BandPlacement::Spread);
 
-    // RS2 communication, hidden by UPDATE1.
+    // RS2 communication, hidden by UPDATE1. Its fused unpacks write
+    // u_right_ for the next iteration; they are enqueued after
+    // update2.join(compute_), so they stay ordered behind this
+    // iteration's reads of u_right_.
     if (has_next) {
-      rs_right_next_->communicate(grid_.col_comm(), &st.mpi);
+      rs_right_next_->communicate(grid_.col_comm(), &st.mpi, &compute_,
+                                  u_right_.data(), cfg_.nb, &st.rs);
       right_start_ = next_right_start;
       std::swap(rs_right_, rs_right_next_);
     }
@@ -673,6 +701,8 @@ class Solver {
   std::vector<trace::IterationRecord> my_records_;
   double fact_total_ = 0.0;
   double mpi_total_ = 0.0;
+  double rs_wire_total_ = 0.0;
+  double rs_unpack_total_ = 0.0;
   double busy0_[trace::kMaxUpdateStreams] = {};
   double real0_[trace::kMaxUpdateStreams] = {};
 };
@@ -694,7 +724,12 @@ HplResult run_hpl(comm::Communicator& world, const HplConfig& cfg) {
   long tile_cols = cfg.swap_tile_cols;
   if (tile_cols == 0) tile_cols = device::autotune_swap_tile_cols();
   device::configure_engine({tile_cols, cfg.kernel_threads});
-  Solver solver(world, cfg);
+  // swap_chunk_bytes = 0 likewise resolves through the startup probe (the
+  // same kernel timings pick the chunk that balances unpack grain against
+  // per-chunk latency); negative values pin the unchunked seed path.
+  long chunk_bytes = cfg.swap_chunk_bytes;
+  if (chunk_bytes == 0) chunk_bytes = device::autotune_swap_chunk_bytes();
+  Solver solver(world, cfg, chunk_bytes);
   return solver.solve();
 }
 

@@ -32,6 +32,15 @@ struct HplResult {
   double transfer_seconds = 0.0;
   double gpu_seconds = 0.0;
 
+  /// Row-swap pipeline totals: wall time inside the U-assembly collective,
+  /// modeled device seconds of the unpacks fused into chunk delivery, and
+  /// their ratio min(unpack, wire)/wire — the fraction of deserialization
+  /// the chunked broadcast hid behind its own wire traffic. unpack/overlap
+  /// are zero on the unfused (seed) path.
+  double rs_wire_seconds = 0.0;
+  double rs_unpack_seconds = 0.0;
+  double rs_overlap_efficiency = 0.0;
+
   /// Per-stream occupancy of the trailing-update pool (this rank), one
   /// entry per pool stream: modeled busy seconds and wall-clock busy
   /// seconds. Entry 0 is the primary stream. Size = effective

@@ -253,6 +253,15 @@ HplDat parse_hpldat(std::istream& in) {
     HPLX_CHECK_MSG(dat.hazard_check == 0 || dat.hazard_check == 1,
                    "HPL.dat: hazard check must be 0 or 1");
   }
+  if (!r.eof()) {
+    dat.swap_wire_format = static_cast<int>(r.integer("swap wire format"));
+    HPLX_CHECK_MSG(dat.swap_wire_format == 0 || dat.swap_wire_format == 1,
+                   "HPL.dat: swap wire format must be 0 (row-major) or 1 "
+                   "(col-major)");
+  }
+  if (!r.eof()) {
+    dat.swap_chunk_bytes = r.integer("swap chunk bytes");
+  }
   return dat;
 }
 
@@ -302,6 +311,10 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
                   cfg.update_streams = dat.update_streams;
                   cfg.update_band_cols = dat.update_band_cols;
                   cfg.hazard_check = dat.hazard_check != 0;
+                  cfg.swap_wire = dat.swap_wire_format == 0
+                                      ? SwapWireFormat::RowMajor
+                                      : SwapWireFormat::ColMajor;
+                  cfg.swap_chunk_bytes = dat.swap_chunk_bytes;
                   out.push_back(cfg);
                 }
               }
@@ -383,6 +396,10 @@ std::string format_hpldat(const HplDat& dat) {
      << "  update band cols (hplx extension, 0=even split)\n";
   os << dat.hazard_check
      << "  hazard check (hplx extension, 0=off,1=on)\n";
+  os << dat.swap_wire_format
+     << "  swap wire format (hplx extension, 0=row-major,1=col-major)\n";
+  os << dat.swap_chunk_bytes
+     << "  swap chunk bytes (hplx extension, 0=autotune,<0=unchunked)\n";
   return os.str();
 }
 

@@ -42,6 +42,14 @@ const char* to_string(RowSwapAlgo a) {
   return "?";
 }
 
+const char* to_string(SwapWireFormat f) {
+  switch (f) {
+    case SwapWireFormat::RowMajor: return "row-major";
+    case SwapWireFormat::ColMajor: return "col-major";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Header of the combined pivot exchange message (HPL_pdmxswp analogue).

@@ -1,7 +1,6 @@
 #include "core/rowswap.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "comm/collectives.hpp"
 #include "device/hazard.hpp"
@@ -10,14 +9,6 @@
 #include "util/timer.hpp"
 
 namespace hplx::core {
-
-namespace {
-std::atomic<bool> g_skip_scatter_fence{false};
-}  // namespace
-
-void RowSwapper::set_test_skip_scatter_fence(bool skip) {
-  g_skip_scatter_fence.store(skip, std::memory_order_relaxed);
-}
 
 RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv) {
   RowSwapPlan plan;
@@ -112,7 +103,7 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
   // to drain. The wait is usually already satisfied; it only blocks when
   // the host has run a full iteration ahead of the device.
   if (scatter_pending_) {
-    if (g_skip_scatter_fence.load(std::memory_order_relaxed)) {
+    if (test_skip_scatter_fence_) {
       // Test hook: the wait still happens (no real race), but without the
       // tracker's happens-before join — modeling the fence as omitted.
       scatter_done_.wait_unordered();
@@ -138,6 +129,7 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
   jb_ = plan.jb;
   jl0_ = jl0;
   njl_ = njl;
+  fused_delivered_ = false;
   nprow_ = a.rows().nprocs();
   myrow_ = myrow;
 
@@ -215,8 +207,16 @@ void RowSwapper::gather(device::Stream& stream, DistMatrix& a) {
   double* window = a.at(0, jl0_);
   bool enqueued = false;
   if (!my_u_slots_.empty()) {
-    device::pack_rows(stream, window, a.lda(), my_u_slots_, njl_,
-                      my_u_.data());
+    // The wire format decides the pack kernel: the column-major wire has
+    // no layout crossing (cheaper pack) and makes every wire column an
+    // independently deliverable unit for the chunked collective.
+    if (wire_ == SwapWireFormat::ColMajor) {
+      device::pack_rows_cm(stream, window, a.lda(), my_u_slots_, njl_,
+                           my_u_.data());
+    } else {
+      device::pack_rows(stream, window, a.lda(), my_u_slots_, njl_,
+                        my_u_.data());
+    }
     enqueued = true;
   }
   if (in_diag_row_ && !disp_src_slots_.empty()) {
@@ -234,16 +234,20 @@ void RowSwapper::gather(device::Stream& stream, DistMatrix& a) {
 }
 
 void RowSwapper::communicate(comm::Communicator& col_comm,
-                             double* mpi_seconds) {
+                             double* mpi_seconds, device::Stream* stream,
+                             double* u_dev, long ldu,
+                             RowSwapStats* stats) {
   if (gather_pending_) {
     gather_done_.wait();
     gather_pending_ = false;
   }
-  do_communicate(col_comm, mpi_seconds);
+  do_communicate(col_comm, mpi_seconds, stream, u_dev, ldu, stats);
 }
 
 void RowSwapper::do_communicate(comm::Communicator& col_comm,
-                                double* mpi_seconds) {
+                                double* mpi_seconds, device::Stream* stream,
+                                double* u_dev, long ldu,
+                                RowSwapStats* stats) {
   // Host touches of device-visible staging: reads what the gather kernels
   // packed, writes what the scatter kernels will read. gather()'s event
   // wait in communicate() is the edge that makes the reads safe.
@@ -263,8 +267,78 @@ void RowSwapper::do_communicate(comm::Communicator& col_comm,
   Timer timer;
   timer.start();
   // U assembly: everyone ends up with all jb rows (rank-packed order).
-  comm::allgatherv_bytes(col_comm, my_u_.data(), u_counts_, u_displs_,
-                         gathered_u_.data(), u_algo_);
+  const bool fuse = chunk_bytes_ >= 0 && stream != nullptr &&
+                    u_dev != nullptr && njl_ > 0 && jb_ > 0;
+  if (fuse) {
+    HPLX_CHECK(ldu >= jb_);
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(njl_) * sizeof(double);
+    // Indivisible wire unit per rank segment: one packed matrix row
+    // (row-major wire) or one wire column of nr_r doubles (column-major),
+    // so every delivered chunk unpacks as whole rows/columns and the
+    // result is bitwise-identical for any chunk size.
+    std::vector<std::size_t> grains(u_counts_.size());
+    for (std::size_t r = 0; r < u_counts_.size(); ++r) {
+      const std::size_t nr = u_counts_[r] / std::max<std::size_t>(row_bytes, 1);
+      grains[r] = wire_ == SwapWireFormat::ColMajor ? nr * sizeof(double)
+                                                    : row_bytes;
+    }
+    double unpack_modeled = 0.0;
+    auto on_chunk = [&](const comm::ChunkDelivery& d) {
+      // The chunk is resident in gathered_u_[d.offset, d.offset+d.bytes);
+      // enqueue its scatter into the U buffer while later chunks are
+      // still on the wire. Packed positions are rank-major, so rank
+      // d.rank's rows start at packed index u_displs_[rank]/row_bytes.
+      const std::size_t displ = u_displs_[static_cast<std::size_t>(d.rank)];
+      const std::size_t p0 = displ / row_bytes;
+      const std::size_t nr =
+          u_counts_[static_cast<std::size_t>(d.rank)] / row_bytes;
+      if (nr == 0) return;
+      if (wire_ == SwapWireFormat::ColMajor) {
+        // Chunk = wire columns [c0, c0+nc) of the nr×njl segment.
+        const std::size_t col_bytes = nr * sizeof(double);
+        const std::size_t c0 = (d.offset - displ) / col_bytes;
+        const long nc = static_cast<long>(d.bytes / col_bytes);
+        std::vector<long> rows(u_dest_of_packed_.begin() +
+                                   static_cast<std::ptrdiff_t>(p0),
+                               u_dest_of_packed_.begin() +
+                                   static_cast<std::ptrdiff_t>(p0 + nr));
+        unpack_modeled += stream->device().model().rowswap_seconds(
+            static_cast<long>(nr), nc);
+        device::unpack_rows_cm(
+            *stream, gathered_u_.data() + displ / sizeof(double) + c0 * nr,
+            std::move(rows), nc, u_dev + static_cast<long>(c0) * ldu, ldu);
+      } else {
+        // Chunk = whole wire rows [q0, q1) in absolute packed order.
+        const std::size_t q0 = d.offset / row_bytes;
+        const std::size_t q1 = (d.offset + d.bytes) / row_bytes;
+        std::vector<long> rows(u_dest_of_packed_.begin() +
+                                   static_cast<std::ptrdiff_t>(q0),
+                               u_dest_of_packed_.begin() +
+                                   static_cast<std::ptrdiff_t>(q1));
+        unpack_modeled += stream->device().model().rowswap_seconds(
+            static_cast<long>(q1 - q0), njl_);
+        device::unpack_rows(
+            *stream, gathered_u_.data() + q0 * static_cast<std::size_t>(njl_),
+            std::move(rows), njl_, u_dev, ldu);
+      }
+    };
+    comm::allgatherv_chunked(col_comm, my_u_.data(), u_counts_, u_displs_,
+                             gathered_u_.data(),
+                             static_cast<std::size_t>(chunk_bytes_), grains,
+                             on_chunk, u_algo_);
+    fused_delivered_ = true;
+    if (stats != nullptr) {
+      stats->unpack_s += unpack_modeled;
+      stats->fused = true;
+    }
+  } else {
+    comm::allgatherv_bytes(col_comm, my_u_.data(), u_counts_, u_displs_,
+                           gathered_u_.data(), u_algo_);
+  }
+  const double wire_dt = timer.stop();
+  if (stats != nullptr) stats->wire_s += wire_dt;
+  timer.start();
 
   // Displaced rows: scattered from the diagonal row to their destinations.
   const int root = diag_root_;
@@ -276,7 +350,7 @@ void RowSwapper::do_communicate(comm::Communicator& col_comm,
                          disp_recv_.data(), root);
   }
   const double dt = timer.stop();
-  if (mpi_seconds != nullptr) *mpi_seconds += dt;
+  if (mpi_seconds != nullptr) *mpi_seconds += wire_dt + dt;
 }
 
 void RowSwapper::scatter(device::Stream& stream, DistMatrix& a,
@@ -292,13 +366,37 @@ void RowSwapper::scatter(device::Stream& stream, DistMatrix& a,
   }
 
   // U rows are reordered from rank-packed order into pivot order k.
-  // unpack_rows writes row u_dest_of_packed_[i] of the jb×njl U buffer
-  // from packed row i.
-  device::unpack_rows(stream, gathered_u_.data(), u_dest_of_packed_, njl_,
-                      u_dev, ldu);
+  // On the pipelined path communicate() already enqueued them per chunk
+  // (on this same stream); otherwise unpack in bulk: row
+  // u_dest_of_packed_[i] of the jb×njl U buffer from packed row i.
+  if (!fused_delivered_) {
+    if (wire_ == SwapWireFormat::ColMajor) {
+      // Rank-major segments, each nr_r×njl column-major: one unpack per
+      // contributing rank (ld changes at every segment boundary).
+      const std::size_t row_bytes =
+          static_cast<std::size_t>(njl_) * sizeof(double);
+      std::size_t p0 = 0;
+      for (std::size_t r = 0; r < u_counts_.size(); ++r) {
+        const std::size_t nr = u_counts_[r] / row_bytes;
+        if (nr == 0) continue;
+        std::vector<long> rows(u_dest_of_packed_.begin() +
+                                   static_cast<std::ptrdiff_t>(p0),
+                               u_dest_of_packed_.begin() +
+                                   static_cast<std::ptrdiff_t>(p0 + nr));
+        device::unpack_rows_cm(
+            stream, gathered_u_.data() + u_displs_[r] / sizeof(double),
+            std::move(rows), njl_, u_dev, ldu);
+        p0 += nr;
+      }
+    } else {
+      device::unpack_rows(stream, gathered_u_.data(), u_dest_of_packed_, njl_,
+                          u_dev, ldu);
+    }
+  }
 
-  // Fence for the next cycle's prepare(): the unpacks above read
-  // gathered_u_ / disp_recv_ through pointers captured here.
+  // Fence for the next cycle's prepare(): the unpacks above — and any
+  // fused chunk unpacks communicate() enqueued on this stream — read
+  // gathered_u_ / disp_recv_ through pointers captured at enqueue time.
   scatter_done_ = stream.record();
   scatter_pending_ = true;
 }

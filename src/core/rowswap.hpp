@@ -46,6 +46,16 @@ struct RowSwapPlan {
 /// displaced, no per-swap node allocations).
 RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv);
 
+/// Per-call timing of one communicate(): how long the U assembly spent on
+/// the wire and how much device unpack work was fused into the delivery
+/// (modeled seconds). unpack_s > 0 only on the pipelined path; the ratio
+/// min(unpack, wire)/wire is the overlap efficiency the report prints.
+struct RowSwapStats {
+  double wire_s = 0.0;    ///< wall seconds inside the U-assembly collective
+  double unpack_s = 0.0;  ///< modeled device seconds of fused chunk unpacks
+  bool fused = false;     ///< per-chunk unpacks were enqueued on delivery
+};
+
 /// Per-window workspace + this rank's precomputed index lists. One
 /// instance per concurrently in-flight section (look-ahead / left /
 /// right in the split update).
@@ -74,11 +84,32 @@ class RowSwapper {
   /// sections' scatters) never delays this section's communication hop.
   void gather(device::Stream& stream, DistMatrix& a);
 
-  /// Stage 2: blocking communication over the column communicator, gated
-  /// on the event gather() recorded (a no-op wait when this rank had
-  /// nothing to pack). Adds the time spent inside communication calls to
+  /// Select the wire format and chunk size for the U-assembly broadcast.
+  /// chunk_bytes < 0 disables chunking (seed blocking collective + bulk
+  /// unpack in scatter()); >= 0 splits the allgatherv into chunks of at
+  /// most that many bytes (0 = one chunk per segment) and, when
+  /// communicate() is given a stream and U destination, enqueues each
+  /// chunk's unpack as it lands. Call once before the first prepare().
+  void set_pipeline(SwapWireFormat wire, long chunk_bytes) {
+    wire_ = wire;
+    chunk_bytes_ = chunk_bytes;
+  }
+
+  /// Stage 2: communication over the column communicator, gated on the
+  /// event gather() recorded (a no-op wait when this rank had nothing to
+  /// pack). Adds the time spent inside communication calls to
   /// *mpi_seconds.
-  void communicate(comm::Communicator& col_comm, double* mpi_seconds);
+  ///
+  /// Pipelined form: when chunking is enabled (set_pipeline) and `stream`
+  /// / `u_dev` are non-null, the U allgatherv runs chunked and the device
+  /// unpack of each landed chunk is enqueued on `stream` immediately —
+  /// deserialization overlaps the remaining wire traffic, and scatter()
+  /// skips the bulk U unpack. `stream` must be the same stream scatter()
+  /// is called with (its fence covers the fused unpacks). `stats`, when
+  /// non-null, receives wire/unpack seconds for the overlap report.
+  void communicate(comm::Communicator& col_comm, double* mpi_seconds,
+                   device::Stream* stream = nullptr, double* u_dev = nullptr,
+                   long ldu = 0, RowSwapStats* stats = nullptr);
 
   /// Stage 3: enqueue the device scatters: displaced rows into A, and the
   /// replicated U (jb × njl, ld >= jb) assembled in pivot order. Records a
@@ -95,12 +126,17 @@ class RowSwapper {
   /// (execution stays correct) but through Event::wait_unordered, so the
   /// hazard tracker models the fence as absent. This re-introduces, for
   /// the checker only, the bug class the fence was added for: rewriting
-  /// staging buffers that in-flight scatter kernels read. Global, not
-  /// thread-safe against concurrent solves; tests set it around one run.
-  static void set_test_skip_scatter_fence(bool skip);
+  /// staging buffers that in-flight scatter kernels read. Per-instance
+  /// (the driver copies HplConfig::test_skip_scatter_fence into every
+  /// swapper it builds); never set outside hazard tests.
+  void set_test_skip_scatter_fence(bool skip) {
+    test_skip_scatter_fence_ = skip;
+  }
 
  private:
-  void do_communicate(comm::Communicator& col_comm, double* mpi_seconds);
+  void do_communicate(comm::Communicator& col_comm, double* mpi_seconds,
+                      device::Stream* stream, double* u_dev, long ldu,
+                      RowSwapStats* stats);
 
   long j_ = 0;
   int jb_ = 0;
@@ -111,6 +147,10 @@ class RowSwapper {
   int diag_root_ = 0;
   bool in_diag_row_ = false;
   comm::AllgatherAlgo u_algo_ = comm::AllgatherAlgo::Ring;
+  SwapWireFormat wire_ = SwapWireFormat::RowMajor;
+  long chunk_bytes_ = -1;  ///< < 0: seed path (blocking + bulk unpack)
+  bool fused_delivered_ = false;  ///< this window's U unpacks already enqueued
+  bool test_skip_scatter_fence_ = false;
   /// The owning device's hazard tracker (null when checking is off);
   /// latched from the stream in gather().
   device::HazardTracker* hz_ = nullptr;
@@ -123,8 +163,8 @@ class RowSwapper {
   std::vector<long> my_u_slots_;        ///< local rows of my U sources
   std::vector<long> u_dest_of_packed_;  ///< U row k for each packed position
   std::vector<std::size_t> u_counts_, u_displs_;  ///< allgatherv (bytes)
-  std::vector<double> my_u_;       ///< packed rows I contribute (row-major)
-  std::vector<double> gathered_u_; ///< all jb rows, rank-packed (row-major)
+  std::vector<double> my_u_;       ///< packed rows I contribute (wire format)
+  std::vector<double> gathered_u_; ///< all jb rows, rank-packed (wire format)
 
   // Displaced rows.
   std::vector<long> disp_src_slots_;   ///< diag row only: local top rows

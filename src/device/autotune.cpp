@@ -21,7 +21,12 @@ constexpr long kProbeCols = 1024;
 constexpr int kProbeJb = 64;
 constexpr int kProbeReps = 3;
 
-long run_probe() {
+struct ProbeResult {
+  long tile_cols = 256;
+  long chunk_bytes = 256 * 1024;
+};
+
+ProbeResult run_probe() {
   const EngineConfig entry = engine_config();
 
   Device dev("autotune", static_cast<std::size_t>(kProbeRows + kProbeJb) *
@@ -54,9 +59,16 @@ long run_probe() {
     s.synchronize();
     Timer t;
     t.start();
+    // Both wire formats round-trip: the winner must serve the row-major
+    // pack/unpack pair *and* the column-major pair the pipelined broadcast
+    // unpacks with (the receive side is the measured slowest swap kernel,
+    // so its timing belongs in the vote).
     for (int rep = 0; rep < kProbeReps; ++rep) {
       pack_rows(s, a.data(), kProbeRows, rows, kProbeCols, packed.data());
       unpack_rows(s, packed.data(), rows, kProbeCols, a.data(), kProbeRows);
+      pack_rows_cm(s, a.data(), kProbeRows, rows, kProbeCols, packed.data());
+      unpack_rows_cm(s, packed.data(), rows, kProbeCols, a.data(),
+                     kProbeRows);
     }
     s.synchronize();
     const double dt = t.stop();
@@ -66,17 +78,47 @@ long run_probe() {
     }
   }
 
+  // Chunk size for the pipelined broadcast: measure unpack_rows_cm
+  // throughput at the winning width and size the chunk so one fused
+  // unpack costs ~50 µs of host work — comfortably above per-chunk
+  // enqueue overhead, well below a full U segment at HPL shapes.
+  ProbeResult out;
+  out.tile_cols = best;
+  configure_engine({best, entry.threads});
+  unpack_rows_cm(s, packed.data(), rows, kProbeCols, a.data(), kProbeRows);
+  s.synchronize();
+  Timer t;
+  t.start();
+  for (int rep = 0; rep < kProbeReps; ++rep)
+    unpack_rows_cm(s, packed.data(), rows, kProbeCols, a.data(), kProbeRows);
+  s.synchronize();
+  const double per_rep = t.stop() / kProbeReps;
+  const double wire_bytes = static_cast<double>(rows.size()) * kProbeCols *
+                            static_cast<double>(sizeof(double));
+  if (per_rep > 0.0) {
+    const double bytes_per_sec = wire_bytes / per_rep;
+    constexpr double kTargetSeconds = 50e-6;
+    constexpr long kGrain = 32 * 1024;
+    long chunk = static_cast<long>(bytes_per_sec * kTargetSeconds);
+    chunk = chunk / kGrain * kGrain;
+    out.chunk_bytes = std::clamp<long>(chunk, 64 * 1024, 1024 * 1024);
+  }
+
   configure_engine(entry);
-  return best;
+  return out;
+}
+
+const ProbeResult& probe_once() {
+  static std::once_flag flag;
+  static ProbeResult result;
+  std::call_once(flag, [] { result = run_probe(); });
+  return result;
 }
 
 }  // namespace
 
-long autotune_swap_tile_cols() {
-  static std::once_flag flag;
-  static long winner = 0;
-  std::call_once(flag, [] { winner = run_probe(); });
-  return winner;
-}
+long autotune_swap_tile_cols() { return probe_once().tile_cols; }
+
+long autotune_swap_chunk_bytes() { return probe_once().chunk_bytes; }
 
 }  // namespace hplx::device

@@ -20,4 +20,12 @@ namespace hplx::device {
 /// before returning.
 long autotune_swap_tile_cols();
 
+/// Chunk size (bytes) for the pipelined row-swap broadcast, derived from
+/// the same one-shot probe: the measured unpack_rows_cm throughput picks a
+/// chunk whose fused unpack takes a few tens of microseconds — large
+/// enough to amortize per-chunk enqueue overhead, small enough that
+/// deserialization pipelines against the remaining wire traffic. Shares
+/// the probe (and its cache) with autotune_swap_tile_cols.
+long autotune_swap_chunk_bytes();
+
 }  // namespace hplx::device

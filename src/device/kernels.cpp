@@ -311,6 +311,73 @@ void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
   });
 }
 
+void pack_rows_cm(Stream& s, const double* a, long lda,
+                  std::vector<long> rows, long n, double* out_colmajor) {
+  if (rows.empty() || n <= 0) return;
+  const double modeled = s.device().model().rowswap_seconds(
+      static_cast<long>(rows.size()), n);
+  auto order = sorted_rows(rows);
+  const long rmin = order.front().first;
+  const long rmax = order.back().first;
+  const long nr0 = static_cast<long>(order.size());
+  s.enqueue_annotated(
+      modeled, "pack_rows_cm",
+      {span_matrix(a + rmin, rmax - rmin + 1, n, lda, false),
+       span_write(out_colmajor,
+                  static_cast<std::size_t>(nr0) * static_cast<std::size_t>(n))},
+      [=, order = std::move(order)] {
+    const long nr = static_cast<long>(order.size());
+    const std::pair<long, long>* op = order.data();
+    // No layout crossing: reads sweep each matrix column upward in sorted
+    // row order, and the shuffled writes land inside one nr-length wire
+    // column (cache-resident). pack_rows needs a scratch transpose tile to
+    // get this access pattern; the column-major wire gets it for free.
+    run_column_tiles(n, [&](long c0, long c1) {
+      for (long c = c0; c < c1; ++c) {
+        const double* acol = a + c * lda;
+        double* ocol = out_colmajor + c * nr;
+        for (long i = 0; i < nr; ++i) {
+          prefetch_row(acol, op, i, nr);
+          ocol[op[i].second] = acol[op[i].first];
+        }
+      }
+    });
+  });
+}
+
+void unpack_rows_cm(Stream& s, const double* in_colmajor,
+                    std::vector<long> rows, long n, double* a, long lda) {
+  if (rows.empty() || n <= 0) return;
+  const double modeled = s.device().model().rowswap_seconds(
+      static_cast<long>(rows.size()), n);
+  auto order = sorted_rows(rows);
+  const long rmin = order.front().first;
+  const long rmax = order.back().first;
+  const long nr0 = static_cast<long>(order.size());
+  s.enqueue_annotated(
+      modeled, "unpack_rows_cm",
+      {span_read(in_colmajor,
+                 static_cast<std::size_t>(nr0) * static_cast<std::size_t>(n)),
+       span_matrix(a + rmin, rmax - rmin + 1, n, lda, true)},
+      [=, order = std::move(order)] {
+    const long nr = static_cast<long>(order.size());
+    const std::pair<long, long>* op = order.data();
+    // Contiguous column copies: each wire column is read at unit stride
+    // (shuffled only within its cache-resident nr doubles) and scattered
+    // down the matrix column in ascending destination order.
+    run_column_tiles(n, [&](long c0, long c1) {
+      for (long c = c0; c < c1; ++c) {
+        double* acol = a + c * lda;
+        const double* icol = in_colmajor + c * nr;
+        for (long i = 0; i < nr; ++i) {
+          prefetch_row_w(acol, op, i, nr);
+          acol[op[i].first] = icol[op[i].second];
+        }
+      }
+    });
+  });
+}
+
 void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv) {
   if (ipiv.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(

@@ -83,4 +83,20 @@ void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
 void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
                  long n, double* a, long lda);
 
+/// Column-major wire format: out[c*nr + i] = a(rows[i], c), i.e. the
+/// packed buffer is an nr×n column-major matrix (ld = nr = rows.size()).
+/// Unlike pack_rows there is no layout crossing — both sides walk
+/// contiguous columns — so no scratch transpose tile is needed, and the
+/// receive side can unpack any sub-range of wire columns independently
+/// (the per-chunk delivery path of the pipelined row swap).
+void pack_rows_cm(Stream& s, const double* a, long lda,
+                  std::vector<long> rows, long n, double* out_colmajor);
+
+/// Inverse of pack_rows_cm: a(rows[i], c) = in[c*nr + i]. `rows` must be
+/// distinct. The wire reads are unit-stride within each cache-resident
+/// nr-length column — this is the contiguous-column-copy receive side the
+/// transposed wire format buys.
+void unpack_rows_cm(Stream& s, const double* in_colmajor,
+                    std::vector<long> rows, long n, double* a, long lda);
+
 }  // namespace hplx::device

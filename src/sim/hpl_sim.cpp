@@ -65,6 +65,37 @@ class IterationModel {
     return allgather + scatter;
   }
 
+  /// Seconds of the U-unpack leg that the pipelined broadcast hides
+  /// behind the allgather's own wire time. With swap_chunk_bytes > 0 each
+  /// delivered chunk's unpack is fused onto the stream while the ring
+  /// moves the next chunk, so the unpack overlaps the wire up to
+  /// min(unpack, wire) — minus the extra per-chunk message latency the
+  /// finer-grained ring pays beyond its P-1 baseline hops. Binary
+  /// exchange (and "mix" below the threshold) falls back to the blocking
+  /// collective and earns no credit. The credit shortens the critical
+  /// path only; device busy time is unchanged (overlapped, not removed).
+  double rs_pipeline_credit_seconds(double cols) const {
+    if (cfg_.swap_chunk_bytes <= 0 || cols <= 0 || cfg_.p == 1) return 0.0;
+    const bool binexch =
+        cfg_.swap == core::RowSwapAlgo::BinaryExchange ||
+        (cfg_.swap == core::RowSwapAlgo::Mix &&
+         cols <= static_cast<double>(cfg_.swap_threshold));
+    if (binexch) return 0.0;
+    const double bw =
+        (col_inter_ ? node_.net.inter_bw_gbs : node_.net.intra_bw_gbs) * 1e9;
+    const double lat =
+        col_inter_ ? node_.net.inter_lat_s : node_.net.intra_lat_s;
+    const double ubytes = static_cast<double>(cfg_.nb) * cols * 8.0;
+    const double frac = static_cast<double>(cfg_.p - 1) / cfg_.p;
+    const double wire = (cfg_.p - 1) * lat + ubytes * frac / bw;
+    const double chunks =
+        std::ceil(ubytes * frac / static_cast<double>(cfg_.swap_chunk_bytes));
+    const double extra_lat =
+        std::max(0.0, chunks - static_cast<double>(cfg_.p - 1)) * lat;
+    const double unpack = rs_device_seconds(cols);
+    return std::max(0.0, std::min(unpack, wire) - extra_lat);
+  }
+
   /// FACT on the CPU: compute + the per-column pivot collectives.
   double fact_compute_seconds(double m) const {
     if (m < cfg_.nb) m = cfg_.nb;
@@ -173,7 +204,8 @@ SimResult simulate_hpl(const NodeModel& node, const ClusterConfig& cfg) {
       const double up = m.update_seconds(m_tail, nloc);
       rec.mpi_s = fact_mpi + lbcast + m.rs_comm_seconds(nloc);
       rec.gpu_s = rs_dev + up;
-      rec.total_s = host_chain + m.rs_comm_seconds(nloc) + rs_dev + up;
+      rec.total_s = host_chain + m.rs_comm_seconds(nloc) + rs_dev + up -
+                    m.rs_pipeline_credit_seconds(nloc);
     } else if (!split_active) {
       // Fig. 3: RS exposed up front; FACT/LBCAST hidden behind the
       // trailing update of the non-look-ahead columns.
@@ -183,8 +215,8 @@ SimResult simulate_hpl(const NodeModel& node, const ClusterConfig& cfg) {
       const double up_rest = m.update_seconds(m_tail, nloc - la);
       rec.mpi_s = fact_mpi + lbcast + rs_comm;
       rec.gpu_s = rs_dev + up_la + up_rest;
-      rec.total_s =
-          rs_comm + rs_dev + up_la + std::max(up_rest, host_chain);
+      rec.total_s = rs_comm + rs_dev - m.rs_pipeline_credit_seconds(nloc) +
+                    up_la + std::max(up_rest, host_chain);
     } else {
       // Fig. 6. Durations:
       const double right = n2;
@@ -200,23 +232,51 @@ SimResult simulate_hpl(const NodeModel& node, const ClusterConfig& cfg) {
       const double rs1_comm = m.rs_comm_seconds(left);
       const double rs2_comm = m.rs_comm_seconds(right);
 
-      // Timeline (matches the driver's enqueue order).
-      const double gpu_pre = d_gathers + d_scatter_right;
+      // Timeline (matches the driver's enqueue order): first uncredited,
+      // whose slack bounds how much unpack each comm window can hide.
+      const double gpu_pre0 = d_gathers + d_scatter_right;
+      const double la_ready0 = std::max(gpu_pre0, d_gathers + la_comm);
+      const double la_done0 = la_ready0 + d_la;
+      const double fact_done0 = la_done0 + host_chain;
+      const double up2_done0 = la_done0 + d_up2;
+      const double rs1_done0 = fact_done0 + rs1_comm;
+      const double gather_next_done0 =
+          std::max(up2_done0, fact_done0) + d_gather_next;
+      const double gpu_end0 = std::max(gather_next_done0, rs1_done0) + d_up1;
+      const double rs2_done0 = gather_next_done0 + rs2_comm;
+
+      // Each section's fused chunk unpacks run inside its own comm
+      // window, but only shorten the path where that window is exposed —
+      // the device must be idle while the chunks arrive. The right
+      // section's unpack sits in gpu_pre, overlapping the previous
+      // iteration's RS2 wire tail (same shape at fixed geometry).
+      const double cr_la =
+          std::min(m.rs_pipeline_credit_seconds(la),
+                   std::max(0.0, d_gathers + la_comm - gpu_pre0));
+      const double cr_left =
+          std::min(m.rs_pipeline_credit_seconds(left),
+                   std::max(0.0, rs1_done0 - gather_next_done0));
+      const double cr_right =
+          std::min(m.rs_pipeline_credit_seconds(right),
+                   std::max(0.0, rs2_done0 - gpu_end0));
+
+      const double gpu_pre = gpu_pre0 - cr_right;
       const double la_ready = std::max(gpu_pre, d_gathers + la_comm);
-      const double la_done = la_ready + d_la;
+      const double la_done = la_ready + d_la - cr_la;
       const double fact_done = la_done + host_chain;
       const double up2_done = la_done + d_up2;
       const double rs1_done = fact_done + rs1_comm;
       const double gather_next_done =
           std::max(up2_done, fact_done) + d_gather_next;
       const double up1_start = std::max(gather_next_done, rs1_done);
-      const double gpu_end = up1_start + d_up1;
+      const double gpu_end = up1_start + d_up1 - cr_left;
       const double rs2_done = gather_next_done + rs2_comm;
 
       rec.mpi_s = fact_mpi + lbcast + la_comm + rs1_comm + rs2_comm;
-      rec.gpu_s =
-          gpu_pre + d_la + d_up2 + d_gather_next + d_up1;
-      rec.total_s = std::max(gpu_end, rs2_done);
+      // Busy time counts the uncredited durations: overlapped unpacks
+      // still occupy the device, they just leave the critical path.
+      rec.gpu_s = gpu_pre0 + d_la + d_up2 + d_gather_next + d_up1;
+      rec.total_s = std::max({gpu_end, rs2_done, rec.gpu_s});
     }
 
     out.trace.iterations.push_back(rec);
@@ -296,11 +356,32 @@ std::vector<TimelineEvent> iteration_timeline(const NodeModel& node,
     const double rs1_comm = m.rs_comm_seconds(left);
     const double rs2_comm = m.rs_comm_seconds(right);
 
-    const double gpu_pre = d_gathers + d_scatter_right;
+    // Pipelined-broadcast credits, clamped by the exposed comm slack of
+    // the uncredited chain — same composition as simulate_hpl.
+    const double gpu_pre0 = d_gathers + d_scatter_right;
+    const double la_done0 = std::max(gpu_pre0, d_gathers + la_comm) + d_la;
+    const double fact_done0 = la_done0 + (xfer1 + fact_cpu + fact_mpi +
+                                          xfer2 + lbcast);
+    const double up2_done0 = la_done0 + d_up2;
+    const double rs1_done0 = fact_done0 + rs1_comm;
+    const double gather_next_done0 =
+        std::max(up2_done0, fact_done0) + d_gather_next;
+    const double gpu_end0 = std::max(gather_next_done0, rs1_done0) + d_up1;
+    const double cr_la =
+        std::min(m.rs_pipeline_credit_seconds(la),
+                 std::max(0.0, d_gathers + la_comm - gpu_pre0));
+    const double cr_left =
+        std::min(m.rs_pipeline_credit_seconds(left),
+                 std::max(0.0, rs1_done0 - gather_next_done0));
+    const double cr_right =
+        std::min(m.rs_pipeline_credit_seconds(right),
+                 std::max(0.0, gather_next_done0 + rs2_comm - gpu_end0));
+
+    const double gpu_pre = gpu_pre0 - cr_right;
     add("GPU", "gather LA+left / scatter RS2", 0.0, gpu_pre);
     add("MPI", "RS(look-ahead) comm", d_gathers, d_gathers + la_comm);
     const double la_ready = std::max(gpu_pre, d_gathers + la_comm);
-    const double la_done = la_ready + d_la;
+    const double la_done = la_ready + d_la - cr_la;
     add("GPU", "UPDATE(look-ahead)", la_ready, la_done);
     add("XFER", "panel D2H", la_done, la_done + xfer1);
     add("CPU", "FACT", la_done + xfer1, la_done + xfer1 + fact_cpu);
@@ -319,7 +400,7 @@ std::vector<TimelineEvent> iteration_timeline(const NodeModel& node,
     add("GPU", "gather RS2(next)", std::max(up2_done, fact_done),
         gather_next_done);
     const double up1_start = std::max(gather_next_done, rs1_done);
-    add("GPU", "UPDATE1 (left)", up1_start, up1_start + d_up1);
+    add("GPU", "UPDATE1 (left)", up1_start, up1_start + d_up1 - cr_left);
     add("MPI", "RS2(next) comm", gather_next_done,
         gather_next_done + rs2_comm);
   } else if (cfg.pipeline != core::PipelineMode::Simple) {
@@ -329,11 +410,14 @@ std::vector<TimelineEvent> iteration_timeline(const NodeModel& node,
     const double up_la = m.update_seconds(m_tail, la);
     const double up_rest = m.update_seconds(m_tail, nloc - la);
 
+    // The fused chunk unpacks shorten the post-comm scatter+U leg: the
+    // comm window here is fully exposed, so the credit applies whole.
+    const double cr = m.rs_pipeline_credit_seconds(nloc);
     add("MPI", "RS comm", rs_dev / 3.0, rs_dev / 3.0 + rs_comm);
     add("GPU", "RS gather/scatter", 0.0, rs_dev / 3.0);
     const double t0 = rs_dev / 3.0 + rs_comm;
-    add("GPU", "RS scatter + U", t0, t0 + 2.0 * rs_dev / 3.0);
-    const double up0 = t0 + 2.0 * rs_dev / 3.0;
+    add("GPU", "RS scatter + U", t0, t0 + 2.0 * rs_dev / 3.0 - cr);
+    const double up0 = t0 + 2.0 * rs_dev / 3.0 - cr;
     add("GPU", "UPDATE(look-ahead)", up0, up0 + up_la);
     add("GPU", "UPDATE(rest)", up0 + up_la, up0 + up_la + up_rest);
     add("XFER", "panel D2H", up0 + up_la, up0 + up_la + xfer1);
@@ -358,7 +442,8 @@ std::vector<TimelineEvent> iteration_timeline(const NodeModel& node,
     step("MPI", "LBCAST", lbcast);
     step("GPU", "RS gather", m.rs_device_seconds(nloc));
     step("MPI", "RS comm", m.rs_comm_seconds(nloc));
-    step("GPU", "RS scatter + U", 2.0 * m.rs_device_seconds(nloc));
+    step("GPU", "RS scatter + U", 2.0 * m.rs_device_seconds(nloc) -
+                                      m.rs_pipeline_credit_seconds(nloc));
     step("GPU", "UPDATE", m.update_seconds(m_tail, nloc));
   }
   return ev;

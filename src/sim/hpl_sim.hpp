@@ -36,6 +36,10 @@ struct ClusterConfig {
   int fact_threads = 15;  ///< T per FACT (from the core-sharing plan)
   core::RowSwapAlgo swap = core::RowSwapAlgo::SpreadRoll;
   long swap_threshold = 64;  ///< columns; for RowSwapAlgo::Mix
+  /// Pipelined U assembly: > 0 models the chunked allgatherv with fused
+  /// unpack-on-delivery at this chunk size (bytes); <= 0 models the
+  /// blocking gather-then-unpack baseline.
+  long swap_chunk_bytes = 0;
 };
 
 struct SimResult {

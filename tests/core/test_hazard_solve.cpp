@@ -3,17 +3,20 @@
 /// The positive half re-introduces PR 4's bug class on purpose: the
 /// RowSwapper's scatter fence is the event that orders the host's U
 /// staging-buffer rewrite behind the previous iteration's device-side
-/// unpack. `set_test_skip_scatter_fence(true)` keeps the *wait* (so the
+/// unpack. `HplConfig::test_skip_scatter_fence` keeps the *wait* (so the
 /// run stays numerically correct and race-free) but hides the
 /// happens-before edge from the tracker — exactly what the code would
 /// look like had the fence been forgotten — and the checker must report
-/// it. The negative half sweeps the real schedules (streams × bands ×
-/// pipelines) and demands zero violations: the fences the driver
+/// it, on both the blocking seed path and the pipelined chunked path
+/// whose fused per-chunk unpacks ride the same fence. The negative half
+/// sweeps the real schedules (streams × bands × pipelines × wire formats
+/// × chunk sizes) and demands zero violations: the fences the driver
 /// actually places are sufficient, with no false positives from the
 /// conservative span envelopes.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <utility>
@@ -49,12 +52,6 @@ HplResult run(const HplConfig& cfg) {
   return out;
 }
 
-/// Restores the fence even when an assertion fails mid-test.
-struct FenceSkipGuard {
-  FenceSkipGuard() { RowSwapper::set_test_skip_scatter_fence(true); }
-  ~FenceSkipGuard() { RowSwapper::set_test_skip_scatter_fence(false); }
-};
-
 constexpr int kHostDevice =
     static_cast<int>(device::HazardTracker::Kind::HostDevice);
 
@@ -64,15 +61,16 @@ TEST(HazardSolve, MissingScatterFenceIsReported) {
   // prepare-stage rewrite of the U staging buffers the one deterministic
   // detection point. With the fence hidden, the rank whose look-ahead
   // window is empty reaches prepare() before the host ever joined the
-  // previous iteration's unpack.
+  // previous iteration's unpack. Pinned to the seed path (unchunked,
+  // row-major wire) so the expected site is the bulk unpack_rows.
   HplConfig cfg = base_cfg(96, 16, 1, 2);
   cfg.pipeline = PipelineMode::Lookahead;
+  cfg.swap_wire = SwapWireFormat::RowMajor;
+  cfg.swap_chunk_bytes = -1;
 
-  HplResult bad;
-  {
-    FenceSkipGuard skip;
-    bad = run(cfg);
-  }
+  HplConfig skip = cfg;
+  skip.test_skip_scatter_fence = true;
+  const HplResult bad = run(skip);
   // The wait itself still happens, so the answer is untouched...
   EXPECT_TRUE(bad.verify.passed) << "residual=" << bad.verify.residual;
   // ...but the model must see the missing edge.
@@ -99,6 +97,45 @@ TEST(HazardSolve, MissingScatterFenceIsReported) {
                                     << good.hazards.front().detail;
 }
 
+TEST(HazardSolve, MissingChunkFenceIsReported) {
+  // The pipelined path's regression twin: fused per-chunk unpacks
+  // (unpack_rows_cm enqueued inside the chunked allgatherv) are ordered
+  // against the next prepare() by the same scatter fence. Hide it and the
+  // tracker must flag the staging rewrite racing the fused unpacks.
+  HplConfig cfg = base_cfg(96, 16, 1, 2);
+  cfg.pipeline = PipelineMode::Lookahead;
+  cfg.swap_wire = SwapWireFormat::ColMajor;
+  cfg.swap_chunk_bytes = 4096;
+
+  HplConfig skip = cfg;
+  skip.test_skip_scatter_fence = true;
+  const HplResult bad = run(skip);
+  EXPECT_TRUE(bad.verify.passed) << "residual=" << bad.verify.residual;
+  ASSERT_TRUE(bad.hazard_checked);
+  ASSERT_FALSE(bad.hazards.empty());
+  std::set<std::pair<std::string, std::string>> pairs;
+  bool saw_fused = false;
+  for (const auto& r : bad.hazards) {
+    EXPECT_EQ(r.kind, kHostDevice) << r.op_a << " vs " << r.op_b;
+    EXPECT_STREQ(r.op_a, "rowswap.prepare") << " vs " << r.op_b;
+    if (std::string(r.op_b) == "unpack_rows_cm") saw_fused = true;
+    pairs.emplace(r.op_a, r.op_b);
+  }
+  // The fused chunk unpack must be among the flagged sites (the displaced
+  // row scatter may legitimately surface as a second one).
+  EXPECT_TRUE(saw_fused);
+  EXPECT_LE(pairs.size(), 2u);
+
+  // Fence restored: the pipelined path is completely clean.
+  const HplResult good = run(cfg);
+  EXPECT_TRUE(good.verify.passed);
+  ASSERT_TRUE(good.hazard_checked);
+  EXPECT_TRUE(good.hazards.empty()) << good.hazards.size() << " records, e.g. "
+                                    << good.hazards.front().op_a << " vs "
+                                    << good.hazards.front().op_b << ": "
+                                    << good.hazards.front().detail;
+}
+
 TEST(HazardSolve, CheckerOffLeavesResultUnmarked) {
   HplConfig cfg = base_cfg(64, 16, 1, 1);
   cfg.hazard_check = false;
@@ -106,6 +143,23 @@ TEST(HazardSolve, CheckerOffLeavesResultUnmarked) {
   EXPECT_TRUE(r.verify.passed);
   EXPECT_FALSE(r.hazard_checked);
   EXPECT_TRUE(r.hazards.empty());
+}
+
+TEST(HazardSolve, EnvVarEnablesCheckerAndPipelinedRunIsClean) {
+  // HPLX_HAZARD=1 must attach the tracker without any config change —
+  // and the default pipelined row-swap must come out violation-free.
+  HplConfig cfg = base_cfg(96, 16, 2, 2);
+  cfg.pipeline = PipelineMode::LookaheadSplit;
+  cfg.hazard_check = false;
+  ASSERT_EQ(setenv("HPLX_HAZARD", "1", 1), 0);
+  const HplResult r = run(cfg);
+  unsetenv("HPLX_HAZARD");
+  EXPECT_TRUE(r.verify.passed);
+  ASSERT_TRUE(r.hazard_checked);
+  EXPECT_TRUE(r.hazards.empty()) << r.hazards.size() << " records, e.g. "
+                                 << r.hazards.front().op_a << " vs "
+                                 << r.hazards.front().op_b << ": "
+                                 << r.hazards.front().detail;
 }
 
 using SweepShape = std::tuple<int /*p*/, int /*q*/, PipelineMode>;
@@ -116,19 +170,24 @@ TEST_P(HazardSweep, FencedSchedulesAreViolationFree) {
   const auto [p, q, mode] = GetParam();
   for (int streams : {1, 2, 4}) {
     for (long band : {0L, 8L}) {
-      HplConfig cfg = base_cfg(96, 16, p, q);
-      cfg.pipeline = mode;
-      cfg.update_streams = streams;
-      cfg.update_band_cols = band;
-      const HplResult r = run(cfg);
-      EXPECT_TRUE(r.verify.passed)
-          << "streams=" << streams << " band=" << band;
-      ASSERT_TRUE(r.hazard_checked);
-      EXPECT_TRUE(r.hazards.empty())
-          << "streams=" << streams << " band=" << band << ": "
-          << r.hazards.size() << " records, e.g. " << r.hazards.front().op_a
-          << " vs " << r.hazards.front().op_b << ": "
-          << r.hazards.front().detail;
+      for (long chunk : {-1L, 4096L}) {
+        HplConfig cfg = base_cfg(96, 16, p, q);
+        cfg.pipeline = mode;
+        cfg.update_streams = streams;
+        cfg.update_band_cols = band;
+        cfg.swap_chunk_bytes = chunk;
+        cfg.swap_wire = chunk < 0 ? SwapWireFormat::RowMajor
+                                  : SwapWireFormat::ColMajor;
+        const HplResult r = run(cfg);
+        EXPECT_TRUE(r.verify.passed)
+            << "streams=" << streams << " band=" << band << " chunk=" << chunk;
+        ASSERT_TRUE(r.hazard_checked);
+        EXPECT_TRUE(r.hazards.empty())
+            << "streams=" << streams << " band=" << band << " chunk=" << chunk
+            << ": " << r.hazards.size() << " records, e.g. "
+            << r.hazards.front().op_a << " vs " << r.hazards.front().op_b
+            << ": " << r.hazards.front().detail;
+      }
     }
   }
 }

@@ -179,6 +179,93 @@ TEST(Kernels, UnpackRowsScattersToArbitraryTargets) {
   EXPECT_DOUBLE_EQ(a[1], 0.0);   // untouched
 }
 
+TEST(Kernels, PackRowsCmProducesColumnMajorWire) {
+  Stream s(test_device());
+  // 5x3 matrix; pack rows {4, 0, 2} into a 3x3 column-major wire block
+  // (ld = number of packed rows): out[c*nr + i] = a(rows[i], c).
+  std::vector<double> a(15);
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 5; ++i)
+      a[static_cast<std::size_t>(j * 5 + i)] = i * 10 + j;
+  std::vector<double> out(9, -1.0);
+  pack_rows_cm(s, a.data(), 5, {4, 0, 2}, 3, out.data());
+  s.synchronize();
+  // Column 0 of the wire = column 0 of rows {4, 0, 2}: 40, 0, 20.
+  EXPECT_DOUBLE_EQ(out[0], 40.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 20.0);
+  // Column 1: 41, 1, 21.
+  EXPECT_DOUBLE_EQ(out[3], 41.0);
+  EXPECT_DOUBLE_EQ(out[4], 1.0);
+  EXPECT_DOUBLE_EQ(out[5], 21.0);
+  // Column 2: 42, 2, 22.
+  EXPECT_DOUBLE_EQ(out[6], 42.0);
+  EXPECT_DOUBLE_EQ(out[8], 22.0);
+}
+
+TEST(Kernels, PackUnpackRowsCmRoundTrip) {
+  Stream s(test_device());
+  const long m = 12, n = 6;
+  testref::Rand rng(22);
+  auto a = rng.matrix(static_cast<int>(m), static_cast<int>(n),
+                      static_cast<int>(m));
+  const auto orig = a;
+  const std::vector<long> rows{1, 7, 11, 3};
+  std::vector<double> packed(rows.size() * static_cast<std::size_t>(n));
+  pack_rows_cm(s, a.data(), m, rows, n, packed.data());
+  // Wipe the rows, then restore from the column-major wire buffer.
+  s.enqueue(0.0, [&] {
+    for (long r : rows)
+      for (long j = 0; j < n; ++j) a[static_cast<std::size_t>(j * m + r)] = -9.0;
+  });
+  unpack_rows_cm(s, packed.data(), rows, n, a.data(), m);
+  s.synchronize();
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], orig[i]);
+}
+
+TEST(Kernels, ColumnMajorWireMatchesRowMajorTransposed) {
+  Stream s(test_device());
+  const long m = 9, n = 4;
+  testref::Rand rng(23);
+  auto a = rng.matrix(static_cast<int>(m), static_cast<int>(n),
+                      static_cast<int>(m));
+  const std::vector<long> rows{6, 2, 8};
+  const auto nr = static_cast<long>(rows.size());
+  std::vector<double> rm(static_cast<std::size_t>(nr * n));
+  std::vector<double> cm(static_cast<std::size_t>(nr * n));
+  pack_rows(s, a.data(), m, rows, n, rm.data());
+  pack_rows_cm(s, a.data(), m, rows, n, cm.data());
+  s.synchronize();
+  for (long i = 0; i < nr; ++i)
+    for (long c = 0; c < n; ++c)
+      EXPECT_DOUBLE_EQ(cm[static_cast<std::size_t>(c * nr + i)],
+                       rm[static_cast<std::size_t>(i * n + c)])
+          << "i=" << i << " c=" << c;
+}
+
+TEST(Kernels, UnpackRowsCmScattersColumnSubranges) {
+  Stream s(test_device());
+  // A chunked delivery unpacks a column subrange of the wire block: the
+  // caller advances the input by c0*nr and the output by c0*lda.
+  const long m = 6, n = 5;
+  std::vector<double> a(static_cast<std::size_t>(m * n), 0.0);
+  const std::vector<long> rows{4, 1};
+  const auto nr = static_cast<long>(rows.size());
+  std::vector<double> cm(static_cast<std::size_t>(nr * n));
+  for (long c = 0; c < n; ++c)
+    for (long i = 0; i < nr; ++i)
+      cm[static_cast<std::size_t>(c * nr + i)] = 100.0 * c + i;
+  // Deliver columns [2, 5) only.
+  const long c0 = 2, nc = n - c0;
+  unpack_rows_cm(s, cm.data() + c0 * nr, rows, nc, a.data() + c0 * m, m);
+  s.synchronize();
+  for (long c = 0; c < n; ++c)
+    for (long i = 0; i < nr; ++i)
+      EXPECT_DOUBLE_EQ(a[static_cast<std::size_t>(c * m + rows[static_cast<std::size_t>(i)])],
+                       c < c0 ? 0.0 : 100.0 * c + i)
+          << "i=" << i << " c=" << c;
+}
+
 TEST(Kernels, LaswpAppliesSequentialSwaps) {
   Stream s(test_device());
   // 4x2 matrix, pivots: row0<->row2, row1<->row1, row2<->row3.

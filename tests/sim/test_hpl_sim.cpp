@@ -116,5 +116,68 @@ TEST(HplSim, PhaseTotalsAccumulate) {
   EXPECT_LT(r.gpu_seconds, r.seconds * 1.01);
 }
 
+TEST(HplSim, ChunkedRowSwapNeverSlower) {
+  // The pipelined broadcast hides fused unpacks behind the allgather's
+  // wire time: at any chunk size the credited model must be at least as
+  // fast as the blocking baseline, in every pipeline mode, with GPU busy
+  // time unchanged (the unpacks overlap, they do not disappear).
+  const NodeModel node = NodeModel::crusher();
+  for (const auto mode :
+       {core::PipelineMode::Simple, core::PipelineMode::Lookahead,
+        core::PipelineMode::LookaheadSplit}) {
+    ClusterConfig base = crusher_config(node, 1);
+    base.pipeline = mode;
+    const SimResult blocking = simulate_hpl(node, base);
+    for (const long chunk : {64L * 1024L, 256L * 1024L, 1024L * 1024L}) {
+      ClusterConfig cfg = base;
+      cfg.swap_chunk_bytes = chunk;
+      const SimResult piped = simulate_hpl(node, cfg);
+      EXPECT_LE(piped.seconds, blocking.seconds * (1.0 + 1e-9))
+          << "mode=" << static_cast<int>(mode) << " chunk=" << chunk;
+      EXPECT_NEAR(piped.gpu_seconds, blocking.gpu_seconds,
+                  blocking.gpu_seconds * 1e-9)
+          << "mode=" << static_cast<int>(mode) << " chunk=" << chunk;
+      EXPECT_GE(piped.seconds, piped.gpu_seconds * (1.0 - 1e-9));
+    }
+  }
+}
+
+TEST(HplSim, ChunkOverheadKeepsTinyChunksFromWinning) {
+  // The per-chunk message latency term must bite: a pathologically small
+  // chunk pays so many extra messages that its credit collapses toward
+  // the blocking baseline (it may never *beat* a sane chunk size).
+  const NodeModel node = NodeModel::crusher();
+  ClusterConfig cfg = crusher_config(node, 1);
+  cfg.pipeline = core::PipelineMode::Simple;
+  cfg.swap_chunk_bytes = 256 * 1024;
+  const SimResult sane = simulate_hpl(node, cfg);
+  cfg.swap_chunk_bytes = 512;  // ~2000 messages per segment
+  const SimResult tiny = simulate_hpl(node, cfg);
+  EXPECT_GE(tiny.seconds, sane.seconds * (1.0 - 1e-9));
+}
+
+TEST(HplSim, TimelineEndMatchesSimulatedIterationWithChunking) {
+  // iteration_timeline duplicates simulate_hpl's composition; the credit
+  // must not let the two drift apart.
+  const NodeModel node = NodeModel::crusher();
+  for (const auto mode :
+       {core::PipelineMode::Simple, core::PipelineMode::Lookahead,
+        core::PipelineMode::LookaheadSplit}) {
+    ClusterConfig cfg = crusher_config(node, 1);
+    cfg.pipeline = mode;
+    cfg.swap_chunk_bytes = 256 * 1024;
+    const SimResult r = simulate_hpl(node, cfg);
+    for (const int iter : {10, 250, 400}) {
+      const auto ev = iteration_timeline(node, cfg, iter);
+      double end = 0.0;
+      for (const auto& e : ev) end = std::max(end, e.end);
+      const auto& rec =
+          r.trace.iterations[static_cast<std::size_t>(iter)];
+      EXPECT_NEAR(end, rec.total_s, rec.total_s * 0.02)
+          << "mode=" << static_cast<int>(mode) << " iter=" << iter;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hplx::sim
