@@ -197,6 +197,58 @@ BENCHMARK(BM_SolverRowswap)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Mixed-precision (HPL-MxP) mode against the fp64 baseline. Args: {N,
+/// NB, precision tag (0 = fp64, 1 = mxp32)}; always the split pipeline on
+/// one rank, where the fp32 trailing update's billing advantage shows up
+/// directly. Exports the refinement iteration count and the verified
+/// residual, so a snapshot shows both the speedup and what it cost in
+/// corrections — and a non-zero fallback counter flags any run where
+/// refinement gave up and the number is silently an fp64 rerun.
+void BM_SolverMxp(benchmark::State& state) {
+  core::HplConfig cfg;
+  cfg.n = state.range(0);
+  cfg.nb = static_cast<int>(state.range(1));
+  cfg.p = 1;
+  cfg.q = 1;
+  cfg.pipeline = core::PipelineMode::LookaheadSplit;
+  cfg.precision = state.range(2) == 0 ? core::PrecisionMode::FP64
+                                      : core::PrecisionMode::MXP32;
+  cfg.fact_threads = 2;
+
+  double gflops = 0.0, residual = 0.0;
+  long iters = 0, fallbacks = 0, solves = 0;
+  for (auto _ : state) {
+    const core::HplResult r = solve_once(cfg);
+    if (!r.verify.passed) {
+      state.SkipWithError("residual check FAILED");
+      return;
+    }
+    gflops += r.gflops;
+    residual += r.verify.residual;
+    iters += r.ir_iters;
+    if (r.ir_fallback) ++fallbacks;
+    ++solves;
+    benchmark::DoNotOptimize(r.seconds);
+  }
+  if (solves > 0) {
+    const double inv = 1.0 / static_cast<double>(solves);
+    state.counters["GF/s"] = gflops * inv;
+    state.counters["residual"] = residual * inv;
+    state.counters["ir_iters"] = static_cast<double>(iters) * inv;
+    state.counters["ir_fallbacks"] = static_cast<double>(fallbacks);
+  }
+  state.SetLabel(to_string(cfg.precision));
+}
+
+BENCHMARK(BM_SolverMxp)
+    ->Args({1024, 128, 0})
+    ->Args({1024, 128, 1})
+    // The acceptance shape: mxp32 must beat fp64 wall-clock here.
+    ->Args({2048, 256, 0})
+    ->Args({2048, 256, 1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -51,5 +51,10 @@ cd "$out"
   --benchmark_min_time="$min_time" \
   --benchmark_out="$out/BENCH_rowswap.json" \
   --benchmark_out_format=json
+"$build/bench/bench_solver" \
+  --benchmark_filter='BM_SolverMxp/' \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out/BENCH_mxp.json" \
+  --benchmark_out_format=json
 
-echo "wrote $out/BENCH_{blas,comm,kernels,solver,streams,rowswap}.json"
+echo "wrote $out/BENCH_{blas,comm,kernels,solver,streams,rowswap,mxp}.json"

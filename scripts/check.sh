@@ -2,9 +2,12 @@
 # One-command tier-1 gate: configure + build + full ctest in the default
 # build (warnings-as-errors for src/), then rebuild the concurrency-heavy
 # suites (ctest label "tsan": util/blas/comm/device + the chunked-transport
-# stress suite) under ThreadSanitizer, then the allocation-heavy suites
-# (ctest label "asan": grid/rng/trace + the hazard-checker and
-# chunked-transport suites) under AddressSanitizer+LeakSanitizer+UBSan.
+# stress and mixed-precision suites) under ThreadSanitizer, then the
+# allocation-heavy suites (ctest label "asan": grid/rng/trace + the
+# hazard-checker, chunked-transport and mixed-precision suites) under
+# AddressSanitizer+LeakSanitizer+UBSan. The mixed-precision suite also
+# carries the "mxp" label, surfaced as its own tier-1 step so a red MxP
+# gate is visible at a glance (ctest -L mxp re-runs only those tests).
 # This is what CI runs and what a perf PR must keep green.
 #
 #   scripts/check.sh             # build/ + build-tsan/ + build-asan/
@@ -24,6 +27,9 @@ cmake -B "$build" -S "$repo" -DHPLX_WERROR=ON >/dev/null
 cmake --build "$build" -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
+echo "== mxp gate: ctest -L mxp ($build)"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L mxp
+
 if [ "${SKIP_TSAN:-0}" = "1" ]; then
   echo "== skipping TSan pass (SKIP_TSAN=1)"
 else
@@ -31,7 +37,8 @@ else
   cmake -B "$build_tsan" -S "$repo" -DHPLX_SANITIZE=thread \
     -DHPLX_WERROR=ON >/dev/null
   cmake --build "$build_tsan" -j "$jobs" \
-    --target test_util test_blas test_comm test_comm_chunked test_device
+    --target test_util test_blas test_comm test_comm_chunked test_device \
+             test_mxp
   ctest --test-dir "$build_tsan" --output-on-failure -j "$jobs" -L tsan
 fi
 
@@ -42,7 +49,8 @@ else
   cmake -B "$build_asan" -S "$repo" -DHPLX_SANITIZE=address,undefined \
     -DHPLX_WERROR=ON >/dev/null
   cmake --build "$build_asan" -j "$jobs" \
-    --target test_grid test_rng test_trace test_hazard test_comm_chunked
+    --target test_grid test_rng test_trace test_hazard test_comm_chunked \
+             test_mxp
   # LSan rides along with ASan by default on Linux; halt_on_error keeps UB
   # findings fatal so the leg cannot silently pass over them.
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \

@@ -6,51 +6,88 @@
 
 namespace hplx::blas {
 
-double dlange_inf(int m, int n, const double* a, int lda) {
-  if (m <= 0 || n <= 0) return 0.0;
+namespace {
+
+template <typename T>
+T lange_inf_impl(int m, int n, const T* a, int lda) {
+  if (m <= 0 || n <= 0) return T(0);
   HPLX_CHECK(lda >= m);
-  std::vector<double> rowsum(static_cast<std::size_t>(m), 0.0);
+  std::vector<T> rowsum(static_cast<std::size_t>(m), T(0));
   for (int j = 0; j < n; ++j) {
-    const double* acol = a + static_cast<long>(j) * lda;
-    for (int i = 0; i < m; ++i) rowsum[static_cast<std::size_t>(i)] += std::fabs(acol[i]);
+    const T* acol = a + static_cast<long>(j) * lda;
+    for (int i = 0; i < m; ++i)
+      rowsum[static_cast<std::size_t>(i)] += std::fabs(acol[i]);
   }
-  double best = 0.0;
-  for (double v : rowsum) best = std::max(best, v);
+  T best = T(0);
+  for (T v : rowsum) best = std::max(best, v);
   return best;
 }
 
-double dlange_one(int m, int n, const double* a, int lda) {
-  if (m <= 0 || n <= 0) return 0.0;
+template <typename T>
+T lange_one_impl(int m, int n, const T* a, int lda) {
+  if (m <= 0 || n <= 0) return T(0);
   HPLX_CHECK(lda >= m);
-  double best = 0.0;
+  T best = T(0);
   for (int j = 0; j < n; ++j) {
-    const double* acol = a + static_cast<long>(j) * lda;
-    double colsum = 0.0;
+    const T* acol = a + static_cast<long>(j) * lda;
+    T colsum = T(0);
     for (int i = 0; i < m; ++i) colsum += std::fabs(acol[i]);
     best = std::max(best, colsum);
   }
   return best;
 }
 
-double dlange_max(int m, int n, const double* a, int lda) {
-  if (m <= 0 || n <= 0) return 0.0;
+template <typename T>
+T lange_max_impl(int m, int n, const T* a, int lda) {
+  if (m <= 0 || n <= 0) return T(0);
   HPLX_CHECK(lda >= m);
-  double best = 0.0;
+  T best = T(0);
   for (int j = 0; j < n; ++j) {
-    const double* acol = a + static_cast<long>(j) * lda;
+    const T* acol = a + static_cast<long>(j) * lda;
     for (int i = 0; i < m; ++i) best = std::max(best, std::fabs(acol[i]));
   }
   return best;
 }
 
-void dlacpy(int m, int n, const double* a, int lda, double* b, int ldb) {
+template <typename T>
+void lacpy_impl(int m, int n, const T* a, int lda, T* b, int ldb) {
   if (m <= 0 || n <= 0) return;
   HPLX_CHECK(lda >= m && ldb >= m);
   for (int j = 0; j < n; ++j) {
-    const double* acol = a + static_cast<long>(j) * lda;
-    double* bcol = b + static_cast<long>(j) * ldb;
+    const T* acol = a + static_cast<long>(j) * lda;
+    T* bcol = b + static_cast<long>(j) * ldb;
     for (int i = 0; i < m; ++i) bcol[i] = acol[i];
   }
+}
+
+}  // namespace
+
+double dlange_inf(int m, int n, const double* a, int lda) {
+  return lange_inf_impl(m, n, a, lda);
+}
+float slange_inf(int m, int n, const float* a, int lda) {
+  return lange_inf_impl(m, n, a, lda);
+}
+
+double dlange_one(int m, int n, const double* a, int lda) {
+  return lange_one_impl(m, n, a, lda);
+}
+float slange_one(int m, int n, const float* a, int lda) {
+  return lange_one_impl(m, n, a, lda);
+}
+
+double dlange_max(int m, int n, const double* a, int lda) {
+  return lange_max_impl(m, n, a, lda);
+}
+float slange_max(int m, int n, const float* a, int lda) {
+  return lange_max_impl(m, n, a, lda);
+}
+
+void dlacpy(int m, int n, const double* a, int lda, double* b, int ldb) {
+  lacpy_impl(m, n, a, lda, b, ldb);
+}
+void slacpy(int m, int n, const float* a, int lda, float* b, int ldb) {
+  lacpy_impl(m, n, a, lda, b, ldb);
 }
 
 }  // namespace hplx::blas

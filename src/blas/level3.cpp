@@ -21,65 +21,77 @@ constexpr double kPackFlopCutoff = 2.0 * 32768;
 /// Below this flop count a thread team costs more in wakeups/barriers
 /// than it saves.
 constexpr double kTeamFlopCutoff = 2.0 * 4e6;
-/// Right-looking block size for the dtrsm diagonal solves.
+/// Right-looking block size for the trsm diagonal solves.
 constexpr int kTrsmBlock = 64;
 /// Minimum per-member slice (columns for Left, rows for Right) before a
-/// teamed dtrsm is worthwhile.
+/// teamed trsm is worthwhile.
 constexpr int kTrsmSliceMin = 16;
 
-/// Per-thread packing scratch. Team workers are persistent threads, so
-/// these survive across calls and packing never allocates in steady state.
+/// Per-thread packing scratch, one instance per element type. Team
+/// workers are persistent threads, so these survive across calls and
+/// packing never allocates in steady state.
 struct Scratch {
-  AlignedBuffer a;  // one MC×KC block, kMR-padded
-  AlignedBuffer b;  // one KC×NC panel, kNR-padded (sequential path only)
+  AlignedBuffer a;  // one MC×KC block, mr-padded
+  AlignedBuffer b;  // one KC×NC panel, nr-padded (sequential path only)
 };
-thread_local Scratch tl_scratch;
+template <typename T>
+Scratch& scratch() {
+  static thread_local Scratch s;
+  return s;
+}
 
-/// Shared B panel for teamed calls. Guarded by the team lease: only one
-/// teamed kernel runs at a time, so a single process-wide buffer suffices.
-AlignedBuffer g_team_b;
+/// Shared B panel for teamed calls, one per element type. Guarded by the
+/// team lease: only one teamed kernel runs at a time, so a single
+/// process-wide buffer per type suffices.
+template <typename T>
+AlignedBuffer& team_b() {
+  static AlignedBuffer b;
+  return b;
+}
 
 /// Address of op(A)(i, p) in stored coordinates.
-const double* op_a_ptr(Trans ta, const double* a, int lda, int i, int p) {
+template <typename T>
+const T* op_a_ptr(Trans ta, const T* a, int lda, int i, int p) {
   return ta == Trans::No ? a + i + static_cast<long>(p) * lda
                          : a + p + static_cast<long>(i) * lda;
 }
 /// Address of op(B)(p, j) in stored coordinates.
-const double* op_b_ptr(Trans tb, const double* b, int ldb, int p, int j) {
+template <typename T>
+const T* op_b_ptr(Trans tb, const T* b, int ldb, int p, int j) {
   return tb == Trans::No ? b + p + static_cast<long>(j) * ldb
                          : b + j + static_cast<long>(p) * ldb;
 }
 
 /// Small-problem path. Must be bitwise-compatible with the packed engine:
 /// HPL's pipeline modes slice one logical update into differently shaped
-/// dgemm calls and still expect identical results, and which engine runs
+/// gemm calls and still expect identical results, and which engine runs
 /// depends on the call's flop count. So this path mirrors the packed
 /// engine's arithmetic exactly — per element, a register dot product over
 /// each KC block of k in order, beta applied with the first block only,
 /// alpha applied once per block at write-back (never folded into terms).
-void gemm_small(Trans ta, Trans tb, int m, int n, int k, double alpha,
-                const double* a, int lda, const double* b, int ldb,
-                double beta, double* c, int ldc) {
-  auto A = [&](int i, int p) -> double {
+template <typename T>
+void gemm_small(Trans ta, Trans tb, int m, int n, int k, T alpha, const T* a,
+                int lda, const T* b, int ldb, T beta, T* c, int ldc) {
+  auto A = [&](int i, int p) -> T {
     return ta == Trans::No ? a[static_cast<long>(p) * lda + i]
                            : a[static_cast<long>(i) * lda + p];
   };
-  auto B = [&](int p, int j) -> double {
+  auto B = [&](int p, int j) -> T {
     return tb == Trans::No ? b[static_cast<long>(j) * ldb + p]
                            : b[static_cast<long>(p) * ldb + j];
   };
-  const int kc = block_sizes().kc;
+  const int kc = block_sizes_for<T>().kc;
   for (int p0 = 0; p0 < k; p0 += kc) {
     const int pe = std::min(k, p0 + kc);
     const bool first_k = p0 == 0;
     for (int j = 0; j < n; ++j) {
-      double* ccol = c + static_cast<long>(j) * ldc;
+      T* ccol = c + static_cast<long>(j) * ldc;
       for (int i = 0; i < m; ++i) {
-        double acc = 0.0;
+        T acc = T(0);
         for (int p = p0; p < pe; ++p) acc += A(i, p) * B(p, j);
         if (!first_k) {
           ccol[i] += alpha * acc;
-        } else if (beta == 0.0) {
+        } else if (beta == T(0)) {
           // Overwrite without reading C (NaN/Inf in uninitialized output
           // must not propagate).
           ccol[i] = alpha * acc;
@@ -92,16 +104,18 @@ void gemm_small(Trans ta, Trans tb, int m, int n, int k, double alpha,
 }
 
 /// Macro-kernel: one packed A block against one packed B panel.
-void macro_kernel(int mb, int nb, int kb, double alpha, const double* ap,
-                  const double* bp, double* c, int ldc, bool first_k,
-                  double beta) {
-  for (int jr = 0, jt = 0; jr < nb; jr += kNR, ++jt) {
-    const int nr = std::min(kNR, nb - jr);
-    const double* bpp = bp + static_cast<long>(jt) * kb * kNR;
-    for (int ir = 0, it = 0; ir < mb; ir += kMR, ++it) {
-      const int mr = std::min(kMR, mb - ir);
-      const double* app = ap + static_cast<long>(it) * kb * kMR;
-      double acc[kMR * kNR];
+template <typename T>
+void macro_kernel(int mb, int nb, int kb, T alpha, const T* ap, const T* bp,
+                  T* c, int ldc, bool first_k, T beta) {
+  constexpr int mr_t = Tile<T>::mr;
+  constexpr int nr_t = Tile<T>::nr;
+  for (int jr = 0, jt = 0; jr < nb; jr += nr_t, ++jt) {
+    const int nr = std::min(nr_t, nb - jr);
+    const T* bpp = bp + static_cast<long>(jt) * kb * nr_t;
+    for (int ir = 0, it = 0; ir < mb; ir += mr_t, ++it) {
+      const int mr = std::min(mr_t, mb - ir);
+      const T* app = ap + static_cast<long>(it) * kb * mr_t;
+      T acc[mr_t * nr_t];
       micro_kernel(kb, app, bpp, acc);
       write_back(mr, nr, alpha, acc, c + ir + static_cast<long>(jr) * ldc,
                  ldc, first_k, beta);
@@ -114,26 +128,27 @@ void macro_kernel(int mb, int nb, int kb, double alpha, const double* ap,
 /// then takes every nthreads-th MC block of A, packing it privately. Two
 /// barriers per (jc, pc) step keep the shared panel coherent. With
 /// nthreads == 1 and a no-op barrier this is the sequential path.
-template <typename BarrierFn>
-void gemm_packed_region(Trans ta, Trans tb, int m, int n, int k, double alpha,
-                        const double* a, int lda, const double* b, int ldb,
-                        double beta, double* c, int ldc, const BlockSizes& bs,
-                        int tid, int nthreads, double* bp_shared,
-                        BarrierFn&& barrier) {
-  double* ap = tl_scratch.a.ensure(
-      static_cast<std::size_t>(round_up(bs.mc, kMR)) * bs.kc);
+template <typename T, typename BarrierFn>
+void gemm_packed_region(Trans ta, Trans tb, int m, int n, int k, T alpha,
+                        const T* a, int lda, const T* b, int ldb, T beta,
+                        T* c, int ldc, const BlockSizes& bs, int tid,
+                        int nthreads, T* bp_shared, BarrierFn&& barrier) {
+  constexpr int mr_t = Tile<T>::mr;
+  constexpr int nr_t = Tile<T>::nr;
+  T* ap = scratch<T>().a.template ensure<T>(
+      static_cast<std::size_t>(round_up(bs.mc, mr_t)) * bs.kc);
   const int mc_blocks = ceil_div(m, bs.mc);
   for (int jc = 0; jc < n; jc += bs.nc) {
     const int nb = std::min(bs.nc, n - jc);
-    const int nb_tiles = ceil_div(nb, kNR);
+    const int nb_tiles = ceil_div(nb, nr_t);
     for (int pc = 0; pc < k; pc += bs.kc) {
       const int kb = std::min(bs.kc, k - pc);
       const bool first_k = pc == 0;
       for (int t = tid; t < nb_tiles; t += nthreads) {
-        const int j0 = t * kNR;
-        pack_b(tb, kb, std::min(kNR, nb - j0),
+        const int j0 = t * nr_t;
+        pack_b(tb, kb, std::min(nr_t, nb - j0),
                op_b_ptr(tb, b, ldb, pc, jc + j0), ldb,
-               bp_shared + static_cast<long>(t) * kb * kNR);
+               bp_shared + static_cast<long>(t) * kb * nr_t);
       }
       barrier();
       for (int blk = tid; blk < mc_blocks; blk += nthreads) {
@@ -149,39 +164,38 @@ void gemm_packed_region(Trans ta, Trans tb, int m, int n, int k, double alpha,
   }
 }
 
-/// Internal gemm used by dtrsm's trailing updates: never tries to take
+/// Internal gemm used by trsm's trailing updates: never tries to take
 /// the team (the caller may already hold the lease).
-void gemm_sequential(Trans ta, Trans tb, int m, int n, int k, double alpha,
-                     const double* a, int lda, const double* b, int ldb,
-                     double beta, double* c, int ldc) {
+template <typename T>
+void gemm_sequential(Trans ta, Trans tb, int m, int n, int k, T alpha,
+                     const T* a, int lda, const T* b, int ldb, T beta, T* c,
+                     int ldc) {
   if (2.0 * m * n * k < kPackFlopCutoff) {
     gemm_small(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     return;
   }
-  const BlockSizes bs = block_sizes();
-  double* bp = tl_scratch.b.ensure(
-      static_cast<std::size_t>(round_up(bs.nc, kNR)) * bs.kc);
+  const BlockSizes bs = block_sizes_for<T>();
+  T* bp = scratch<T>().b.template ensure<T>(
+      static_cast<std::size_t>(round_up(bs.nc, Tile<T>::nr)) * bs.kc);
   gemm_packed_region(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
                      bs, 0, 1, bp, [] {});
 }
 
-}  // namespace
-
-void dgemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
-           const double* a, int lda, const double* b, int ldb, double beta,
-           double* c, int ldc) {
+template <typename T>
+void gemm_impl(Trans ta, Trans tb, int m, int n, int k, T alpha, const T* a,
+               int lda, const T* b, int ldb, T beta, T* c, int ldc) {
   if (m <= 0 || n <= 0) return;
   HPLX_CHECK(ldc >= m);
   HPLX_CHECK(lda >= ((ta == Trans::No) ? std::max(1, m) : std::max(1, k)));
   HPLX_CHECK(ldb >= ((tb == Trans::No) ? std::max(1, k) : std::max(1, n)));
 
-  if (k <= 0 || alpha == 0.0) {
+  if (k <= 0 || alpha == T(0)) {
     // Degenerate multiply: only the beta scaling of C remains.
     for (int j = 0; j < n; ++j) {
-      double* ccol = c + static_cast<long>(j) * ldc;
-      if (beta == 0.0) {
-        for (int i = 0; i < m; ++i) ccol[i] = 0.0;
-      } else if (beta != 1.0) {
+      T* ccol = c + static_cast<long>(j) * ldc;
+      if (beta == T(0)) {
+        for (int i = 0; i < m; ++i) ccol[i] = T(0);
+      } else if (beta != T(1)) {
         for (int i = 0; i < m; ++i) ccol[i] *= beta;
       }
     }
@@ -194,13 +208,13 @@ void dgemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
     return;
   }
 
-  const BlockSizes bs = block_sizes();
+  const BlockSizes bs = block_sizes_for<T>();
   if (flops >= kTeamFlopCutoff) {
     detail::TeamLease lease;
     if (ThreadTeam* team = lease.team()) {
       const int nthreads = team->size();
-      double* bp = g_team_b.ensure(
-          static_cast<std::size_t>(round_up(bs.nc, kNR)) * bs.kc);
+      T* bp = team_b<T>().template ensure<T>(
+          static_cast<std::size_t>(round_up(bs.nc, Tile<T>::nr)) * bs.kc);
       team->run([&](int tid) {
         gemm_packed_region(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
                            ldc, bs, tid, nthreads, bp,
@@ -209,48 +223,48 @@ void dgemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
       return;
     }
   }
-  double* bp = tl_scratch.b.ensure(
-      static_cast<std::size_t>(round_up(bs.nc, kNR)) * bs.kc);
+  T* bp = scratch<T>().b.template ensure<T>(
+      static_cast<std::size_t>(round_up(bs.nc, Tile<T>::nr)) * bs.kc);
   gemm_packed_region(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
                      bs, 0, 1, bp, [] {});
 }
 
-namespace {
-
 /// Unblocked forward substitution: L(tb×tb) * X = B on the block's rows,
 /// vectorized across the n right-hand sides.
-void trsm_unblocked_lower(Diag diag, int tb, int n, const double* a, int lda,
-                          double* b, int ldb) {
+template <typename T>
+void trsm_unblocked_lower(Diag diag, int tb, int n, const T* a, int lda,
+                          T* b, int ldb) {
   const bool unit = diag == Diag::Unit;
   for (int p = 0; p < tb; ++p) {
     if (!unit) {
-      const double d = a[static_cast<long>(p) * lda + p];
+      const T d = a[static_cast<long>(p) * lda + p];
       for (int j = 0; j < n; ++j) b[static_cast<long>(j) * ldb + p] /= d;
     }
-    const double* acol = a + static_cast<long>(p) * lda;
+    const T* acol = a + static_cast<long>(p) * lda;
     for (int j = 0; j < n; ++j) {
-      double* bcol = b + static_cast<long>(j) * ldb;
-      const double t = bcol[p];
-      if (t == 0.0) continue;
+      T* bcol = b + static_cast<long>(j) * ldb;
+      const T t = bcol[p];
+      if (t == T(0)) continue;
       for (int i = p + 1; i < tb; ++i) bcol[i] -= acol[i] * t;
     }
   }
 }
 
 /// Unblocked back substitution: U(tb×tb) * X = B on the block's rows.
-void trsm_unblocked_upper(Diag diag, int tb, int n, const double* a, int lda,
-                          double* b, int ldb) {
+template <typename T>
+void trsm_unblocked_upper(Diag diag, int tb, int n, const T* a, int lda,
+                          T* b, int ldb) {
   const bool unit = diag == Diag::Unit;
   for (int p = tb - 1; p >= 0; --p) {
     if (!unit) {
-      const double d = a[static_cast<long>(p) * lda + p];
+      const T d = a[static_cast<long>(p) * lda + p];
       for (int j = 0; j < n; ++j) b[static_cast<long>(j) * ldb + p] /= d;
     }
-    const double* acol = a + static_cast<long>(p) * lda;
+    const T* acol = a + static_cast<long>(p) * lda;
     for (int j = 0; j < n; ++j) {
-      double* bcol = b + static_cast<long>(j) * ldb;
-      const double t = bcol[p];
-      if (t == 0.0) continue;
+      T* bcol = b + static_cast<long>(j) * ldb;
+      const T t = bcol[p];
+      if (t == T(0)) continue;
       for (int i = 0; i < p; ++i) bcol[i] -= acol[i] * t;
     }
   }
@@ -258,10 +272,11 @@ void trsm_unblocked_upper(Diag diag, int tb, int n, const double* a, int lda,
 
 /// Right-looking blocked solve for the Side::Left, Trans::No cases: solve
 /// a kTrsmBlock diagonal block unblocked, then fold its rows into the
-/// remaining RHS rows with one packed dgemm — the bulk of the flops runs
-/// at dgemm speed instead of scalar-substitution speed.
-void trsm_left_notrans_blocked(Uplo uplo, Diag diag, int m, int n,
-                               const double* a, int lda, double* b, int ldb) {
+/// remaining RHS rows with one packed gemm — the bulk of the flops runs
+/// at gemm speed instead of scalar-substitution speed.
+template <typename T>
+void trsm_left_notrans_blocked(Uplo uplo, Diag diag, int m, int n, const T* a,
+                               int lda, T* b, int ldb) {
   if (uplo == Uplo::Lower) {
     for (int p0 = 0; p0 < m; p0 += kTrsmBlock) {
       const int tb = std::min(kTrsmBlock, m - p0);
@@ -269,9 +284,9 @@ void trsm_left_notrans_blocked(Uplo uplo, Diag diag, int m, int n,
                            lda, b + p0, ldb);
       const int rem = m - p0 - tb;
       if (rem > 0) {
-        gemm_sequential(Trans::No, Trans::No, rem, n, tb, -1.0,
+        gemm_sequential(Trans::No, Trans::No, rem, n, tb, T(-1),
                         a + p0 + tb + static_cast<long>(p0) * lda, lda,
-                        b + p0, ldb, 1.0, b + p0 + tb, ldb);
+                        b + p0, ldb, T(1), b + p0 + tb, ldb);
       }
     }
   } else {
@@ -281,29 +296,30 @@ void trsm_left_notrans_blocked(Uplo uplo, Diag diag, int m, int n,
       trsm_unblocked_upper(diag, tb, n, a + p0 + static_cast<long>(p0) * lda,
                            lda, b + p0, ldb);
       if (p0 > 0) {
-        gemm_sequential(Trans::No, Trans::No, p0, n, tb, -1.0,
+        gemm_sequential(Trans::No, Trans::No, p0, n, tb, T(-1),
                         a + static_cast<long>(p0) * lda, lda, b + p0, ldb,
-                        1.0, b, ldb);
+                        T(1), b, ldb);
       }
       p1 = p0;
     }
   }
 }
 
-/// Sequential dtrsm over one slice of B: alpha scaling plus the solve.
+/// Sequential trsm over one slice of B: alpha scaling plus the solve.
 /// Side::Left slices are column ranges of B; Side::Right slices are row
 /// ranges — both are independent across the slicing dimension, which is
 /// what makes the team split embarrassingly parallel.
+template <typename T>
 void trsm_serial(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
-                 double alpha, const double* a, int lda, double* b, int ldb) {
-  auto A = [&](int i, int j) -> double {
+                 T alpha, const T* a, int lda, T* b, int ldb) {
+  auto A = [&](int i, int j) -> T {
     return a[static_cast<long>(j) * lda + i];
   };
-  auto Bv = [&](int i, int j) -> double& {
+  auto Bv = [&](int i, int j) -> T& {
     return b[static_cast<long>(j) * ldb + i];
   };
 
-  if (alpha != 1.0) {
+  if (alpha != T(1)) {
     for (int j = 0; j < n; ++j)
       for (int i = 0; i < m; ++i) Bv(i, j) *= alpha;
   }
@@ -318,7 +334,7 @@ void trsm_serial(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
       if (uplo == Uplo::Lower) {
         for (int p = m - 1; p >= 0; --p) {
           for (int j = 0; j < n; ++j) {
-            double acc = Bv(p, j);
+            T acc = Bv(p, j);
             for (int i = p + 1; i < m; ++i) acc -= A(i, p) * Bv(i, j);
             Bv(p, j) = unit ? acc : acc / A(p, p);
           }
@@ -326,7 +342,7 @@ void trsm_serial(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
       } else {
         for (int p = 0; p < m; ++p) {
           for (int j = 0; j < n; ++j) {
-            double acc = Bv(p, j);
+            T acc = Bv(p, j);
             for (int i = 0; i < p; ++i) acc -= A(i, p) * Bv(i, j);
             Bv(p, j) = unit ? acc : acc / A(p, p);
           }
@@ -340,12 +356,12 @@ void trsm_serial(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
         // X * U = B: columns solved left to right.
         for (int p = 0; p < n; ++p) {
           for (int q = 0; q < p; ++q) {
-            const double t = A(q, p);
-            if (t == 0.0) continue;
+            const T t = A(q, p);
+            if (t == T(0)) continue;
             for (int i = 0; i < m; ++i) Bv(i, p) -= Bv(i, q) * t;
           }
           if (!unit) {
-            const double d = A(p, p);
+            const T d = A(p, p);
             for (int i = 0; i < m; ++i) Bv(i, p) /= d;
           }
         }
@@ -353,12 +369,12 @@ void trsm_serial(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
         // X * L = B: columns solved right to left.
         for (int p = n - 1; p >= 0; --p) {
           for (int q = p + 1; q < n; ++q) {
-            const double t = A(q, p);
-            if (t == 0.0) continue;
+            const T t = A(q, p);
+            if (t == T(0)) continue;
             for (int i = 0; i < m; ++i) Bv(i, p) -= Bv(i, q) * t;
           }
           if (!unit) {
-            const double d = A(p, p);
+            const T d = A(p, p);
             for (int i = 0; i < m; ++i) Bv(i, p) /= d;
           }
         }
@@ -368,12 +384,12 @@ void trsm_serial(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
         // X * U^T = B: right to left.
         for (int p = n - 1; p >= 0; --p) {
           for (int q = p + 1; q < n; ++q) {
-            const double t = A(p, q);
-            if (t == 0.0) continue;
+            const T t = A(p, q);
+            if (t == T(0)) continue;
             for (int i = 0; i < m; ++i) Bv(i, p) -= Bv(i, q) * t;
           }
           if (!unit) {
-            const double d = A(p, p);
+            const T d = A(p, p);
             for (int i = 0; i < m; ++i) Bv(i, p) /= d;
           }
         }
@@ -381,12 +397,12 @@ void trsm_serial(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
         // X * L^T = B: left to right.
         for (int p = 0; p < n; ++p) {
           for (int q = 0; q < p; ++q) {
-            const double t = A(p, q);
-            if (t == 0.0) continue;
+            const T t = A(p, q);
+            if (t == T(0)) continue;
             for (int i = 0; i < m; ++i) Bv(i, p) -= Bv(i, q) * t;
           }
           if (!unit) {
-            const double d = A(p, p);
+            const T d = A(p, p);
             for (int i = 0; i < m; ++i) Bv(i, p) /= d;
           }
         }
@@ -395,10 +411,9 @@ void trsm_serial(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
   }
 }
 
-}  // namespace
-
-void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
-           double alpha, const double* a, int lda, double* b, int ldb) {
+template <typename T>
+void trsm_impl(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+               T alpha, const T* a, int lda, T* b, int ldb) {
   if (m <= 0 || n <= 0) return;
   HPLX_CHECK(ldb >= m);
   const int na = (side == Side::Left) ? m : n;
@@ -433,6 +448,30 @@ void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
     }
   }
   trsm_serial(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+}  // namespace
+
+void dgemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+           const double* a, int lda, const double* b, int ldb, double beta,
+           double* c, int ldc) {
+  gemm_impl<double>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void sgemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
+           const float* a, int lda, const float* b, int ldb, float beta,
+           float* c, int ldc) {
+  gemm_impl<float>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+           double alpha, const double* a, int lda, double* b, int ldb) {
+  trsm_impl<double>(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+void strsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+           float alpha, const float* a, int lda, float* b, int ldb) {
+  trsm_impl<float>(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
 }
 
 }  // namespace hplx::blas

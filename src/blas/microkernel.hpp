@@ -1,15 +1,18 @@
 #pragma once
 /// \file microkernel.hpp
-/// \brief Register-blocked kMR×kNR dgemm micro-kernel over packed panels.
+/// \brief Register-blocked mr×nr gemm micro-kernel over packed panels.
 ///
-/// The hot loop of the engine: one packed A row-panel (kMR doubles per k
-/// step) against one packed B column-panel (kNR per k step), accumulating
-/// into a kMR×kNR register block that never touches memory until the
-/// write-back. With kMR=4, kNR=8 the accumulator block is 32 doubles — on
-/// AVX2 that is eight 4-wide accumulators, and on baseline x86-64 gcc
-/// still keeps the C traffic at one load/store pair per KC k-steps instead
-/// of one per 4 (the pre-pack kernel's ratio), which is where the speedup
-/// comes from.
+/// The hot loop of the engine: one packed A row-panel (Tile<T>::mr
+/// elements per k step) against one packed B column-panel (Tile<T>::nr per
+/// k step), accumulating into an mr×nr register block that never touches
+/// memory until the write-back. Both element types use a 4×8 tile: small
+/// enough that gcc's SLP vectorizer keeps the whole accumulator block in
+/// registers (larger float tiles trip its cost model and fall back to
+/// scalar code), with the C traffic at one load/store pair per KC k-steps
+/// instead of one per tile row (the pre-pack kernel's ratio), which is
+/// where the speedup comes from. Each float tile row is half the bytes of
+/// a double row, so fp32 retires twice the elements per vector op — the
+/// mxp32 mode's 2x flop-density win.
 ///
 /// Accumulation order is fixed: k runs sequentially within a KC block and
 /// KC blocks are visited in order, and every C tile is written by exactly
@@ -22,17 +25,19 @@
 
 namespace hplx::blas {
 
-/// acc[i*kNR + j] = sum_k ap[k*kMR + i] * bp[k*kNR + j] over kb steps.
-inline void micro_kernel(int kb, const double* ap, const double* bp,
-                         double* acc) {
-  double c[kMR * kNR] = {};
+/// acc[i*nr + j] = sum_k ap[k*mr + i] * bp[k*nr + j] over kb steps.
+template <typename T>
+inline void micro_kernel(int kb, const T* ap, const T* bp, T* acc) {
+  constexpr int mr = Tile<T>::mr;
+  constexpr int nr = Tile<T>::nr;
+  T c[mr * nr] = {};
   for (int p = 0; p < kb; ++p) {
-    const double* a = ap + static_cast<long>(p) * kMR;
-    const double* b = bp + static_cast<long>(p) * kNR;
-    for (int i = 0; i < kMR; ++i)
-      for (int j = 0; j < kNR; ++j) c[i * kNR + j] += a[i] * b[j];
+    const T* a = ap + static_cast<long>(p) * mr;
+    const T* b = bp + static_cast<long>(p) * nr;
+    for (int i = 0; i < mr; ++i)
+      for (int j = 0; j < nr; ++j) c[i * nr + j] += a[i] * b[j];
   }
-  for (int v = 0; v < kMR * kNR; ++v) acc[v] = c[v];
+  for (int v = 0; v < mr * nr; ++v) acc[v] = c[v];
 }
 
 /// Write an mr×nr corner of the accumulator into C.
@@ -43,23 +48,25 @@ inline void micro_kernel(int kb, const double* ap, const double* bp,
 /// propagate — the reference-BLAS beta semantics). Later KC blocks only
 /// accumulate C += alpha*acc. This is what replaces the old standalone
 /// beta-scaling sweep over all of C.
-inline void write_back(int mr, int nr, double alpha, const double* acc,
-                       double* c, int ldc, bool first_k, double beta) {
+template <typename T>
+inline void write_back(int mr, int nr, T alpha, const T* acc, T* c, int ldc,
+                       bool first_k, T beta) {
+  constexpr int tile_nr = Tile<T>::nr;
   if (!first_k) {
     for (int j = 0; j < nr; ++j) {
-      double* ccol = c + static_cast<long>(j) * ldc;
-      for (int i = 0; i < mr; ++i) ccol[i] += alpha * acc[i * kNR + j];
+      T* ccol = c + static_cast<long>(j) * ldc;
+      for (int i = 0; i < mr; ++i) ccol[i] += alpha * acc[i * tile_nr + j];
     }
-  } else if (beta == 0.0) {
+  } else if (beta == T(0)) {
     for (int j = 0; j < nr; ++j) {
-      double* ccol = c + static_cast<long>(j) * ldc;
-      for (int i = 0; i < mr; ++i) ccol[i] = alpha * acc[i * kNR + j];
+      T* ccol = c + static_cast<long>(j) * ldc;
+      for (int i = 0; i < mr; ++i) ccol[i] = alpha * acc[i * tile_nr + j];
     }
   } else {
     for (int j = 0; j < nr; ++j) {
-      double* ccol = c + static_cast<long>(j) * ldc;
+      T* ccol = c + static_cast<long>(j) * ldc;
       for (int i = 0; i < mr; ++i)
-        ccol[i] = alpha * acc[i * kNR + j] + beta * ccol[i];
+        ccol[i] = alpha * acc[i * tile_nr + j] + beta * ccol[i];
     }
   }
 }

@@ -11,14 +11,20 @@ std::atomic<int> g_mc{128};
 std::atomic<int> g_kc{256};
 std::atomic<int> g_nc{512};
 
+// Float engine: 2x the element counts of the double defaults — the same
+// byte footprint in L2, twice the flops per packed byte.
+std::atomic<int> g_mc_f{256};
+std::atomic<int> g_kc_f{512};
+std::atomic<int> g_nc_f{1024};
+
 int round_down_to(int v, int unit) { return std::max(unit, v - v % unit); }
 
 }  // namespace
 
 void set_block_sizes(const BlockSizes& bs) {
-  g_mc.store(round_down_to(bs.mc, kMR), std::memory_order_relaxed);
+  g_mc.store(round_down_to(bs.mc, Tile<double>::mr), std::memory_order_relaxed);
   g_kc.store(std::max(8, bs.kc), std::memory_order_relaxed);
-  g_nc.store(round_down_to(bs.nc, kNR), std::memory_order_relaxed);
+  g_nc.store(round_down_to(bs.nc, Tile<double>::nr), std::memory_order_relaxed);
 }
 
 BlockSizes block_sizes() {
@@ -27,67 +33,18 @@ BlockSizes block_sizes() {
                     g_nc.load(std::memory_order_relaxed)};
 }
 
-void pack_a(Trans trans, int mb, int kb, const double* a, int lda,
-            double* ap) {
-  if (trans == Trans::No) {
-    // op(A)(i, p) = a[p*lda + i]: each tile column is a contiguous slice.
-    for (int i0 = 0; i0 < mb; i0 += kMR) {
-      const int mr = std::min(kMR, mb - i0);
-      for (int p = 0; p < kb; ++p) {
-        const double* acol = a + static_cast<long>(p) * lda + i0;
-        double* dst = ap + static_cast<long>(p) * kMR;
-        for (int i = 0; i < mr; ++i) dst[i] = acol[i];
-        for (int i = mr; i < kMR; ++i) dst[i] = 0.0;
-      }
-      ap += static_cast<long>(kb) * kMR;
-    }
-  } else {
-    // op(A)(i, p) = a[i*lda + p]: walk p down each stored column so the
-    // reads stay stride-1 in the source.
-    for (int i0 = 0; i0 < mb; i0 += kMR) {
-      const int mr = std::min(kMR, mb - i0);
-      for (int i = 0; i < mr; ++i) {
-        const double* acol = a + static_cast<long>(i0 + i) * lda;
-        for (int p = 0; p < kb; ++p)
-          ap[static_cast<long>(p) * kMR + i] = acol[p];
-      }
-      for (int i = mr; i < kMR; ++i)
-        for (int p = 0; p < kb; ++p)
-          ap[static_cast<long>(p) * kMR + i] = 0.0;
-      ap += static_cast<long>(kb) * kMR;
-    }
-  }
+void set_block_sizes_f32(const BlockSizes& bs) {
+  g_mc_f.store(round_down_to(bs.mc, Tile<float>::mr),
+               std::memory_order_relaxed);
+  g_kc_f.store(std::max(8, bs.kc), std::memory_order_relaxed);
+  g_nc_f.store(round_down_to(bs.nc, Tile<float>::nr),
+               std::memory_order_relaxed);
 }
 
-void pack_b(Trans trans, int kb, int nb, const double* b, int ldb,
-            double* bp) {
-  if (trans == Trans::No) {
-    // op(B)(p, j) = b[j*ldb + p]: walk p down each stored column.
-    for (int j0 = 0; j0 < nb; j0 += kNR) {
-      const int nr = std::min(kNR, nb - j0);
-      for (int j = 0; j < nr; ++j) {
-        const double* bcol = b + static_cast<long>(j0 + j) * ldb;
-        for (int p = 0; p < kb; ++p)
-          bp[static_cast<long>(p) * kNR + j] = bcol[p];
-      }
-      for (int j = nr; j < kNR; ++j)
-        for (int p = 0; p < kb; ++p)
-          bp[static_cast<long>(p) * kNR + j] = 0.0;
-      bp += static_cast<long>(kb) * kNR;
-    }
-  } else {
-    // op(B)(p, j) = b[p*ldb + j]: each tile row is a contiguous slice.
-    for (int j0 = 0; j0 < nb; j0 += kNR) {
-      const int nr = std::min(kNR, nb - j0);
-      for (int p = 0; p < kb; ++p) {
-        const double* brow = b + static_cast<long>(p) * ldb + j0;
-        double* dst = bp + static_cast<long>(p) * kNR;
-        for (int j = 0; j < nr; ++j) dst[j] = brow[j];
-        for (int j = nr; j < kNR; ++j) dst[j] = 0.0;
-      }
-      bp += static_cast<long>(kb) * kNR;
-    }
-  }
+BlockSizes block_sizes_f32() {
+  return BlockSizes{g_mc_f.load(std::memory_order_relaxed),
+                    g_kc_f.load(std::memory_order_relaxed),
+                    g_nc_f.load(std::memory_order_relaxed)};
 }
 
 }  // namespace hplx::blas

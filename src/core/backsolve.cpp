@@ -20,21 +20,24 @@ constexpr int kTagY = 102;   ///< partial update flowing back to b's column
 /// are "columns" (disjoint, write-once), so the subtraction fans out over
 /// the leased BLAS team exactly like the device data-motion kernels and
 /// falls back to the sequential sweep when the team is busy.
-void sub_vector(double* dst, const double* src, long m) {
+template <typename T>
+void sub_vector(T* dst, const T* src, long m) {
   device::run_column_tiles(m, [&](long c0, long c1) {
     for (long i = c0; i < c1; ++i) dst[i] -= src[i];
   });
 }
 
 /// dst[i] = src[i] over [0, m), same tiling.
-void copy_vector(double* dst, const double* src, long m) {
+template <typename T>
+void copy_vector(T* dst, const T* src, long m) {
   device::run_column_tiles(m, [&](long c0, long c1) {
     for (long i = c0; i < c1; ++i) dst[i] = src[i];
   });
 }
 }  // namespace
 
-std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
+template <typename T>
+std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
                               device::Stream& stream, double* mpi_seconds) {
   const long n = a.n();
   const int nb = a.nb();
@@ -45,7 +48,7 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
   Timer mpi;
 
   // Host copy of my piece of b̂ (updated in place during the sweep).
-  std::vector<double> bh(static_cast<std::size_t>(a.mloc()), 0.0);
+  std::vector<T> bh(static_cast<std::size_t>(a.mloc()), T(0));
   if (have_b && a.mloc() > 0) {
     const long jl_b = a.cols().to_local(n);
     device::copy_matrix_d2h(stream, a.mloc(), 1, a.at(0, jl_b), a.lda(),
@@ -53,10 +56,9 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
     stream.synchronize();
   }
 
-  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> xk(static_cast<std::size_t>(nb), 0.0);
-  std::vector<double> ukk(static_cast<std::size_t>(nb) * nb, 0.0);
-  std::vector<double> y;
+  std::vector<T> x(static_cast<std::size_t>(n), T(0));
+  std::vector<T> xk(static_cast<std::size_t>(nb), T(0));
+  std::vector<T> y;
 
   for (long k = nblocks - 1; k >= 0; --k) {
     const long jk = k * nb;
@@ -84,41 +86,44 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
       }
     }
 
-    // 2. The diagonal owner solves its triangle on the host.
+    // 2. The diagonal owner solves its triangle in place on the device —
+    //    device::trsv_upper reads the NB×NB block straight from the
+    //    distributed matrix, eliminating the former d2h staging copy and
+    //    the host dtrsv it fed.
     if (diag_row && diag_col) {
       const long il = a.rows().to_local(jk);
       const long jl = a.cols().to_local(jk);
-      device::copy_matrix_d2h(stream, jbk, jbk, a.at(il, jl), a.lda(),
-                              ukk.data(), jbk);
+      device::trsv_upper(stream, static_cast<long>(jbk), a.at(il, jl),
+                         a.lda(), xk.data());
       stream.synchronize();
-      // Host solve of the staged triangle: the synchronize above is the
-      // edge that makes reading ukk (just written by the d2h) legal.
-      device::HostAccessScope trsv_guard(
-          a.dev().hazard(), "backsolve.trsv",
-          {device::span_read(ukk.data(), static_cast<std::size_t>(jbk) * jbk),
-           device::span_write(xk.data(), static_cast<std::size_t>(jbk))});
-      blas::dtrsv(blas::Uplo::Upper, blas::Trans::No, blas::Diag::NonUnit,
-                  jbk, ukk.data(), jbk, xk.data(), 1);
     }
 
     // 3. Broadcast x_k down the diagonal column; apply the local update
     //    U(:, k)·x_k to the rows above block k and ship it to b's column.
     if (diag_col) {
-      mpi.start();
-      comm::bcast(g.col_comm(), xk.data(), static_cast<std::size_t>(jbk),
-                  prow_k);
-      mpi.stop();
+      // The synchronize after trsv_upper is the edge that makes this host
+      // read of the device-written xk legal.
+      {
+        device::HostAccessScope bcast_guard(
+            a.dev().hazard(), "backsolve.bcast_xk",
+            {device::span_read(xk.data(), static_cast<std::size_t>(jbk))});
+        mpi.start();
+        comm::bcast(g.col_comm(), xk.data(), static_cast<std::size_t>(jbk),
+                    prow_k);
+        mpi.stop();
+      }
       copy_vector(x.data() + jk, xk.data(), jbk);
 
       const long m_above = a.row_offset(jk);
-      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)), 0.0);
+      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)), T(0));
       if (m_above > 0) {
         const long jl = a.cols().to_local(jk);
-        // y = A(0..m_above, block k) · x_k on the device (an m×1 DGEMM).
+        // y = A(0..m_above, block k) · x_k on the device (an m×1 GEMM).
         // x_k is staged through a device-visible scratch via the kernels'
         // host-memory equivalence.
-        device::gemm(stream, m_above, 1, jbk, 1.0, a.at(0, jl), a.lda(),
-                     xk.data(), jbk, 0.0, y.data(), m_above);
+        device::gemm(stream, m_above, 1, static_cast<long>(jbk), T(1),
+                     a.at(0, jl), a.lda(), xk.data(), static_cast<long>(jbk),
+                     T(0), y.data(), m_above);
         stream.synchronize();
       }
       if (!have_b) {
@@ -138,7 +143,7 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
       }
     } else if (have_b) {
       const long m_above = a.row_offset(jk);
-      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)), 0.0);
+      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)), T(0));
       mpi.start();
       g.row_comm().recv(y.data(), static_cast<std::size_t>(m_above), pcol_k,
                         kTagY);
@@ -149,7 +154,7 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
 
   // 4. Combine the x segments: exactly one rank per diagonal column —
   //    grid row 0 — contributes each block; everyone else holds zeros.
-  std::vector<double> xsum(static_cast<std::size_t>(n), 0.0);
+  std::vector<T> xsum(static_cast<std::size_t>(n), T(0));
   for (long k = 0; k < nblocks; ++k) {
     const long jk = k * nb;
     const int jbk = static_cast<int>(std::min<long>(nb, n - jk));
@@ -163,7 +168,17 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
   mpi.stop();
 
   if (mpi_seconds != nullptr) *mpi_seconds += mpi.total();
-  return xsum;
+  std::vector<double> out(xsum.size());
+  for (std::size_t i = 0; i < xsum.size(); ++i)
+    out[i] = static_cast<double>(xsum[i]);
+  return out;
 }
+
+template std::vector<double> backsolve<double>(grid::ProcessGrid&,
+                                               DistMatrixT<double>&,
+                                               device::Stream&, double*);
+template std::vector<double> backsolve<float>(grid::ProcessGrid&,
+                                              DistMatrixT<float>&,
+                                              device::Stream&, double*);
 
 }  // namespace hplx::core

@@ -7,9 +7,15 @@
 /// b carried along as column N, swapped and updated like any trailing
 /// column — lives on the process column owning global column N. The solve
 /// walks diagonal blocks bottom-up: the diagonal owner solves its NB×NB
-/// triangle on the host, broadcasts the x segment down its process
-/// column, every rank in that column applies its local U·x_k contribution
-/// on the device, and the partial results flow back to b̂'s owners.
+/// triangle directly on the device (device::trsv_upper — no host staging
+/// copy), broadcasts the x segment down its process column, every rank in
+/// that column applies its local U·x_k contribution on the device, and the
+/// partial results flow back to b̂'s owners.
+///
+/// The solve is a template over the element type: the fp32 instantiation
+/// is the MxP backsolve, run entirely in low precision (its rounding error
+/// is what iterative refinement then cleans up). The returned solution is
+/// widened to double on every path.
 
 #include <vector>
 
@@ -20,8 +26,10 @@
 namespace hplx::core {
 
 /// Collective over the grid. Returns the full solution vector (length n),
-/// replicated on every rank. Adds communication time to *mpi_seconds.
-std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrix& a,
+/// replicated on every rank, widened to double. Adds communication time
+/// to *mpi_seconds.
+template <typename T>
+std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
                               device::Stream& stream, double* mpi_seconds);
 
 }  // namespace hplx::core

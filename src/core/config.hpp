@@ -55,6 +55,18 @@ enum class SwapWireFormat { RowMajor, ColMajor };
 
 const char* to_string(SwapWireFormat f);
 
+/// Arithmetic mode of the factorization (the HPL-MxP lever). FP64 is the
+/// classic benchmark. MXP32 runs the entire LU — panel factorization,
+/// broadcast, row swaps, trailing update, backsolve — in fp32 (half the
+/// flops' cost on matrix-engine hardware, half the wire and HBM bytes),
+/// then recovers fp64 accuracy with iterative refinement against the
+/// regenerated fp64 operator. MXP16Sim runs the same fp32 kernels but
+/// bills their modeled time at the device's fp16 throughput curve — the
+/// simulation-side stand-in for a tensor-core fp16/bf16 engine.
+enum class PrecisionMode { FP64, MXP32, MXP16Sim };
+
+const char* to_string(PrecisionMode p);
+
 struct HplConfig {
   long n = 1024;   ///< global problem size N
   int nb = 64;     ///< blocking factor NB
@@ -149,6 +161,21 @@ struct HplConfig {
   /// Per-rank simulated accelerator: capacity and cost model.
   std::size_t hbm_bytes = 1ull << 32;  // tests use small N; 4 GiB default
   device::DeviceModel dev_model = device::DeviceModel::mi250x_gcd();
+
+  /// Arithmetic mode (HPL-MxP). FP64 = classic; MXP32/MXP16Sim factor in
+  /// fp32 and iteratively refine the solution to the fp64 residual
+  /// threshold.
+  PrecisionMode precision = PrecisionMode::FP64;
+
+  /// Iterative-refinement iteration cap for the MxP modes. If the scaled
+  /// residual has not passed after this many corrections (or diverges),
+  /// the solver falls back to a full fp64 solve so a passing run is still
+  /// produced (HplResult::ir_fallback reports it).
+  int ir_max_iters = 30;
+
+  /// IR convergence target: the run is accepted when the HPL scaled
+  /// residual drops below this (16.0 is HPL's own pass threshold).
+  double ir_tol = 16.0;
 
   bool verify = true;  ///< run the residual check after the solve
 

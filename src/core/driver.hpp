@@ -48,6 +48,13 @@ struct HplResult {
   std::vector<double> stream_busy_seconds;
   std::vector<double> stream_real_seconds;
 
+  /// Mixed-precision outcome (precision = mxp32 / mxp16-sim): how many
+  /// fp64 iterative-refinement corrections the low-precision solution
+  /// took, and whether refinement failed to converge and the run redid
+  /// the factorization in full fp64. Zero / false in fp64 mode.
+  int ir_iters = 0;
+  bool ir_fallback = false;
+
   /// True when the hazard-checking runtime (device::HazardTracker) was
   /// attached to this run's devices (cfg.hazard_check or HPLX_HAZARD).
   bool hazard_checked = false;

@@ -262,6 +262,22 @@ HplDat parse_hpldat(std::istream& in) {
   if (!r.eof()) {
     dat.swap_chunk_bytes = r.integer("swap chunk bytes");
   }
+  if (!r.eof()) {
+    dat.precision = r.token();
+    HPLX_CHECK_MSG(dat.precision == "fp64" || dat.precision == "mxp32" ||
+                       dat.precision == "mxp16-sim",
+                   "HPL.dat: precision must be fp64, mxp32 or mxp16-sim, "
+                   "got `" << dat.precision << "`");
+  }
+  if (!r.eof()) {
+    dat.ir_max_iters = static_cast<int>(r.integer("IR max iters"));
+    HPLX_CHECK_MSG(dat.ir_max_iters >= 0,
+                   "HPL.dat: IR max iters must be >= 0");
+  }
+  if (!r.eof()) {
+    dat.ir_tol = r.real("IR tolerance");
+    HPLX_CHECK_MSG(dat.ir_tol > 0.0, "HPL.dat: IR tolerance must be > 0");
+  }
   return dat;
 }
 
@@ -315,6 +331,13 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
                                       ? SwapWireFormat::RowMajor
                                       : SwapWireFormat::ColMajor;
                   cfg.swap_chunk_bytes = dat.swap_chunk_bytes;
+                  cfg.precision = dat.precision == "mxp32"
+                                      ? PrecisionMode::MXP32
+                                  : dat.precision == "mxp16-sim"
+                                      ? PrecisionMode::MXP16Sim
+                                      : PrecisionMode::FP64;
+                  cfg.ir_max_iters = dat.ir_max_iters;
+                  cfg.ir_tol = dat.ir_tol;
                   out.push_back(cfg);
                 }
               }
@@ -400,6 +423,10 @@ std::string format_hpldat(const HplDat& dat) {
      << "  swap wire format (hplx extension, 0=row-major,1=col-major)\n";
   os << dat.swap_chunk_bytes
      << "  swap chunk bytes (hplx extension, 0=autotune,<0=unchunked)\n";
+  os << dat.precision
+     << "  precision (hplx extension, fp64|mxp32|mxp16-sim)\n";
+  os << dat.ir_max_iters << "  IR max iters (hplx extension, mxp modes)\n";
+  os << dat.ir_tol << "  IR tolerance (hplx extension, scaled residual)\n";
   return os.str();
 }
 

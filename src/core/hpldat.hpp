@@ -65,6 +65,12 @@ struct HplDat {
   int swap_wire_format = 1;       ///< 0 = row-major (seed), 1 = col-major
   long swap_chunk_bytes = 256 * 1024;  ///< pipelined RS chunk size
                                        ///< (0 = autotune, < 0 = unchunked)
+  /// Working precision of the factorization: "fp64" (classic HPL),
+  /// "mxp32" (fp32 factors + fp64 iterative refinement), or "mxp16-sim"
+  /// (fp32 compute billed at the fp16 throughput curves).
+  std::string precision = "fp64";
+  int ir_max_iters = 30;  ///< refinement correction budget (mxp modes)
+  double ir_tol = 16.0;   ///< scaled-residual target refinement must reach
 };
 
 /// Parse an HPL.dat stream. Throws hplx::Error with a line diagnostic on

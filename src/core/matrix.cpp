@@ -1,12 +1,37 @@
 #include "core/matrix.hpp"
 
+#include <vector>
+
 #include "rng/matgen.hpp"
 #include "util/error.hpp"
 
 namespace hplx::core {
+namespace {
 
-DistMatrix::DistMatrix(device::Device& dev, const grid::ProcessGrid& g,
-                       long n, int nb, std::uint64_t seed)
+// Fill the local tile with the seeded values. The fp64 stream is the one
+// source of truth: a float matrix is the element-wise cast of the double
+// one, never an independently generated stream, so every precision solves
+// (a rounding of) the same system.
+void fill_local(std::uint64_t seed, long n, int nb, int myrow, int mycol,
+                int nprow, int npcol, double* a, long lda, long /*nloc*/) {
+  rng::generate_local(seed, n, n + 1, nb, myrow, mycol, nprow, npcol, a, lda);
+}
+
+void fill_local(std::uint64_t seed, long n, int nb, int myrow, int mycol,
+                int nprow, int npcol, float* a, long lda, long nloc) {
+  std::vector<double> tmp(static_cast<std::size_t>(lda) *
+                          static_cast<std::size_t>(nloc > 0 ? nloc : 1));
+  rng::generate_local(seed, n, n + 1, nb, myrow, mycol, nprow, npcol,
+                      tmp.data(), lda);
+  for (std::size_t i = 0; i < tmp.size(); ++i)
+    a[i] = static_cast<float>(tmp[i]);
+}
+
+}  // namespace
+
+template <typename T>
+DistMatrixT<T>::DistMatrixT(device::Device& dev, const grid::ProcessGrid& g,
+                            long n, int nb, std::uint64_t seed)
     : dev_(dev),
       n_(n),
       nb_(nb),
@@ -20,21 +45,27 @@ DistMatrix::DistMatrix(device::Device& dev, const grid::ProcessGrid& g,
       mloc_(rows_.local_count(myrow_)),
       nloc_(cols_.local_count(mycol_)),
       lda_(mloc_ > 0 ? mloc_ : 1),
-      buf_(dev.alloc(static_cast<std::size_t>(lda_) *
-                     static_cast<std::size_t>(nloc_ > 0 ? nloc_ : 1))) {
+      buf_(dev.alloc_elems<T>(static_cast<std::size_t>(lda_) *
+                              static_cast<std::size_t>(nloc_ > 0 ? nloc_
+                                                                 : 1))) {
   HPLX_CHECK(n >= 1 && nb >= 1);
   // Generation is an init-time device fill (rocHPL generates on-device);
   // it is not charged to any stream.
-  rng::generate_local(seed_, n_, n_ + 1, nb_, myrow_, mycol_, nprow_, npcol_,
-                      buf_.data(), lda_);
+  fill_local(seed_, n_, nb_, myrow_, mycol_, nprow_, npcol_, local(), lda_,
+             nloc_);
 }
 
-long DistMatrix::row_offset(long grow) const {
+template <typename T>
+long DistMatrixT<T>::row_offset(long grow) const {
   return grid::numroc(grow, nb_, myrow_, nprow_);
 }
 
-long DistMatrix::col_offset(long gcol) const {
+template <typename T>
+long DistMatrixT<T>::col_offset(long gcol) const {
   return grid::numroc(gcol, nb_, mycol_, npcol_);
 }
+
+template class DistMatrixT<double>;
+template class DistMatrixT<float>;
 
 }  // namespace hplx::core

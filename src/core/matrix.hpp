@@ -7,6 +7,14 @@
 /// it resident in the accelerators' HBM for the entire benchmark (§III).
 /// DistMatrix owns this rank's local tile and the index arithmetic around
 /// it.
+///
+/// The matrix is a template over the element type T. `DistMatrixT<double>`
+/// is classic HPL; `DistMatrixT<float>` is the HPL-MxP low-precision
+/// working matrix, filled with the *exact float casts* of the same seeded
+/// fp64 values — so the fp32 system is the rounded image of the fp64 one
+/// and iterative refinement against the regenerated fp64 operator
+/// converges. Storage is half the bytes, which is where MxP's capacity and
+/// bandwidth headroom comes from.
 
 #include <cstdint>
 
@@ -16,12 +24,13 @@
 
 namespace hplx::core {
 
-class DistMatrix {
+template <typename T>
+class DistMatrixT {
  public:
   /// Allocates the local piece on `dev` (throws if it exceeds HBM) and
-  /// fills it with the seeded random augmented system.
-  DistMatrix(device::Device& dev, const grid::ProcessGrid& g, long n, int nb,
-             std::uint64_t seed);
+  /// fills it with the seeded random augmented system (cast to T).
+  DistMatrixT(device::Device& dev, const grid::ProcessGrid& g, long n, int nb,
+              std::uint64_t seed);
 
   long n() const { return n_; }
   int nb() const { return nb_; }
@@ -34,8 +43,8 @@ class DistMatrix {
   long nloc() const { return nloc_; }   ///< local cols (of N+1, incl. b)
   long lda() const { return lda_; }
 
-  double* local() { return buf_.data(); }
-  const double* local() const { return buf_.data(); }
+  T* local() { return buf_.template data_as<T>(); }
+  const T* local() const { return buf_.template data_as<T>(); }
 
   /// Number of local rows with global index < grow (i.e. the local row
   /// where the trailing window starting at global row `grow` begins).
@@ -45,7 +54,7 @@ class DistMatrix {
   long col_offset(long gcol) const;
 
   /// Device pointer to local element (il, jl).
-  double* at(long il, long jl) { return buf_.data() + jl * lda_ + il; }
+  T* at(long il, long jl) { return local() + jl * lda_ + il; }
 
   device::Device& dev() const { return dev_; }
 
@@ -60,5 +69,7 @@ class DistMatrix {
   long mloc_, nloc_, lda_;
   device::Buffer buf_;
 };
+
+using DistMatrix = DistMatrixT<double>;
 
 }  // namespace hplx::core

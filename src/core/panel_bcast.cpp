@@ -7,7 +7,8 @@
 
 namespace hplx::core {
 
-void PanelData::resize(int jb_, long ml2_) {
+template <typename T>
+void PanelDataT<T>::resize(int jb_, long ml2_) {
   jb = jb_;
   ml2 = ml2_;
   top.resize(static_cast<std::size_t>(jb_) * jb_);
@@ -16,31 +17,43 @@ void PanelData::resize(int jb_, long ml2_) {
 }
 
 namespace {
-/// Wire format: [j, jb, ml2 as doubles-worth of longs][ipiv][top][l2].
-/// Sizes are deterministic on both sides, so the whole panel moves as one
-/// message per hop of the broadcast algorithm.
+/// Wire format: [j, jb, ml2 as 3 doubles][ipiv as jb longs][top][l2].
+/// The header and pivots keep 8-byte slots at every precision; top and l2
+/// travel as raw T, so the fp32 panel's dominant payload is half the fp64
+/// bytes. Sizes are deterministic on both sides, so the whole panel moves
+/// as one message per hop of the broadcast algorithm. The buffer is sized
+/// in doubles (payload bytes rounded up) to keep 8-byte alignment.
+template <typename T>
+std::size_t payload_bytes(int jb, long ml2) {
+  return (static_cast<std::size_t>(jb) * jb +
+          static_cast<std::size_t>(ml2) * jb) *
+         sizeof(T);
+}
+
+template <typename T>
 std::size_t wire_doubles(int jb, long ml2) {
-  const std::size_t header = 3;
-  const std::size_t ipiv_d = static_cast<std::size_t>(jb);  // longs fit in 8B
-  return header + ipiv_d + static_cast<std::size_t>(jb) * jb +
-         static_cast<std::size_t>(ml2) * jb;
+  const std::size_t header = 3 + static_cast<std::size_t>(jb);  // + ipiv
+  return header + (payload_bytes<T>(jb, ml2) + sizeof(double) - 1) /
+                      sizeof(double);
 }
 }  // namespace
 
-void PanelData::reserve(int max_jb, long max_ml2) {
+template <typename T>
+void PanelDataT<T>::reserve(int max_jb, long max_ml2) {
   top.reserve(static_cast<std::size_t>(max_jb) * max_jb);
   ipiv.reserve(static_cast<std::size_t>(max_jb));
   l2.reserve(static_cast<std::size_t>(max_ml2) * max_jb);
-  wire.reserve(wire_doubles(max_jb, max_ml2));
+  wire.reserve(wire_doubles<T>(max_jb, max_ml2));
 }
 
+template <typename T>
 void panel_broadcast(comm::Communicator& row_comm, comm::BcastAlgo algo,
-                     int root, PanelData& panel, double* mpi_seconds,
+                     int root, PanelDataT<T>& panel, double* mpi_seconds,
                      const BcastFn* custom) {
   HPLX_CHECK(panel.jb >= 1);
   if (row_comm.size() == 1) return;
 
-  const std::size_t count = wire_doubles(panel.jb, panel.ml2);
+  const std::size_t count = wire_doubles<T>(panel.jb, panel.ml2);
   panel.wire.resize(count);
 
   const bool is_root = row_comm.rank() == root;
@@ -51,10 +64,10 @@ void panel_broadcast(comm::Communicator& row_comm, comm::BcastAlgo algo,
     w[2] = static_cast<double>(panel.ml2);
     std::memcpy(w + 3, panel.ipiv.data(),
                 static_cast<std::size_t>(panel.jb) * sizeof(long));
-    std::memcpy(w + 3 + panel.jb, panel.top.data(),
-                panel.top.size() * sizeof(double));
-    std::memcpy(w + 3 + panel.jb + panel.top.size(), panel.l2.data(),
-                panel.l2.size() * sizeof(double));
+    char* payload = reinterpret_cast<char*>(w + 3 + panel.jb);
+    std::memcpy(payload, panel.top.data(), panel.top.size() * sizeof(T));
+    std::memcpy(payload + panel.top.size() * sizeof(T), panel.l2.data(),
+                panel.l2.size() * sizeof(T));
   }
 
   Timer timer;
@@ -79,11 +92,20 @@ void panel_broadcast(comm::Communicator& row_comm, comm::BcastAlgo algo,
     panel.resize(panel.jb, panel.ml2);
     std::memcpy(panel.ipiv.data(), w + 3,
                 static_cast<std::size_t>(panel.jb) * sizeof(long));
-    std::memcpy(panel.top.data(), w + 3 + panel.jb,
-                panel.top.size() * sizeof(double));
-    std::memcpy(panel.l2.data(), w + 3 + panel.jb + panel.top.size(),
-                panel.l2.size() * sizeof(double));
+    const char* payload = reinterpret_cast<const char*>(w + 3 + panel.jb);
+    std::memcpy(panel.top.data(), payload, panel.top.size() * sizeof(T));
+    std::memcpy(panel.l2.data(), payload + panel.top.size() * sizeof(T),
+                panel.l2.size() * sizeof(T));
   }
 }
+
+template struct PanelDataT<double>;
+template struct PanelDataT<float>;
+template void panel_broadcast<double>(comm::Communicator&, comm::BcastAlgo,
+                                      int, PanelDataT<double>&, double*,
+                                      const BcastFn*);
+template void panel_broadcast<float>(comm::Communicator&, comm::BcastAlgo,
+                                     int, PanelDataT<float>&, double*,
+                                     const BcastFn*);
 
 }  // namespace hplx::core

@@ -10,6 +10,12 @@
 /// local trailing rows. The broadcast algorithm is selectable (HPL's
 /// BCAST parameter); the modified variants prioritize the look-ahead
 /// neighbour.
+///
+/// PanelDataT is a template over the element type: the fp32 (MxP) panel's
+/// wire payload — the jb×jb top block plus the L2 slab, which dominate the
+/// message — shrinks to half the fp64 bytes, while the header and the
+/// pivot indices keep their 8-byte slots so the framing is
+/// precision-independent.
 
 #include <cstdint>
 #include <functional>
@@ -22,13 +28,14 @@ namespace hplx::core {
 /// One factored panel as seen by every rank in a process row. Buffers are
 /// device-resident workspaces (the transport is GPU-aware, as on Crusher
 /// where NICs attach directly to the GPUs).
-struct PanelData {
+template <typename T>
+struct PanelDataT {
   long j = 0;
   int jb = 0;
 
-  std::vector<double> top;   ///< jb×jb factored diagonal block (ld = jb)
+  std::vector<T> top;        ///< jb×jb factored diagonal block (ld = jb)
   std::vector<long> ipiv;    ///< jb global pivot rows
-  std::vector<double> l2;    ///< ml2×jb local L2 rows (ld = ml2)
+  std::vector<T> l2;         ///< ml2×jb local L2 rows (ld = ml2)
   long ml2 = 0;
 
   /// Scratch for the packed wire format; reused across iterations.
@@ -42,6 +49,8 @@ struct PanelData {
   void reserve(int max_jb, long max_ml2);
 };
 
+using PanelData = PanelDataT<double>;
+
 /// User-replaceable broadcast primitive (see HplConfig::custom_bcast).
 using BcastFn = std::function<void(comm::Communicator& row_comm, void* buf,
                                    std::size_t bytes, int root)>;
@@ -52,8 +61,9 @@ using BcastFn = std::function<void(comm::Communicator& row_comm, void* buf,
 /// caller on every rank (receivers know it from their own row counts).
 /// Elapsed communication time is accumulated into *mpi_seconds. When
 /// `custom` is non-null it replaces the built-in algorithm.
+template <typename T>
 void panel_broadcast(comm::Communicator& row_comm, comm::BcastAlgo algo,
-                     int root, PanelData& panel, double* mpi_seconds,
+                     int root, PanelDataT<T>& panel, double* mpi_seconds,
                      const BcastFn* custom = nullptr);
 
 }  // namespace hplx::core

@@ -50,13 +50,24 @@ const char* to_string(SwapWireFormat f) {
   return "?";
 }
 
+const char* to_string(PrecisionMode p) {
+  switch (p) {
+    case PrecisionMode::FP64: return "fp64";
+    case PrecisionMode::MXP32: return "mxp32";
+    case PrecisionMode::MXP16Sim: return "mxp16-sim";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Header of the combined pivot exchange message (HPL_pdmxswp analogue).
-/// The payload that follows is 2·jb doubles: the candidate (pivot) row and
-/// the current row. Exactly one rank — the diagonal-block owner — sets
-/// has_cur and supplies the current row; the max-loc winner supplies the
-/// pivot row. One allreduce delivers both to everyone.
+/// The payload that follows is 2·jb elements of T: the candidate (pivot)
+/// row and the current row. Exactly one rank — the diagonal-block owner —
+/// sets has_cur and supplies the current row; the max-loc winner supplies
+/// the pivot row. One allreduce delivers both to everyone. The magnitude
+/// is carried as double at every precision so the combine below never
+/// changes shape.
 struct PivotHeader {
   double absmax = -1.0;
   long slot_glob = std::numeric_limits<long>::max();
@@ -65,13 +76,14 @@ struct PivotHeader {
 };
 static_assert(sizeof(PivotHeader) == 24);
 
+template <typename T>
 struct Shared {
-  const PanelTask& t;
+  const PanelTaskT<T>& t;
   const HplConfig& cfg;
   comm::Communicator& comm;
   ThreadTeam& team;
 
-  int T;
+  int T_;
   int tile;  // tile height in rows
 
   // Per-thread local pivot candidates (index into w rows, or -1).
@@ -84,32 +96,32 @@ struct Shared {
   std::atomic<bool> failed{false};
   double comm_seconds = 0.0;
 
-  Shared(const PanelTask& task, const HplConfig& config,
+  Shared(const PanelTaskT<T>& task, const HplConfig& config,
          comm::Communicator& col_comm, ThreadTeam& thread_team)
       : t(task),
         cfg(config),
         comm(col_comm),
         team(thread_team),
-        T(thread_team.size()),
+        T_(thread_team.size()),
         tile(task.tile_rows > 0 ? task.tile_rows : task.jb),
-        cand_val(static_cast<std::size_t>(T), -1.0),
-        cand_idx(static_cast<std::size_t>(T), -1),
+        cand_val(static_cast<std::size_t>(T_), -1.0),
+        cand_idx(static_cast<std::size_t>(T_), -1),
         msg(sizeof(PivotHeader) +
-            2 * static_cast<std::size_t>(task.jb) * sizeof(double)) {}
+            2 * static_cast<std::size_t>(task.jb) * sizeof(T)) {}
 
   PivotHeader* header() { return reinterpret_cast<PivotHeader*>(msg.data()); }
-  double* pivot_row() {
-    return reinterpret_cast<double*>(msg.data() + sizeof(PivotHeader));
+  T* pivot_row() {
+    return reinterpret_cast<T*>(msg.data() + sizeof(PivotHeader));
   }
-  double* cur_row() { return pivot_row() + t.jb; }
+  T* cur_row() { return pivot_row() + t.jb; }
 
   /// First active w row at step k: slots with global index >= j+k. On the
   /// diagonal-owning rank the first jb rows are exactly globals j..j+jb-1;
   /// on every other rank all rows are in later blocks.
   long active_start(int k) const { return t.is_curr ? k : 0; }
 
-  double& W(long r, int c) const { return t.w[r + static_cast<long>(c) * t.ldw]; }
-  double& Top(int r, int c) const {
+  T& W(long r, int c) const { return t.w[r + static_cast<long>(c) * t.ldw]; }
+  T& Top(int r, int c) const {
     return t.top[r + static_cast<long>(c) * t.ldtop];
   }
 
@@ -117,7 +129,7 @@ struct Shared {
   template <typename F>
   void for_tiles(int tid, long lo, F&& f) const {
     for (long t0 = 0; t0 * tile < t.mw; ++t0) {
-      if (t0 % T != tid) continue;
+      if (t0 % T_ != tid) continue;
       const long r0 = std::max<long>(lo, t0 * tile);
       const long r1 = std::min<long>(t.mw, (t0 + 1) * tile);
       if (r0 < r1) f(r0, r1);
@@ -135,12 +147,13 @@ struct Shared {
 
 /// Phase 1 of each column: every thread scans its tiles for the largest
 /// |w(i, k)| among active rows (parallel reduction of §III.A).
-void local_search(Shared& s, int tid, int k) {
+template <typename T>
+void local_search(Shared<T>& s, int tid, int k) {
   double best = -1.0;
   long best_idx = -1;
   s.for_tiles(tid, s.active_start(k), [&](long r0, long r1) {
     for (long r = r0; r < r1; ++r) {
-      const double v = std::fabs(s.W(r, k));
+      const double v = std::fabs(static_cast<double>(s.W(r, k)));
       if (v > best ||
           (v == best && best_idx >= 0 && s.t.glob[r] < s.t.glob[best_idx])) {
         best = v;
@@ -156,13 +169,14 @@ void local_search(Shared& s, int tid, int k) {
 /// max-loc + row exchange across the process column, store the pivot row
 /// into the replicated top block, and apply the swap-in of the displaced
 /// current row.
-void pivot_exchange(Shared& s, int k) {
+template <typename T>
+void pivot_exchange(Shared<T>& s, int k) {
   const int jb = s.t.jb;
 
-  // Merge the T thread-local candidates.
+  // Merge the per-thread local candidates.
   double best = -1.0;
   long best_idx = -1;
-  for (int t = 0; t < s.T; ++t) {
+  for (int t = 0; t < s.T_; ++t) {
     const double v = s.cand_val[static_cast<std::size_t>(t)];
     const long idx = s.cand_idx[static_cast<std::size_t>(t)];
     if (idx < 0) continue;
@@ -175,9 +189,9 @@ void pivot_exchange(Shared& s, int k) {
 
   PivotHeader* h = s.header();
   *h = PivotHeader{};
-  double* prow = s.pivot_row();
-  double* crow = s.cur_row();
-  std::memset(prow, 0, 2 * static_cast<std::size_t>(jb) * sizeof(double));
+  T* prow = s.pivot_row();
+  T* crow = s.cur_row();
+  std::memset(prow, 0, 2 * static_cast<std::size_t>(jb) * sizeof(T));
   if (best_idx >= 0) {
     h->absmax = best;
     h->slot_glob = s.t.glob[best_idx];
@@ -196,20 +210,20 @@ void pivot_exchange(Shared& s, int k) {
         [jb](void* inout, const void* in) {
           auto* a = static_cast<PivotHeader*>(inout);
           const auto* b = static_cast<const PivotHeader*>(in);
-          double* arows = reinterpret_cast<double*>(
-              static_cast<std::byte*>(inout) + sizeof(PivotHeader));
-          const double* brows = reinterpret_cast<const double*>(
+          T* arows = reinterpret_cast<T*>(static_cast<std::byte*>(inout) +
+                                          sizeof(PivotHeader));
+          const T* brows = reinterpret_cast<const T*>(
               static_cast<const std::byte*>(in) + sizeof(PivotHeader));
           if (b->absmax > a->absmax ||
               (b->absmax == a->absmax && b->slot_glob < a->slot_glob)) {
             a->absmax = b->absmax;
             a->slot_glob = b->slot_glob;
-            std::memcpy(arows, brows, static_cast<std::size_t>(jb) * sizeof(double));
+            std::memcpy(arows, brows, static_cast<std::size_t>(jb) * sizeof(T));
           }
           if (b->has_cur) {
             a->has_cur = 1;
             std::memcpy(arows + jb, brows + jb,
-                        static_cast<std::size_t>(jb) * sizeof(double));
+                        static_cast<std::size_t>(jb) * sizeof(T));
           }
         });
     s.comm_seconds += timer.stop();
@@ -231,26 +245,28 @@ void pivot_exchange(Shared& s, int k) {
     }
   }
 
-  if (s.Top(k, k) == 0.0) s.failed.store(true);
+  if (s.Top(k, k) == T(0)) s.failed.store(true);
 }
 
 /// Phase 3: scale column k of active rows and (right-looking) apply the
 /// rank-1 update over columns (k, cend).
-void scale_and_update(Shared& s, int tid, int k, int cend, bool do_ger) {
-  const double pivk = s.Top(k, k);
+template <typename T>
+void scale_and_update(Shared<T>& s, int tid, int k, int cend, bool do_ger) {
+  const T pivk = s.Top(k, k);
   s.for_tiles(tid, s.active_start(k + 1), [&](long r0, long r1) {
     const long m = r1 - r0;
-    blas::dscal(static_cast<int>(m), 1.0 / pivk, &s.W(r0, k), 1);
+    blas::scal(static_cast<int>(m), T(1) / pivk, &s.W(r0, k), 1);
     if (do_ger && cend > k + 1) {
-      blas::dger(static_cast<int>(m), cend - (k + 1), -1.0, &s.W(r0, k), 1,
-                 &s.Top(k, k + 1), s.t.ldtop, &s.W(r0, k + 1),
-                 static_cast<int>(s.t.ldw));
+      blas::ger(static_cast<int>(m), cend - (k + 1), T(-1), &s.W(r0, k), 1,
+                &s.Top(k, k + 1), static_cast<int>(s.t.ldtop),
+                &s.W(r0, k + 1), static_cast<int>(s.t.ldw));
     }
   });
 }
 
 /// Unblocked right-looking base over columns [k0, k0+kb).
-void base_right(Shared& s, int tid, int k0, int kb) {
+template <typename T>
+void base_right(Shared<T>& s, int tid, int k0, int kb) {
   for (int k = k0; k < k0 + kb; ++k) {
     local_search(s, tid, k);
     s.team.barrier();
@@ -266,14 +282,15 @@ void base_right(Shared& s, int tid, int k0, int kb) {
 /// deferred; each column is brought up to date just before its pivot
 /// search, and the pivot row's trailing entries are patched redundantly by
 /// every rank after the exchange.
-void base_crout(Shared& s, int tid, int k0, int kb) {
+template <typename T>
+void base_crout(Shared<T>& s, int tid, int k0, int kb) {
   for (int k = k0; k < k0 + kb; ++k) {
     if (k > k0) {
       // Column update: w(:, k) -= W(:, k0..k) · top(k0..k, k).
       s.for_tiles(tid, s.active_start(k), [&](long r0, long r1) {
-        blas::dgemv(blas::Trans::No, static_cast<int>(r1 - r0), k - k0, -1.0,
-                    &s.W(r0, k0), static_cast<int>(s.t.ldw), &s.Top(k0, k), 1,
-                    1.0, &s.W(r0, k), 1);
+        blas::gemv(blas::Trans::No, static_cast<int>(r1 - r0), k - k0, T(-1),
+                   &s.W(r0, k0), static_cast<int>(s.t.ldw), &s.Top(k0, k), 1,
+                   T(1), &s.W(r0, k), 1);
       });
       s.team.barrier();
     }
@@ -284,11 +301,12 @@ void base_crout(Shared& s, int tid, int k0, int kb) {
       // Patch the stored pivot row's deferred in-block columns:
       // top(k, c) -= Σ_{m∈[k0,k)} top(k, m)·top(m, c) for c in (k, k0+kb).
       if (!s.failed.load() && k > k0 && k0 + kb > k + 1) {
-        blas::dgemv(blas::Trans::Yes, k - k0, k0 + kb - (k + 1), -1.0,
-                    &s.Top(k0, k + 1), s.t.ldtop, &s.Top(k, k0),
-                    s.t.ldtop, 1.0, &s.Top(k, k + 1), s.t.ldtop);
+        blas::gemv(blas::Trans::Yes, k - k0, k0 + kb - (k + 1), T(-1),
+                   &s.Top(k0, k + 1), static_cast<int>(s.t.ldtop),
+                   &s.Top(k, k0), static_cast<int>(s.t.ldtop), T(1),
+                   &s.Top(k, k + 1), static_cast<int>(s.t.ldtop));
       }
-      if (!s.failed.load() && s.Top(k, k) == 0.0) s.failed.store(true);
+      if (!s.failed.load() && s.Top(k, k) == T(0)) s.failed.store(true);
     }
     s.team.barrier();
     if (s.failed.load()) return;
@@ -304,23 +322,24 @@ void base_crout(Shared& s, int tid, int k0, int kb) {
 /// pivot-row entries), after which the candidates' deferred column update,
 /// the pivot search, and the scale proceed as in Crout — the pivot row's
 /// own trailing entries stay untouched until their columns come up.
-void base_left(Shared& s, int tid, int k0, int kb) {
+template <typename T>
+void base_left(Shared<T>& s, int tid, int k0, int kb) {
   for (int k = k0; k < k0 + kb; ++k) {
     if (k > k0) {
       if (tid == 0) {
         // top(k0..k, k) := L1(k0..k, k0..k)^{-1} · top(k0..k, k):
         // the deferred U column solve (in place; the strict lower
         // multipliers it reads are never overwritten).
-        blas::dtrsv(blas::Uplo::Lower, blas::Trans::No, blas::Diag::Unit,
-                    k - k0, &s.Top(k0, k0), static_cast<int>(s.t.ldtop),
-                    &s.Top(k0, k), 1);
+        blas::trsv(blas::Uplo::Lower, blas::Trans::No, blas::Diag::Unit,
+                   k - k0, &s.Top(k0, k0), static_cast<int>(s.t.ldtop),
+                   &s.Top(k0, k), 1);
       }
       s.team.barrier();
       // Candidates' deferred column update, exactly as in Crout.
       s.for_tiles(tid, s.active_start(k), [&](long r0, long r1) {
-        blas::dgemv(blas::Trans::No, static_cast<int>(r1 - r0), k - k0, -1.0,
-                    &s.W(r0, k0), static_cast<int>(s.t.ldw), &s.Top(k0, k), 1,
-                    1.0, &s.W(r0, k), 1);
+        blas::gemv(blas::Trans::No, static_cast<int>(r1 - r0), k - k0, T(-1),
+                   &s.W(r0, k0), static_cast<int>(s.t.ldw), &s.Top(k0, k), 1,
+                   T(1), &s.W(r0, k), 1);
       });
       s.team.barrier();
     }
@@ -334,7 +353,8 @@ void base_left(Shared& s, int tid, int k0, int kb) {
   }
 }
 
-void base(Shared& s, int tid, int k0, int kb, FactVariant v) {
+template <typename T>
+void base(Shared<T>& s, int tid, int k0, int kb, FactVariant v) {
   switch (v) {
     case FactVariant::Left:
       base_left(s, tid, k0, kb);
@@ -351,7 +371,8 @@ void base(Shared& s, int tid, int k0, int kb, FactVariant v) {
 /// Recursive factorization (HPL's rfact): factor the left part, update the
 /// right part (main-thread DTRSM on the replicated top block + per-thread
 /// DGEMM on their own tiles), recurse on the right part.
-void recurse(Shared& s, int tid, int k0, int kb, FactVariant bv) {
+template <typename T>
+void recurse(Shared<T>& s, int tid, int k0, int kb, FactVariant bv) {
   const int nbmin = std::max(1, s.cfg.rfact_nbmin);
   const int ndiv = std::max(2, s.cfg.rfact_ndiv);
   if (kb <= nbmin) {
@@ -368,17 +389,18 @@ void recurse(Shared& s, int tid, int k0, int kb, FactVariant bv) {
     // top(k0..k0+k1, trail) := L11^{-1} · top(k0..k0+k1, trail); every rank
     // holds the replicated top block, so this is redundant compute with
     // zero communication (exactly HPL's design).
-    blas::dtrsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
-                blas::Diag::Unit, k1, kb - k1, 1.0, &s.Top(k0, k0),
-                s.t.ldtop, &s.Top(k0, k0 + k1), s.t.ldtop);
+    blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+               blas::Diag::Unit, k1, kb - k1, T(1), &s.Top(k0, k0),
+               static_cast<int>(s.t.ldtop), &s.Top(k0, k0 + k1),
+               static_cast<int>(s.t.ldtop));
   }
   s.team.barrier();
 
   s.for_tiles(tid, s.active_start(k0 + k1), [&](long r0, long r1) {
-    blas::dgemm(blas::Trans::No, blas::Trans::No, static_cast<int>(r1 - r0),
-                kb - k1, k1, -1.0, &s.W(r0, k0), static_cast<int>(s.t.ldw),
-                &s.Top(k0, k0 + k1), static_cast<int>(s.t.ldtop), 1.0,
-                &s.W(r0, k0 + k1), static_cast<int>(s.t.ldw));
+    blas::gemm(blas::Trans::No, blas::Trans::No, static_cast<int>(r1 - r0),
+               kb - k1, k1, T(-1), &s.W(r0, k0), static_cast<int>(s.t.ldw),
+               &s.Top(k0, k0 + k1), static_cast<int>(s.t.ldtop), T(1),
+               &s.W(r0, k0 + k1), static_cast<int>(s.t.ldw));
   });
   s.team.barrier();
 
@@ -387,8 +409,9 @@ void recurse(Shared& s, int tid, int k0, int kb, FactVariant bv) {
 
 }  // namespace
 
+template <typename T>
 void panel_factorize(comm::Communicator& col_comm, const HplConfig& cfg,
-                     ThreadTeam& team, const PanelTask& task,
+                     ThreadTeam& team, const PanelTaskT<T>& task,
                      FactTimers* timers) {
   HPLX_CHECK(task.jb >= 1);
   HPLX_CHECK(task.w != nullptr || task.mw == 0);
@@ -399,7 +422,7 @@ void panel_factorize(comm::Communicator& col_comm, const HplConfig& cfg,
   Timer total;
   total.start();
 
-  Shared s(task, cfg, col_comm, team);
+  Shared<T> s(task, cfg, col_comm, team);
   team.run([&](int tid) {
     if (cfg.fact == FactVariant::RecursiveRight) {
       recurse(s, tid, 0, task.jb, cfg.rfact_base);
@@ -418,5 +441,12 @@ void panel_factorize(comm::Communicator& col_comm, const HplConfig& cfg,
     timers->compute_s += elapsed - s.comm_seconds;
   }
 }
+
+template void panel_factorize<double>(comm::Communicator&, const HplConfig&,
+                                      ThreadTeam&, const PanelTaskT<double>&,
+                                      FactTimers*);
+template void panel_factorize<float>(comm::Communicator&, const HplConfig&,
+                                     ThreadTeam&, const PanelTaskT<float>&,
+                                     FactTimers*);
 
 }  // namespace hplx::core

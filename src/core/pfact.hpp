@@ -24,6 +24,12 @@
 /// Every rank in the process column keeps a replicated jb×jb `top` buffer
 /// that accumulates the chosen pivot rows; it ends as L1 (unit-lower
 /// multipliers) + U1 (upper factor) — the block every other phase needs.
+///
+/// The factorization is a template over the element type: the fp32 (MxP)
+/// panel runs the identical algorithm on float data, and the pivot
+/// exchange's row payload shrinks to half the wire bytes. The pivot
+/// *magnitude* is always compared as double so the max-loc combine is one
+/// code path at every precision.
 
 #include "comm/communicator.hpp"
 #include "core/config.hpp"
@@ -32,22 +38,25 @@
 namespace hplx::core {
 
 /// Inputs/outputs of one panel factorization on one rank.
-struct PanelTask {
+template <typename T>
+struct PanelTaskT {
   long j = 0;   ///< global column of the panel's first column
   int jb = 0;   ///< panel width (min(NB, N - j))
 
-  double* w = nullptr;  ///< mw×jb local panel rows, column-major
+  T* w = nullptr;       ///< mw×jb local panel rows, column-major
   long mw = 0;          ///< local rows with global index >= j
   long ldw = 0;
   const long* glob = nullptr;  ///< global row index of each w row (ascending)
 
-  double* top = nullptr;  ///< jb×jb replicated factored block (output)
+  T* top = nullptr;  ///< jb×jb replicated factored block (output)
   long ldtop = 0;
   long* ipiv = nullptr;  ///< jb global pivot row indices (output)
 
   bool is_curr = false;  ///< true on the rank owning the diagonal block row
   int tile_rows = 0;     ///< tile height for the round-robin (0 => jb)
 };
+
+using PanelTask = PanelTaskT<double>;
 
 /// Phase timers split the way Fig. 7 reports them.
 struct FactTimers {
@@ -58,8 +67,9 @@ struct FactTimers {
 /// Collective over `col_comm` (all ranks of the panel's process column
 /// call with their local task). `team` supplies the T threads of §III.A;
 /// pass a 1-thread team for serial factorization.
+template <typename T>
 void panel_factorize(comm::Communicator& col_comm, const HplConfig& cfg,
-                     ThreadTeam& team, const PanelTask& task,
+                     ThreadTeam& team, const PanelTaskT<T>& task,
                      FactTimers* timers = nullptr);
 
 }  // namespace hplx::core

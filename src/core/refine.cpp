@@ -1,0 +1,313 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "comm/collectives.hpp"
+#include "device/hazard.hpp"
+#include "device/kernels.hpp"
+#include "rng/matgen.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace hplx::core {
+
+namespace {
+
+/// Everything the refinement loop reuses across iterations: the fp64
+/// operator regenerated once, replicated b, the local→global row map, and
+/// ||A||_∞ for the scaled-residual denominator.
+template <typename T>
+struct RefineCtx {
+  grid::ProcessGrid& g;
+  DistMatrixT<T>& a;
+  device::Stream& stream;
+  const std::vector<std::vector<long>>& pivots;
+  Timer mpi;
+
+  long n, nb, ml, nl, ldh;
+  std::vector<double> ah;    ///< fp64 local [A|b], regenerated (ldh×nl)
+  std::vector<long> igmap;   ///< local row il → global row index
+  std::vector<double> b;     ///< replicated rhs (length n)
+  double norm_a = 0.0;       ///< ||A||_∞
+  double norm_b = 0.0;       ///< ||b||_∞
+
+  RefineCtx(grid::ProcessGrid& g_, DistMatrixT<T>& a_,
+            device::Stream& stream_,
+            const std::vector<std::vector<long>>& pivots_)
+      : g(g_), a(a_), stream(stream_), pivots(pivots_) {
+    n = a.n();
+    nb = a.nb();
+    ml = a.mloc();
+    nl = a.nloc();
+    ldh = std::max<long>(ml, 1);
+
+    // One regeneration of the local fp64 operator — the residual is
+    // always measured against the original full-precision system.
+    ah.resize(static_cast<std::size_t>(ldh) *
+              static_cast<std::size_t>(std::max<long>(nl, 1)));
+    rng::generate_local(a.seed(), n, n + 1, static_cast<int>(nb), g.myrow(),
+                        g.mycol(), g.nprow(), g.npcol(), ah.data(), ldh);
+
+    igmap.resize(static_cast<std::size_t>(std::max<long>(ml, 1)));
+    for (long il = 0; il < ml; ++il)
+      igmap[static_cast<std::size_t>(il)] =
+          a.rows().to_global(il, g.myrow());
+
+    // Replicated b: each owner of a piece of column N writes its rows,
+    // everyone else holds zeros, one sum assembles the full vector.
+    b.assign(static_cast<std::size_t>(n), 0.0);
+    if (a.cols().owner(n) == g.mycol()) {
+      const long jlb = a.col_offset(n);
+      for (long il = 0; il < ml; ++il)
+        b[static_cast<std::size_t>(igmap[static_cast<std::size_t>(il)])] =
+            ah[static_cast<std::size_t>(il + jlb * ldh)];
+    }
+    mpi.start();
+    comm::allreduce(g.all_comm(), b.data(), b.size(), comm::ReduceOp::Sum);
+    mpi.stop();
+    for (long i = 0; i < n; ++i)
+      norm_b = std::max(norm_b, std::fabs(b[static_cast<std::size_t>(i)]));
+
+    // ||A||_∞ over the replicated row sums.
+    std::vector<double> rowsum(static_cast<std::size_t>(n), 0.0);
+    for (long jl2 = 0; jl2 < nl; ++jl2) {
+      const long jg = a.cols().to_global(jl2, g.mycol());
+      if (jg >= n) continue;
+      const double* col = ah.data() + static_cast<std::size_t>(jl2) * ldh;
+      for (long il = 0; il < ml; ++il)
+        rowsum[static_cast<std::size_t>(
+            igmap[static_cast<std::size_t>(il)])] += std::fabs(col[il]);
+    }
+    mpi.start();
+    comm::allreduce(g.all_comm(), rowsum.data(), rowsum.size(),
+                    comm::ReduceOp::Sum);
+    mpi.stop();
+    for (long i = 0; i < n; ++i)
+      norm_a = std::max(norm_a, rowsum[static_cast<std::size_t>(i)]);
+  }
+
+  /// r = b − A·x into `r` (replicated). Returns the HPL scaled residual.
+  double residual(const std::vector<double>& x, std::vector<double>& r) {
+    r.assign(static_cast<std::size_t>(n), 0.0);
+    for (long jl = 0; jl < nl; ++jl) {
+      const long jg = a.cols().to_global(jl, g.mycol());
+      if (jg >= n) continue;
+      const double xj = x[static_cast<std::size_t>(jg)];
+      const double* col = ah.data() + static_cast<std::size_t>(jl) * ldh;
+      for (long il = 0; il < ml; ++il)
+        r[static_cast<std::size_t>(
+            igmap[static_cast<std::size_t>(il)])] += col[il] * xj;
+    }
+    mpi.start();
+    comm::allreduce(g.all_comm(), r.data(), r.size(), comm::ReduceOp::Sum);
+    mpi.stop();
+
+    double norm_r = 0.0, norm_x = 0.0;
+    for (long i = 0; i < n; ++i) {
+      r[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+      norm_r = std::max(norm_r, std::fabs(r[static_cast<std::size_t>(i)]));
+      norm_x = std::max(norm_x, std::fabs(x[static_cast<std::size_t>(i)]));
+    }
+    const double eps = std::numeric_limits<double>::epsilon();
+    const double denom =
+        eps * (norm_a * norm_x + norm_b) * static_cast<double>(n);
+    return denom > 0.0 ? norm_r / denom : norm_r;
+  }
+
+  /// Replicate d's segment [jk, jk+jbk): down the owning process column
+  /// from the diagonal owner, then across every process row.
+  void bcast_segment(T* seg, int jbk, int prow, int pcol) {
+    mpi.start();
+    if (g.mycol() == pcol)
+      comm::bcast(g.col_comm(), seg, static_cast<std::size_t>(jbk), prow);
+    comm::bcast(g.row_comm(), seg, static_cast<std::size_t>(jbk), pcol);
+    mpi.stop();
+  }
+
+  /// Solve L·U·d = P·r in precision T against the factors in device
+  /// memory; d is replicated on every rank.
+  std::vector<T> correct(const std::vector<double>& r) {
+    std::vector<T> d(static_cast<std::size_t>(n));
+    for (long i = 0; i < n; ++i)
+      d[static_cast<std::size_t>(i)] =
+          static_cast<T>(r[static_cast<std::size_t>(i)]);
+
+    const long nblocks = (n + nb - 1) / nb;
+    HPLX_CHECK(static_cast<long>(pivots.size()) == nblocks);
+
+    std::vector<T> y, acc;
+
+    // Forward substitution L·z = P·r (unit lower, stored below the
+    // diagonal of the factored blocks). The row swaps are *interleaved*
+    // with the panel updates, exactly as the factorization applied them:
+    // panel k swapped only the trailing window, so its stored L2 rows
+    // live in the ordering after pivots 1..k — replaying all swaps up
+    // front would land the updates of earlier panels in the wrong slots.
+    for (long k = 0; k < nblocks; ++k) {
+      const long jk = k * nb;
+      const int jbk = static_cast<int>(std::min<long>(nb, n - jk));
+      const auto& ip = pivots[static_cast<std::size_t>(k)];
+      for (std::size_t kk = 0; kk < ip.size(); ++kk) {
+        const long src = jk + static_cast<long>(kk);
+        const long piv = ip[kk];
+        if (piv != src)
+          std::swap(d[static_cast<std::size_t>(src)],
+                    d[static_cast<std::size_t>(piv)]);
+      }
+      const int prow = a.rows().owner(jk);
+      const int pcol = a.cols().owner(jk);
+      if (g.myrow() == prow && g.mycol() == pcol) {
+        const long il = a.row_offset(jk);
+        const long jl = a.col_offset(jk);
+        device::trsm_left_lower_unit(stream, static_cast<long>(jbk), 1,
+                                     a.at(il, jl), a.lda(), d.data() + jk,
+                                     static_cast<long>(jbk));
+        stream.synchronize();
+      }
+      {
+        // The synchronize above orders the owner's device write of the
+        // segment before these host reads/writes (bcast send/recv).
+        device::HostAccessScope guard(
+            a.dev().hazard(), "refine.fwd_seg",
+            {device::span_write(d.data() + jk,
+                                static_cast<std::size_t>(jbk))});
+        bcast_segment(d.data() + jk, jbk, prow, pcol);
+      }
+
+      const long tail = n - (jk + jbk);
+      if (tail <= 0) continue;
+      acc.assign(static_cast<std::size_t>(tail), T(0));
+      if (g.mycol() == pcol) {
+        const long il0 = a.row_offset(jk + jbk);
+        const long mtail = ml - il0;
+        if (mtail > 0) {
+          const long jl = a.col_offset(jk);
+          y.assign(static_cast<std::size_t>(mtail), T(0));
+          device::gemm(stream, mtail, 1, static_cast<long>(jbk), T(1),
+                       a.at(il0, jl), a.lda(), d.data() + jk,
+                       static_cast<long>(jbk), T(0), y.data(), mtail);
+          stream.synchronize();
+          device::HostAccessScope guard(
+              a.dev().hazard(), "refine.fwd_scatter",
+              {device::span_read(y.data(), static_cast<std::size_t>(mtail))});
+          for (long i = 0; i < mtail; ++i)
+            acc[static_cast<std::size_t>(
+                igmap[static_cast<std::size_t>(il0 + i)] - (jk + jbk))] =
+                y[static_cast<std::size_t>(i)];
+        }
+      }
+      mpi.start();
+      comm::allreduce(g.all_comm(), acc.data(), acc.size(),
+                      comm::ReduceOp::Sum);
+      mpi.stop();
+      for (long i = 0; i < tail; ++i)
+        d[static_cast<std::size_t>(jk + jbk + i)] -=
+            acc[static_cast<std::size_t>(i)];
+    }
+
+    // Backward substitution U·d = z.
+    for (long k = nblocks - 1; k >= 0; --k) {
+      const long jk = k * nb;
+      const int jbk = static_cast<int>(std::min<long>(nb, n - jk));
+      const int prow = a.rows().owner(jk);
+      const int pcol = a.cols().owner(jk);
+      if (g.myrow() == prow && g.mycol() == pcol) {
+        const long il = a.row_offset(jk);
+        const long jl = a.col_offset(jk);
+        device::trsv_upper(stream, static_cast<long>(jbk), a.at(il, jl),
+                           a.lda(), d.data() + jk);
+        stream.synchronize();
+      }
+      {
+        device::HostAccessScope guard(
+            a.dev().hazard(), "refine.bwd_seg",
+            {device::span_write(d.data() + jk,
+                                static_cast<std::size_t>(jbk))});
+        bcast_segment(d.data() + jk, jbk, prow, pcol);
+      }
+
+      if (jk <= 0) continue;
+      acc.assign(static_cast<std::size_t>(jk), T(0));
+      if (g.mycol() == pcol) {
+        const long mabove = a.row_offset(jk);
+        if (mabove > 0) {
+          const long jl = a.col_offset(jk);
+          y.assign(static_cast<std::size_t>(mabove), T(0));
+          device::gemm(stream, mabove, 1, static_cast<long>(jbk), T(1),
+                       a.at(0, jl), a.lda(), d.data() + jk,
+                       static_cast<long>(jbk), T(0), y.data(), mabove);
+          stream.synchronize();
+          device::HostAccessScope guard(
+              a.dev().hazard(), "refine.bwd_scatter",
+              {device::span_read(y.data(),
+                                 static_cast<std::size_t>(mabove))});
+          for (long i = 0; i < mabove; ++i)
+            acc[static_cast<std::size_t>(
+                igmap[static_cast<std::size_t>(i)])] =
+                y[static_cast<std::size_t>(i)];
+        }
+      }
+      mpi.start();
+      comm::allreduce(g.all_comm(), acc.data(), acc.size(),
+                      comm::ReduceOp::Sum);
+      mpi.stop();
+      for (long i = 0; i < jk; ++i)
+        d[static_cast<std::size_t>(i)] -= acc[static_cast<std::size_t>(i)];
+    }
+
+    return d;
+  }
+};
+
+}  // namespace
+
+template <typename T>
+RefineResult iterative_refine(grid::ProcessGrid& g, DistMatrixT<T>& a,
+                              device::Stream& stream,
+                              const std::vector<std::vector<long>>& pivots,
+                              std::vector<double> x0, int max_iters,
+                              double tol, double* mpi_seconds) {
+  RefineCtx<T> ctx(g, a, stream, pivots);
+  RefineResult out;
+  out.x = std::move(x0);
+  HPLX_CHECK(static_cast<long>(out.x.size()) == a.n());
+
+  std::vector<double> r;
+  double prev = std::numeric_limits<double>::infinity();
+  for (int it = 0;; ++it) {
+    const double scaled = ctx.residual(out.x, r);
+    out.residual = scaled;
+    if (!std::isfinite(scaled)) break;  // low-precision solve blew up
+    if (scaled < tol) {
+      out.converged = true;
+      break;
+    }
+    // Stalled (no strict decrease) or out of budget: let the driver fall
+    // back to fp64 rather than polishing a hopeless iterate.
+    if (it >= max_iters || scaled >= prev) break;
+    prev = scaled;
+
+    const std::vector<T> d = ctx.correct(r);
+    for (long i = 0; i < a.n(); ++i)
+      out.x[static_cast<std::size_t>(i)] +=
+          static_cast<double>(d[static_cast<std::size_t>(i)]);
+    ++out.iters;
+  }
+
+  if (mpi_seconds != nullptr) *mpi_seconds += ctx.mpi.total();
+  return out;
+}
+
+template RefineResult iterative_refine<double>(
+    grid::ProcessGrid&, DistMatrixT<double>&, device::Stream&,
+    const std::vector<std::vector<long>>&, std::vector<double>, int, double,
+    double*);
+template RefineResult iterative_refine<float>(
+    grid::ProcessGrid&, DistMatrixT<float>&, device::Stream&,
+    const std::vector<std::vector<long>>&, std::vector<double>, int, double,
+    double*);
+
+}  // namespace hplx::core

@@ -1,0 +1,56 @@
+#pragma once
+/// \file refine.hpp
+/// \brief Iterative refinement to fp64 residuals (the HPL-MxP loop).
+///
+/// The mixed-precision benchmark factors the system in low precision and
+/// recovers fp64 accuracy afterwards with classic iterative refinement:
+///
+///   r     = b − A·x          (fp64, A regenerated from the seed)
+///   L U d = P r              (low precision, reusing the factors in HBM)
+///   x    += d                (fp64)
+///
+/// repeated until the HPL scaled residual passes. The residual uses the
+/// *original* fp64 operator — regenerated once from the seeded stream, the
+/// same trick the verifier uses, so no fp64 copy of A is ever stored. The
+/// correction solve replays the factorization's row swaps on the
+/// replicated residual (the pivot lists every rank collected during the
+/// panel broadcasts), then runs a distributed forward (unit-lower) and
+/// backward (upper) substitution over the factors still resident in
+/// device memory, per diagonal block: the owner solves its NB×NB triangle
+/// on the device, broadcasts the solved segment, and every rank of the
+/// owning process column applies its local block-column contribution with
+/// an m×1 device GEMM.
+///
+/// Convergence is guarded: if the scaled residual stops decreasing (or
+/// goes non-finite) before it passes, `converged` comes back false and the
+/// driver falls back to a full fp64 factorization.
+
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "device/stream.hpp"
+#include "grid/process_grid.hpp"
+
+namespace hplx::core {
+
+struct RefineResult {
+  std::vector<double> x;   ///< refined solution, replicated on every rank
+  int iters = 0;           ///< correction steps applied (x-updates)
+  bool converged = false;  ///< scaled residual < tol at exit
+  double residual = 0.0;   ///< final HPL scaled residual
+};
+
+/// Collective over the grid. `a` holds the low-precision LU factors (the
+/// matrix after the factorization); `pivots[k]` is panel k's global pivot
+/// row list (length = that panel's jb); `x0` is the low-precision solve's
+/// solution, replicated and widened to double. `tol` is the HPL residual
+/// threshold the refined solution must pass; `max_iters` bounds the
+/// correction count. Communication time is added to *mpi_seconds.
+template <typename T>
+RefineResult iterative_refine(grid::ProcessGrid& g, DistMatrixT<T>& a,
+                              device::Stream& stream,
+                              const std::vector<std::vector<long>>& pivots,
+                              std::vector<double> x0, int max_iters,
+                              double tol, double* mpi_seconds);
+
+}  // namespace hplx::core

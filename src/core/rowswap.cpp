@@ -72,12 +72,14 @@ namespace {
 /// count, the collectives move exact byte counts), so stale tail content
 /// past the live region is never observed and re-zeroing each panel —
 /// what assign() did — is pure overhead.
-void ensure_size(std::vector<double>& v, std::size_t n) {
+template <typename T>
+void ensure_size(std::vector<T>& v, std::size_t n) {
   if (v.size() < n) v.resize(n);
 }
 }  // namespace
 
-void RowSwapper::reserve(int max_jb, long max_njl, int nprow) {
+template <typename T>
+void RowSwapperT<T>::reserve(int max_jb, long max_njl, int nprow) {
   const std::size_t u = static_cast<std::size_t>(max_jb) *
                         static_cast<std::size_t>(std::max<long>(max_njl, 1));
   my_u_.reserve(u);
@@ -93,9 +95,10 @@ void RowSwapper::reserve(int max_jb, long max_njl, int nprow) {
   disp_counts_.reserve(static_cast<std::size_t>(nprow));
 }
 
-void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
-                         int myrow, long jl0, long njl, RowSwapAlgo algo,
-                         long threshold) {
+template <typename T>
+void RowSwapperT<T>::prepare(const RowSwapPlan& plan, const DistMatrixT<T>& a,
+                             int myrow, long jl0, long njl, RowSwapAlgo algo,
+                             long threshold) {
   // The previous cycle's scatter kernels captured raw pointers into
   // gathered_u_ / disp_recv_ at enqueue time. Before this cycle resizes
   // those buffers (ensure_size may reallocate — the displaced-row count
@@ -148,8 +151,7 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
   u_counts_.assign(static_cast<std::size_t>(nprow_), 0);
   u_displs_.assign(static_cast<std::size_t>(nprow_), 0);
 
-  const std::size_t row_bytes =
-      static_cast<std::size_t>(njl_) * sizeof(double);
+  const std::size_t row_bytes = static_cast<std::size_t>(njl_) * sizeof(T);
   for (int k = 0; k < jb_; ++k) {
     const long src = plan.u_source[static_cast<std::size_t>(k)];
     u_counts_[static_cast<std::size_t>(rows.owner(src))] += row_bytes;
@@ -200,11 +202,12 @@ void RowSwapper::prepare(const RowSwapPlan& plan, const DistMatrix& a,
               my_disp_dest_slots_.size() * static_cast<std::size_t>(njl_));
 }
 
-void RowSwapper::gather(device::Stream& stream, DistMatrix& a) {
+template <typename T>
+void RowSwapperT<T>::gather(device::Stream& stream, DistMatrixT<T>& a) {
   hz_ = stream.device().hazard();
   gather_pending_ = false;
   if (njl_ == 0) return;
-  double* window = a.at(0, jl0_);
+  T* window = a.at(0, jl0_);
   bool enqueued = false;
   if (!my_u_slots_.empty()) {
     // The wire format decides the pack kernel: the column-major wire has
@@ -233,10 +236,10 @@ void RowSwapper::gather(device::Stream& stream, DistMatrix& a) {
   }
 }
 
-void RowSwapper::communicate(comm::Communicator& col_comm,
-                             double* mpi_seconds, device::Stream* stream,
-                             double* u_dev, long ldu,
-                             RowSwapStats* stats) {
+template <typename T>
+void RowSwapperT<T>::communicate(comm::Communicator& col_comm,
+                                 double* mpi_seconds, device::Stream* stream,
+                                 T* u_dev, long ldu, RowSwapStats* stats) {
   if (gather_pending_) {
     gather_done_.wait();
     gather_pending_ = false;
@@ -244,10 +247,11 @@ void RowSwapper::communicate(comm::Communicator& col_comm,
   do_communicate(col_comm, mpi_seconds, stream, u_dev, ldu, stats);
 }
 
-void RowSwapper::do_communicate(comm::Communicator& col_comm,
-                                double* mpi_seconds, device::Stream* stream,
-                                double* u_dev, long ldu,
-                                RowSwapStats* stats) {
+template <typename T>
+void RowSwapperT<T>::do_communicate(comm::Communicator& col_comm,
+                                    double* mpi_seconds,
+                                    device::Stream* stream, T* u_dev,
+                                    long ldu, RowSwapStats* stats) {
   // Host touches of device-visible staging: reads what the gather kernels
   // packed, writes what the scatter kernels will read. gather()'s event
   // wait in communicate() is the edge that makes the reads safe.
@@ -271,16 +275,15 @@ void RowSwapper::do_communicate(comm::Communicator& col_comm,
                     u_dev != nullptr && njl_ > 0 && jb_ > 0;
   if (fuse) {
     HPLX_CHECK(ldu >= jb_);
-    const std::size_t row_bytes =
-        static_cast<std::size_t>(njl_) * sizeof(double);
+    const std::size_t row_bytes = static_cast<std::size_t>(njl_) * sizeof(T);
     // Indivisible wire unit per rank segment: one packed matrix row
-    // (row-major wire) or one wire column of nr_r doubles (column-major),
+    // (row-major wire) or one wire column of nr_r elements (column-major),
     // so every delivered chunk unpacks as whole rows/columns and the
     // result is bitwise-identical for any chunk size.
     std::vector<std::size_t> grains(u_counts_.size());
     for (std::size_t r = 0; r < u_counts_.size(); ++r) {
       const std::size_t nr = u_counts_[r] / std::max<std::size_t>(row_bytes, 1);
-      grains[r] = wire_ == SwapWireFormat::ColMajor ? nr * sizeof(double)
+      grains[r] = wire_ == SwapWireFormat::ColMajor ? nr * sizeof(T)
                                                     : row_bytes;
     }
     double unpack_modeled = 0.0;
@@ -296,7 +299,7 @@ void RowSwapper::do_communicate(comm::Communicator& col_comm,
       if (nr == 0) return;
       if (wire_ == SwapWireFormat::ColMajor) {
         // Chunk = wire columns [c0, c0+nc) of the nr×njl segment.
-        const std::size_t col_bytes = nr * sizeof(double);
+        const std::size_t col_bytes = nr * sizeof(T);
         const std::size_t c0 = (d.offset - displ) / col_bytes;
         const long nc = static_cast<long>(d.bytes / col_bytes);
         std::vector<long> rows(u_dest_of_packed_.begin() +
@@ -304,9 +307,9 @@ void RowSwapper::do_communicate(comm::Communicator& col_comm,
                                u_dest_of_packed_.begin() +
                                    static_cast<std::ptrdiff_t>(p0 + nr));
         unpack_modeled += stream->device().model().rowswap_seconds(
-            static_cast<long>(nr), nc);
+            static_cast<long>(nr), nc, sizeof(T));
         device::unpack_rows_cm(
-            *stream, gathered_u_.data() + displ / sizeof(double) + c0 * nr,
+            *stream, gathered_u_.data() + displ / sizeof(T) + c0 * nr,
             std::move(rows), nc, u_dev + static_cast<long>(c0) * ldu, ldu);
       } else {
         // Chunk = whole wire rows [q0, q1) in absolute packed order.
@@ -317,7 +320,7 @@ void RowSwapper::do_communicate(comm::Communicator& col_comm,
                                u_dest_of_packed_.begin() +
                                    static_cast<std::ptrdiff_t>(q1));
         unpack_modeled += stream->device().model().rowswap_seconds(
-            static_cast<long>(q1 - q0), njl_);
+            static_cast<long>(q1 - q0), njl_, sizeof(T));
         device::unpack_rows(
             *stream, gathered_u_.data() + q0 * static_cast<std::size_t>(njl_),
             std::move(rows), njl_, u_dev, ldu);
@@ -353,11 +356,12 @@ void RowSwapper::do_communicate(comm::Communicator& col_comm,
   if (mpi_seconds != nullptr) *mpi_seconds += wire_dt + dt;
 }
 
-void RowSwapper::scatter(device::Stream& stream, DistMatrix& a,
-                         double* u_dev, long ldu) {
+template <typename T>
+void RowSwapperT<T>::scatter(device::Stream& stream, DistMatrixT<T>& a,
+                             T* u_dev, long ldu) {
   if (njl_ == 0) return;
   HPLX_CHECK(ldu >= jb_);
-  double* window = a.at(0, jl0_);
+  T* window = a.at(0, jl0_);
 
   // Displaced rows land back in A.
   if (!my_disp_dest_slots_.empty()) {
@@ -373,8 +377,7 @@ void RowSwapper::scatter(device::Stream& stream, DistMatrix& a,
     if (wire_ == SwapWireFormat::ColMajor) {
       // Rank-major segments, each nr_r×njl column-major: one unpack per
       // contributing rank (ld changes at every segment boundary).
-      const std::size_t row_bytes =
-          static_cast<std::size_t>(njl_) * sizeof(double);
+      const std::size_t row_bytes = static_cast<std::size_t>(njl_) * sizeof(T);
       std::size_t p0 = 0;
       for (std::size_t r = 0; r < u_counts_.size(); ++r) {
         const std::size_t nr = u_counts_[r] / row_bytes;
@@ -384,7 +387,7 @@ void RowSwapper::scatter(device::Stream& stream, DistMatrix& a,
                                u_dest_of_packed_.begin() +
                                    static_cast<std::ptrdiff_t>(p0 + nr));
         device::unpack_rows_cm(
-            stream, gathered_u_.data() + u_displs_[r] / sizeof(double),
+            stream, gathered_u_.data() + u_displs_[r] / sizeof(T),
             std::move(rows), njl_, u_dev, ldu);
         p0 += nr;
       }
@@ -400,5 +403,8 @@ void RowSwapper::scatter(device::Stream& stream, DistMatrix& a,
   scatter_done_ = stream.record();
   scatter_pending_ = true;
 }
+
+template class RowSwapperT<double>;
+template class RowSwapperT<float>;
 
 }  // namespace hplx::core

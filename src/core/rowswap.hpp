@@ -14,6 +14,12 @@
 /// schedule (Fig. 6): gathers for one section run before the UPDATE of the
 /// other section starts, the MPI happens while the device is busy, and the
 /// scatter is enqueued behind it.
+///
+/// RowSwapperT is a template over the element type: all staging buffers,
+/// wire counts, grains and chunk offsets are sized in sizeof(T), so the
+/// fp32 (MxP) pipeline's swap traffic is exactly half the fp64 bytes —
+/// on top of the 2x the transposed wire format already saves in unpack
+/// cost. The *plan* (pure index math) is precision-independent and shared.
 
 #include <utility>
 #include <vector>
@@ -59,7 +65,8 @@ struct RowSwapStats {
 /// Per-window workspace + this rank's precomputed index lists. One
 /// instance per concurrently in-flight section (look-ahead / left /
 /// right in the split update).
-class RowSwapper {
+template <typename T>
+class RowSwapperT {
  public:
   /// Pre-size every workspace for the largest window this swapper will
   /// see (jb <= max_jb, njl <= max_njl, a process column of nprow ranks),
@@ -71,7 +78,7 @@ class RowSwapper {
   /// rank, whose grid row coordinate is `myrow`. njl may be 0; the rank
   /// still participates in the collectives. `algo`/`threshold` select the
   /// U-assembly communication pattern (HPL's SWAP input).
-  void prepare(const RowSwapPlan& plan, const DistMatrix& a, int myrow,
+  void prepare(const RowSwapPlan& plan, const DistMatrixT<T>& a, int myrow,
                long jl0, long njl,
                RowSwapAlgo algo = RowSwapAlgo::SpreadRoll,
                long threshold = 64);
@@ -82,7 +89,7 @@ class RowSwapper {
   /// communicate() waits on that event — not on the whole stream — so
   /// device work enqueued after the gather (trailing-update bands, other
   /// sections' scatters) never delays this section's communication hop.
-  void gather(device::Stream& stream, DistMatrix& a);
+  void gather(device::Stream& stream, DistMatrixT<T>& a);
 
   /// Select the wire format and chunk size for the U-assembly broadcast.
   /// chunk_bytes < 0 disables chunking (seed blocking collective + bulk
@@ -108,7 +115,7 @@ class RowSwapper {
   /// is called with (its fence covers the fused unpacks). `stats`, when
   /// non-null, receives wire/unpack seconds for the overlap report.
   void communicate(comm::Communicator& col_comm, double* mpi_seconds,
-                   device::Stream* stream = nullptr, double* u_dev = nullptr,
+                   device::Stream* stream = nullptr, T* u_dev = nullptr,
                    long ldu = 0, RowSwapStats* stats = nullptr);
 
   /// Stage 3: enqueue the device scatters: displaced rows into A, and the
@@ -116,7 +123,7 @@ class RowSwapper {
   /// completion event; the next cycle's prepare() waits on it before it
   /// resizes or lets communicate() rewrite the staging buffers these
   /// kernels read (they capture raw pointers at enqueue time).
-  void scatter(device::Stream& stream, DistMatrix& a, double* u_dev,
+  void scatter(device::Stream& stream, DistMatrixT<T>& a, T* u_dev,
                long ldu);
 
   long njl() const { return njl_; }
@@ -135,7 +142,7 @@ class RowSwapper {
 
  private:
   void do_communicate(comm::Communicator& col_comm, double* mpi_seconds,
-                      device::Stream* stream, double* u_dev, long ldu,
+                      device::Stream* stream, T* u_dev, long ldu,
                       RowSwapStats* stats);
 
   long j_ = 0;
@@ -163,15 +170,17 @@ class RowSwapper {
   std::vector<long> my_u_slots_;        ///< local rows of my U sources
   std::vector<long> u_dest_of_packed_;  ///< U row k for each packed position
   std::vector<std::size_t> u_counts_, u_displs_;  ///< allgatherv (bytes)
-  std::vector<double> my_u_;       ///< packed rows I contribute (wire format)
-  std::vector<double> gathered_u_; ///< all jb rows, rank-packed (wire format)
+  std::vector<T> my_u_;       ///< packed rows I contribute (wire format)
+  std::vector<T> gathered_u_; ///< all jb rows, rank-packed (wire format)
 
   // Displaced rows.
   std::vector<long> disp_src_slots_;   ///< diag row only: local top rows
   std::vector<std::size_t> disp_counts_;
   std::vector<long> my_disp_dest_slots_;  ///< local destination rows
-  std::vector<double> disp_send_;  ///< diag row: rows packed in rank order
-  std::vector<double> disp_recv_;
+  std::vector<T> disp_send_;  ///< diag row: rows packed in rank order
+  std::vector<T> disp_recv_;
 };
+
+using RowSwapper = RowSwapperT<double>;
 
 }  // namespace hplx::core

@@ -7,20 +7,22 @@
 
 namespace hplx::core {
 
-void enqueue_u_update(device::Stream& s, DistMatrix& a, const PanelData& panel,
-                      double* u_dev, long ldu, long jl0, long njl,
-                      bool in_diag_row, long u_row_off) {
+template <typename T>
+void enqueue_u_update(device::Stream& s, DistMatrixT<T>& a,
+                      const PanelDataT<T>& panel, T* u_dev, long ldu,
+                      long jl0, long njl, bool in_diag_row, long u_row_off) {
   if (njl <= 0) return;
-  device::trsm_left_lower_unit(s, panel.jb, njl, panel.top.data(), panel.jb,
-                               u_dev, ldu);
+  device::trsm_left_lower_unit(s, panel.jb, njl, panel.top.data(),
+                               static_cast<long>(panel.jb), u_dev, ldu);
   if (in_diag_row) {
     device::copy_matrix(s, panel.jb, njl, u_dev, ldu, a.at(u_row_off, jl0),
                         a.lda());
   }
 }
 
-void enqueue_tail_gemm(device::Stream& s, DistMatrix& a,
-                       const PanelData& panel, const double* u_dev, long ldu,
+template <typename T>
+void enqueue_tail_gemm(device::Stream& s, DistMatrixT<T>& a,
+                       const PanelDataT<T>& panel, const T* u_dev, long ldu,
                        long jl0, long njl, long tail_off) {
   if (njl <= 0) return;
   const long mtail = a.mloc() - tail_off;
@@ -28,14 +30,16 @@ void enqueue_tail_gemm(device::Stream& s, DistMatrix& a,
   HPLX_CHECK_MSG(panel.ml2 == mtail,
                  "L2 rows (" << panel.ml2 << ") do not match trailing rows ("
                  << mtail << ") at panel j=" << panel.j);
-  device::gemm(s, mtail, njl, panel.jb, -1.0, panel.l2.data(), panel.ml2,
-               u_dev, ldu, 1.0, a.at(tail_off, jl0), a.lda());
+  device::gemm(s, mtail, njl, static_cast<long>(panel.jb), T(-1),
+               panel.l2.data(), panel.ml2, u_dev, ldu, T(1),
+               a.at(tail_off, jl0), a.lda());
 }
 
+template <typename T>
 BandSection enqueue_update_bands(device::StreamPool& pool,
-                                 const device::Event& u_ready, DistMatrix& a,
-                                 const PanelData& panel, double* u_dev,
-                                 long ldu, long jl0, long njl,
+                                 const device::Event& u_ready,
+                                 DistMatrixT<T>& a, const PanelDataT<T>& panel,
+                                 T* u_dev, long ldu, long jl0, long njl,
                                  bool in_diag_row, long u_row_off,
                                  long tail_off, long band_cols,
                                  BandPlacement placement) {
@@ -78,5 +82,21 @@ BandSection enqueue_update_bands(device::StreamPool& pool,
       section.done.push_back(pool.stream(i).record());
   return section;
 }
+
+#define HPLX_INSTANTIATE_UPDATE(T)                                            \
+  template void enqueue_u_update<T>(device::Stream&, DistMatrixT<T>&,         \
+                                    const PanelDataT<T>&, T*, long, long,     \
+                                    long, bool, long);                        \
+  template void enqueue_tail_gemm<T>(device::Stream&, DistMatrixT<T>&,        \
+                                     const PanelDataT<T>&, const T*, long,    \
+                                     long, long, long);                       \
+  template BandSection enqueue_update_bands<T>(                               \
+      device::StreamPool&, const device::Event&, DistMatrixT<T>&,             \
+      const PanelDataT<T>&, T*, long, long, long, bool, long, long, long,     \
+      BandPlacement);
+
+HPLX_INSTANTIATE_UPDATE(double)
+HPLX_INSTANTIATE_UPDATE(float)
+#undef HPLX_INSTANTIATE_UPDATE
 
 }  // namespace hplx::core

@@ -11,7 +11,10 @@
 ///
 /// The helpers operate on a *column window* [jl0, jl0+njl) so the driver
 /// can compose the look-ahead / left / right sections of the split-update
-/// schedule from the same pieces.
+/// schedule from the same pieces. All helpers are templates over the
+/// element type; the float instantiation is the MxP trailing update, whose
+/// gemm/trsm time is billed at the device's low-precision throughput
+/// curve.
 
 #include "core/matrix.hpp"
 #include "core/panel_bcast.hpp"
@@ -22,15 +25,17 @@ namespace hplx::core {
 /// Enqueue stages 1+2: DTRSM on the U window and, when this rank is in the
 /// diagonal process row, the writeback of the finished U rows into local
 /// rows [u_row_off, u_row_off+jb) of the window.
-void enqueue_u_update(device::Stream& s, DistMatrix& a, const PanelData& panel,
-                      double* u_dev, long ldu, long jl0, long njl,
-                      bool in_diag_row, long u_row_off);
+template <typename T>
+void enqueue_u_update(device::Stream& s, DistMatrixT<T>& a,
+                      const PanelDataT<T>& panel, T* u_dev, long ldu,
+                      long jl0, long njl, bool in_diag_row, long u_row_off);
 
 /// Enqueue stage 3: A(tail, window) -= L2 · U. `tail_off` is the local row
 /// where the trailing rows (global >= j+jb) begin; panel.l2 supplies the
 /// matching ml2 = mloc - tail_off rows of L.
-void enqueue_tail_gemm(device::Stream& s, DistMatrix& a,
-                       const PanelData& panel, const double* u_dev, long ldu,
+template <typename T>
+void enqueue_tail_gemm(device::Stream& s, DistMatrixT<T>& a,
+                       const PanelDataT<T>& panel, const T* u_dev, long ldu,
                        long jl0, long njl, long tail_off);
 
 /// Which pool streams a banded section may use. The split/lookahead
@@ -73,10 +78,11 @@ struct BandSection {
 /// band. Bands never alias columns (each owns a disjoint column slice of
 /// U and of A), so results are bitwise identical for every pool size,
 /// band width and placement.
+template <typename T>
 BandSection enqueue_update_bands(device::StreamPool& pool,
-                                 const device::Event& u_ready, DistMatrix& a,
-                                 const PanelData& panel, double* u_dev,
-                                 long ldu, long jl0, long njl,
+                                 const device::Event& u_ready,
+                                 DistMatrixT<T>& a, const PanelDataT<T>& panel,
+                                 T* u_dev, long ldu, long jl0, long njl,
                                  bool in_diag_row, long u_row_off,
                                  long tail_off, long band_cols,
                                  BandPlacement placement);

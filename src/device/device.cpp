@@ -10,7 +10,8 @@ namespace hplx::device {
 Buffer::Buffer(Device& dev, std::size_t count) : device_(&dev), count_(count) {
   device_->account_alloc(bytes());
   storage_ = std::make_unique<double[]>(count);
-  if (HazardTracker* hz = device_->hazard()) hz->on_alloc(storage_.get(), count_);
+  if (HazardTracker* hz = device_->hazard())
+    hz->on_alloc(storage_.get(), bytes());
 }
 
 Buffer::~Buffer() { release(); }
@@ -41,7 +42,7 @@ Buffer& Buffer::operator=(Buffer&& other) noexcept {
 void Buffer::release() {
   if (storage_ && device_ != nullptr) {
     if (HazardTracker* hz = device_->hazard())
-      hz->on_free(storage_.get(), count_);
+      hz->on_free(storage_.get(), bytes());
     device_->account_free(bytes());
   }
   storage_.reset();

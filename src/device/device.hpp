@@ -41,6 +41,23 @@ class Buffer {
   std::size_t bytes() const { return count_ * sizeof(double); }
   bool allocated() const { return storage_ != nullptr; }
 
+  /// View the storage as elements of T (float for the mxp engines). The
+  /// backing array stays double-allocated — alignment is always
+  /// sufficient and the hazard tracker's byte ranges coincide.
+  template <typename T>
+  T* data_as() {
+    return reinterpret_cast<T*>(storage_.get());
+  }
+  template <typename T>
+  const T* data_as() const {
+    return reinterpret_cast<const T*>(storage_.get());
+  }
+  /// Elements of T that fit in this allocation.
+  template <typename T>
+  std::size_t count_as() const {
+    return bytes() / sizeof(T);
+  }
+
  private:
   void release();
   Device* device_ = nullptr;
@@ -77,6 +94,13 @@ class Device {
 
   /// Allocate `count` doubles of device memory.
   Buffer alloc(std::size_t count) { return Buffer(*this, count); }
+
+  /// Allocate room for `count` elements of T (rounded up to whole
+  /// doubles); access via Buffer::data_as<T>().
+  template <typename T>
+  Buffer alloc_elems(std::size_t count) {
+    return alloc((count * sizeof(T) + sizeof(double) - 1) / sizeof(double));
+  }
 
  private:
   friend class Buffer;

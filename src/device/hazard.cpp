@@ -10,10 +10,15 @@ namespace hplx::device {
 
 namespace {
 
-/// Half-open overlap test; empty spans never overlap anything.
-inline bool overlaps(const double* b0, const double* e0, const double* b1,
-                     const double* e1) {
+/// Half-open overlap test on byte addresses; empty spans never overlap
+/// anything.
+inline bool overlaps(const char* b0, const char* e0, const char* b1,
+                     const char* e1) {
   return b0 < e1 && b1 < e0;
+}
+
+inline const char* bytes_begin(const void* p) {
+  return static_cast<const char*>(p);
 }
 
 inline void join(HazardClock& into, const HazardClock& from) {
@@ -22,23 +27,15 @@ inline void join(HazardClock& into, const HazardClock& from) {
     into[i] = std::max(into[i], from[i]);
 }
 
-void format_range(char* out, std::size_t cap, const double* base,
-                  std::size_t count) {
-  std::snprintf(out, cap, "[%p..%p) %zu doubles", (const void*)base,
-                (const void*)(base + count), count);
+void format_range(char* out, std::size_t cap, const char* base,
+                  std::size_t bytes) {
+  std::snprintf(out, cap, "[%p..%p) %zu bytes", (const void*)base,
+                (const void*)(base + bytes), bytes);
 }
 
 constexpr std::uint64_t kPruneEvery = 64;
 
 }  // namespace
-
-MemSpan span_matrix(const double* base, long m, long n, long ld, bool write) {
-  if (m <= 0 || n <= 0) return {nullptr, 0, write};
-  return {base,
-          static_cast<std::size_t>(n - 1) * static_cast<std::size_t>(ld) +
-              static_cast<std::size_t>(m),
-          write};
-}
 
 const char* HazardTracker::kind_name(Kind k) {
   switch (k) {
@@ -115,16 +112,17 @@ std::uint64_t HazardTracker::on_enqueue(int stream, const char* what,
 
   for (std::size_t i = 0; i < nspans; ++i) {
     const MemSpan& sp = spans[i];
-    if (sp.count == 0) continue;
-    const double* end = sp.base + sp.count;
+    if (sp.bytes == 0) continue;
+    const char* base = bytes_begin(sp.base);
+    const char* end = base + sp.bytes;
 
     for (const LiveAccess& e : live_) {
       if (!(sp.write || e.write)) continue;
-      if (!overlaps(sp.base, end, e.base, e.end)) continue;
+      if (!overlaps(base, end, e.base, e.end)) continue;
       if (e.stream == stream) continue;  // program order
       if (e.seq <= clocks_[s][static_cast<std::size_t>(e.stream)]) continue;
       char r0[64], r1[64];
-      format_range(r0, sizeof(r0), sp.base, sp.count);
+      format_range(r0, sizeof(r0), base, sp.bytes);
       format_range(r1, sizeof(r1), e.base,
                    static_cast<std::size_t>(e.end - e.base));
       std::ostringstream os;
@@ -134,9 +132,9 @@ std::uint64_t HazardTracker::on_enqueue(int stream, const char* what,
     }
 
     for (const FreedRange& f : freed_) {
-      if (!overlaps(sp.base, end, f.base, f.end)) continue;
+      if (!overlaps(base, end, f.base, f.end)) continue;
       char r0[64];
-      format_range(r0, sizeof(r0), sp.base, sp.count);
+      format_range(r0, sizeof(r0), base, sp.bytes);
       std::ostringstream os;
       os << stream_names_[s] << " touches freed buffer (epoch " << f.epoch
          << ") " << r0;
@@ -146,8 +144,9 @@ std::uint64_t HazardTracker::on_enqueue(int stream, const char* what,
 
   for (std::size_t i = 0; i < nspans; ++i) {
     const MemSpan& sp = spans[i];
-    if (sp.count == 0) continue;
-    live_.push_back({sp.base, sp.base + sp.count, sp.write, stream, seq,
+    if (sp.bytes == 0) continue;
+    const char* base = bytes_begin(sp.base);
+    live_.push_back({base, base + sp.bytes, sp.write, stream, seq,
                      what != nullptr ? what : "op"});
   }
   if (++ops_since_prune_ >= kPruneEvery) {
@@ -177,9 +176,10 @@ void HazardTracker::on_synchronize(int stream) {
   join(host_clock_, clocks_[static_cast<std::size_t>(stream)]);
 }
 
-void HazardTracker::on_alloc(const double* base, std::size_t count) {
+void HazardTracker::on_alloc(const void* vbase, std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const double* end = base + count;
+  const char* base = bytes_begin(vbase);
+  const char* end = base + bytes;
   // The allocator reused (part of) a freed range: it is live memory again,
   // so stop reporting touches of it as use-after-free.
   freed_.erase(std::remove_if(freed_.begin(), freed_.end(),
@@ -187,18 +187,19 @@ void HazardTracker::on_alloc(const double* base, std::size_t count) {
                                 return overlaps(base, end, f.base, f.end);
                               }),
                freed_.end());
-  buffers_.push_back({base, count, ++epoch_});
+  buffers_.push_back({base, bytes, ++epoch_});
 }
 
-void HazardTracker::on_free(const double* base, std::size_t count) {
+void HazardTracker::on_free(const void* vbase, std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const double* end = base + count;
+  const char* base = bytes_begin(vbase);
+  const char* end = base + bytes;
 
   for (const LiveAccess& e : live_) {
     if (!overlaps(base, end, e.base, e.end)) continue;
     if (host_ordered(e)) continue;
     char r0[64];
-    format_range(r0, sizeof(r0), base, count);
+    format_range(r0, sizeof(r0), base, bytes);
     std::ostringstream os;
     os << "freed " << r0 << " with op on "
        << stream_names_[static_cast<std::size_t>(e.stream)]
@@ -214,7 +215,7 @@ void HazardTracker::on_free(const double* base, std::size_t count) {
 
   std::uint64_t epoch = 0;
   for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
-    if (it->base == base && it->count == count) {
+    if (it->base == base && it->bytes == bytes) {
       epoch = it->epoch;
       buffers_.erase(it);
       break;
@@ -223,10 +224,10 @@ void HazardTracker::on_free(const double* base, std::size_t count) {
   if (freed_.size() < 1024) freed_.push_back({base, end, epoch});
 }
 
-void HazardTracker::on_leak(const double* base, std::size_t count) {
+void HazardTracker::on_leak(const void* vbase, std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   char r0[64];
-  format_range(r0, sizeof(r0), base, count);
+  format_range(r0, sizeof(r0), bytes_begin(vbase), bytes);
   std::ostringstream os;
   os << "device `" << name_ << "` destroyed with live allocation " << r0;
   add_violation(Kind::Leak, "leak", "", os.str());
@@ -236,7 +237,7 @@ void HazardTracker::report_live_buffers_as_leaks() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const LiveBuffer& b : buffers_) {
     char r0[64];
-    format_range(r0, sizeof(r0), b.base, b.count);
+    format_range(r0, sizeof(r0), b.base, b.bytes);
     std::ostringstream os;
     os << "device `" << name_ << "` destroyed with live allocation (epoch "
        << b.epoch << ") " << r0;
@@ -249,14 +250,15 @@ void HazardTracker::on_host_access(const char* what, const MemSpan* spans,
   std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < nspans; ++i) {
     const MemSpan& sp = spans[i];
-    if (sp.count == 0) continue;
-    const double* end = sp.base + sp.count;
+    if (sp.bytes == 0) continue;
+    const char* base = bytes_begin(sp.base);
+    const char* end = base + sp.bytes;
     for (const LiveAccess& e : live_) {
       if (!(sp.write || e.write)) continue;
-      if (!overlaps(sp.base, end, e.base, e.end)) continue;
+      if (!overlaps(base, end, e.base, e.end)) continue;
       if (host_ordered(e)) continue;
       char r0[64], r1[64];
-      format_range(r0, sizeof(r0), sp.base, sp.count);
+      format_range(r0, sizeof(r0), base, sp.bytes);
       format_range(r1, sizeof(r1), e.base,
                    static_cast<std::size_t>(e.end - e.base));
       std::ostringstream os;

@@ -13,11 +13,13 @@
 /// Mechanics (all bookkeeping happens on the enqueueing host thread; the
 /// stream workers never touch the tracker):
 ///
-/// - Every enqueued op may declare its access set: `{base, count,
-///   read|write}` intervals of doubles (kernels in kernels.cpp annotate
+/// - Every enqueued op may declare its access set: `{base, bytes,
+///   read|write}` byte intervals (kernels in kernels.cpp annotate
 ///   themselves with conservative column-major envelopes — disjoint
 ///   column bands of one matrix still map to disjoint envelopes, so the
-///   banded update does not false-positive).
+///   banded update does not false-positive). Spans are byte-granular so
+///   the fp64 and fp32 engines share one tracker: a float region at an
+///   odd element offset never rounds out to a phantom overlap.
 /// - Happens-before is the transitive closure of stream program order,
 ///   Event record → wait_event edges, and host-side Event::wait /
 ///   Stream::synchronize joins, tracked with one vector clock per stream
@@ -50,24 +52,36 @@ namespace hplx::device {
 
 class HazardTracker;
 
-/// One declared interval of doubles. `write` covers read-modify-write
-/// (gemm with beta != 0 declares its C as a write).
+/// One declared byte interval. `write` covers read-modify-write (gemm
+/// with beta != 0 declares its C as a write).
 struct MemSpan {
-  const double* base = nullptr;
-  std::size_t count = 0;
+  const void* base = nullptr;
+  std::size_t bytes = 0;
   bool write = false;
 };
 
-inline MemSpan span_read(const double* base, std::size_t count) {
-  return {base, count, false};
+/// Element-typed helpers: `count` is in elements of T, converted to bytes
+/// here so double and float call sites read identically.
+template <typename T>
+inline MemSpan span_read(const T* base, std::size_t count) {
+  return {base, count * sizeof(T), false};
 }
-inline MemSpan span_write(const double* base, std::size_t count) {
-  return {base, count, true};
+template <typename T>
+inline MemSpan span_write(const T* base, std::size_t count) {
+  return {base, count * sizeof(T), true};
 }
 /// Conservative envelope of an m×n column-major matrix with leading
-/// dimension ld (in doubles): [base, base + (n-1)·ld + m). Envelopes of
+/// dimension ld (in elements): [base, base + (n-1)·ld + m). Envelopes of
 /// disjoint column ranges of one matrix never overlap when m <= ld.
-MemSpan span_matrix(const double* base, long m, long n, long ld, bool write);
+template <typename T>
+inline MemSpan span_matrix(const T* base, long m, long n, long ld,
+                           bool write) {
+  if (m <= 0 || n <= 0) return {nullptr, 0, write};
+  const std::size_t elems =
+      static_cast<std::size_t>(n - 1) * static_cast<std::size_t>(ld) +
+      static_cast<std::size_t>(m);
+  return {base, elems * sizeof(T), write};
+}
 
 /// Vector clock over the tracker's registered streams: clock[s] = highest
 /// op sequence number on stream s known to happen-before the owner.
@@ -137,17 +151,17 @@ class HazardTracker {
 
   // --- buffer identity (called by Buffer/Device) -----------------------
 
-  /// A Buffer came to life: remembers [base, base+count) with a fresh
+  /// A Buffer came to life: remembers [base, base+bytes) with a fresh
   /// epoch and forgets any freed range it reuses.
-  void on_alloc(const double* base, std::size_t count);
+  void on_alloc(const void* base, std::size_t bytes);
 
   /// A Buffer released its storage: checks for unordered in-flight ops on
   /// the range, then marks it freed (UseAfterFree detection for later
   /// enqueues until the allocator reuses it).
-  void on_free(const double* base, std::size_t count);
+  void on_free(const void* base, std::size_t bytes);
 
   /// Device destruction with hbm_used() != 0: report one live buffer.
-  void on_leak(const double* base, std::size_t count);
+  void on_leak(const void* base, std::size_t bytes);
 
   /// Record a Leak for every Buffer still registered (the Device
   /// destructor's teardown audit).
@@ -181,21 +195,21 @@ class HazardTracker {
 
  private:
   struct LiveAccess {
-    const double* base;
-    const double* end;
+    const char* base;
+    const char* end;
     bool write;
     int stream;
     std::uint64_t seq;
     const char* what;
   };
   struct FreedRange {
-    const double* base;
-    const double* end;
+    const char* base;
+    const char* end;
     std::uint64_t epoch;
   };
   struct LiveBuffer {
-    const double* base;
-    std::size_t count;
+    const char* base;
+    std::size_t bytes;
     std::uint64_t epoch;
   };
 

@@ -17,11 +17,12 @@ int as_int(long v) {
 }
 }  // namespace
 
-void gemm(Stream& s, long m, long n, long k, double alpha, const double* a,
-          long lda, const double* b, long ldb, double beta, double* c,
-          long ldc) {
+template <typename T>
+void gemm(Stream& s, long m, long n, long k, T alpha, const T* a, long lda,
+          const T* b, long ldb, T beta, T* c, long ldc) {
   if (m <= 0 || n <= 0) return;
-  const double modeled = s.device().model().gemm_seconds(m, n, k);
+  const Precision prec = s.device().model().precision_for_elem(sizeof(T));
+  const double modeled = s.device().model().gemm_seconds(m, n, k, prec);
   // The stream worker thread runs the same process-global packed BLAS-3
   // engine as host code: large updates lease the shared thread team
   // (blas::set_num_threads / HplConfig::blas_threads) when it is free, and
@@ -31,43 +32,86 @@ void gemm(Stream& s, long m, long n, long k, double alpha, const double* a,
       {span_matrix(a, m, k, lda, false), span_matrix(b, k, n, ldb, false),
        span_matrix(c, m, n, ldc, true)},
       [=] {
-        blas::dgemm(blas::Trans::No, blas::Trans::No, as_int(m), as_int(n),
-                    as_int(k), alpha, a, as_int(lda), b, as_int(ldb), beta, c,
-                    as_int(ldc));
+        blas::gemm(blas::Trans::No, blas::Trans::No, as_int(m), as_int(n),
+                   as_int(k), alpha, a, as_int(lda), b, as_int(ldb), beta, c,
+                   as_int(ldc));
       });
 }
 
-void trsm_left_lower_unit(Stream& s, long nb, long n, const double* l1,
-                          long ldl, double* u, long ldu) {
+template <typename T>
+void trsm_left_lower_unit(Stream& s, long nb, long n, const T* l1, long ldl,
+                          T* u, long ldu) {
   if (nb <= 0 || n <= 0) return;
-  const double modeled = s.device().model().trsm_seconds(nb, n);
+  const Precision prec = s.device().model().precision_for_elem(sizeof(T));
+  const double modeled = s.device().model().trsm_seconds(nb, n, prec);
   s.enqueue_annotated(
       modeled, "trsm",
       {span_matrix(l1, nb, nb, ldl, false), span_matrix(u, nb, n, ldu, true)},
       [=] {
-        blas::dtrsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
-                    blas::Diag::Unit, as_int(nb), as_int(n), 1.0, l1,
-                    as_int(ldl), u, as_int(ldu));
+        blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::No,
+                   blas::Diag::Unit, as_int(nb), as_int(n), T(1), l1,
+                   as_int(ldl), u, as_int(ldu));
+      });
+}
+
+template <typename T>
+void trsv_upper(Stream& s, long n, const T* u, long ldu, T* x) {
+  if (n <= 0) return;
+  const Precision prec = s.device().model().precision_for_elem(sizeof(T));
+  const double modeled = s.device().model().trsm_seconds(n, 1, prec);
+  s.enqueue_annotated(
+      modeled, "trsv_upper",
+      {span_matrix(u, n, n, ldu, false), span_write(x, static_cast<std::size_t>(n))},
+      [=] {
+        // Right-to-left over diagonal blocks: solve the block sequentially,
+        // then retire its contribution to every row above it. The prefix
+        // update is the engine-parallel part — disjoint row ranges of x
+        // never alias, so they tile like columns do in the data-motion
+        // kernels, and the per-row accumulation order (j ascending within
+        // the block, blocks right-to-left) is fixed regardless of tiling.
+        constexpr long kBlock = 64;
+        for (long j1 = n; j1 > 0; j1 -= kBlock) {
+          const long j0 = std::max<long>(0, j1 - kBlock);
+          // Unblocked solve of the diagonal block (back substitution).
+          for (long j = j1 - 1; j >= j0; --j) {
+            const T* ucol = u + j * ldu;
+            x[j] /= ucol[j];
+            const T t = x[j];
+            for (long i = j0; i < j; ++i) x[i] -= t * ucol[i];
+          }
+          // Prefix update: x[0..j0) -= U(0..j0, j0..j1) · x(j0..j1).
+          if (j0 > 0) {
+            run_column_tiles(j0, [&](long r0, long r1) {
+              for (long j = j0; j < j1; ++j) {
+                const T* ucol = u + j * ldu;
+                const T t = x[j];
+                for (long i = r0; i < r1; ++i) x[i] -= t * ucol[i];
+              }
+            });
+          }
+        }
       });
 }
 
 namespace {
-void linear_hcopy(Stream& s, const char* what, double* dst, const double* src,
+template <typename T>
+void linear_hcopy(Stream& s, const char* what, T* dst, const T* src,
                   std::size_t count) {
   if (count == 0) return;
-  const double modeled =
-      s.device().model().hcopy_seconds(count * sizeof(double));
+  const double modeled = s.device().model().hcopy_seconds(count * sizeof(T));
   s.enqueue_annotated(modeled, what,
                       {span_read(src, count), span_write(dst, count)},
-                      [=] { std::memcpy(dst, src, count * sizeof(double)); });
+                      [=] { std::memcpy(dst, src, count * sizeof(T)); });
 }
 }  // namespace
 
-void copy_h2d(Stream& s, double* dst, const double* src, std::size_t count) {
+template <typename T>
+void copy_h2d(Stream& s, T* dst, const T* src, std::size_t count) {
   linear_hcopy(s, "copy_h2d", dst, src, count);
 }
 
-void copy_d2h(Stream& s, double* dst, const double* src, std::size_t count) {
+template <typename T>
+void copy_d2h(Stream& s, T* dst, const T* src, std::size_t count) {
   // symmetric link, same cost & mechanics
   linear_hcopy(s, "copy_d2h", dst, src, count);
 }
@@ -76,27 +120,28 @@ namespace {
 /// Shared body of the strided m×n column-major copies: one memcpy per
 /// column, column tiles fanned out over the engine. When both sides are
 /// gap-free the whole tile collapses into a single memcpy.
-void tiled_matrix_copy(long m, long n, const double* src, long lds,
-                       double* dst, long ldd) {
+template <typename T>
+void tiled_matrix_copy(long m, long n, const T* src, long lds, T* dst,
+                       long ldd) {
   run_column_tiles(n, [&](long c0, long c1) {
     if (lds == m && ldd == m) {
       std::memcpy(dst + c0 * m, src + c0 * m,
-                  static_cast<std::size_t>(m) * (c1 - c0) * sizeof(double));
+                  static_cast<std::size_t>(m) * (c1 - c0) * sizeof(T));
       return;
     }
     for (long j = c0; j < c1; ++j)
       std::memcpy(dst + j * ldd, src + j * lds,
-                  static_cast<std::size_t>(m) * sizeof(double));
+                  static_cast<std::size_t>(m) * sizeof(T));
   });
 }
 }  // namespace
 
-void copy_matrix(Stream& s, long m, long n, const double* src, long lds,
-                 double* dst, long ldd) {
+template <typename T>
+void copy_matrix(Stream& s, long m, long n, const T* src, long lds, T* dst,
+                 long ldd) {
   if (m <= 0 || n <= 0) return;
-  const std::size_t bytes =
-      2ul * static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
-      sizeof(double);
+  const std::size_t bytes = 2ul * static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(n) * sizeof(T);
   const double modeled = s.device().model().dmove_seconds(bytes);
   s.enqueue_annotated(
       modeled, "copy_matrix",
@@ -105,11 +150,12 @@ void copy_matrix(Stream& s, long m, long n, const double* src, long lds,
 }
 
 namespace {
-void strided_hcopy(Stream& s, const char* what, long m, long n,
-                   const double* src, long lds, double* dst, long ldd) {
+template <typename T>
+void strided_hcopy(Stream& s, const char* what, long m, long n, const T* src,
+                   long lds, T* dst, long ldd) {
   if (m <= 0 || n <= 0) return;
-  const std::size_t bytes = static_cast<std::size_t>(m) *
-                            static_cast<std::size_t>(n) * sizeof(double);
+  const std::size_t bytes =
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(n) * sizeof(T);
   const double modeled = s.device().model().hcopy_seconds(bytes);
   s.enqueue_annotated(
       modeled, what,
@@ -118,13 +164,15 @@ void strided_hcopy(Stream& s, const char* what, long m, long n,
 }
 }  // namespace
 
-void copy_matrix_h2d(Stream& s, long m, long n, const double* src, long lds,
-                     double* dst, long ldd) {
+template <typename T>
+void copy_matrix_h2d(Stream& s, long m, long n, const T* src, long lds,
+                     T* dst, long ldd) {
   strided_hcopy(s, "copy_matrix_h2d", m, n, src, lds, dst, ldd);
 }
 
-void copy_matrix_d2h(Stream& s, long m, long n, const double* src, long lds,
-                     double* dst, long ldd) {
+template <typename T>
+void copy_matrix_d2h(Stream& s, long m, long n, const T* src, long lds,
+                     T* dst, long ldd) {
   strided_hcopy(s, "copy_matrix_d2h", m, n, src, lds, dst, ldd);
 }
 
@@ -153,24 +201,27 @@ std::vector<std::pair<long, long>> sorted_rows(const std::vector<long>& rows) {
 /// cover a memory round-trip, short enough to stay inside the column.
 constexpr long kPrefetchAhead = 24;
 
-inline void prefetch_row(const double* acol,
-                         const std::pair<long, long>* op, long i, long nr) {
+template <typename T>
+inline void prefetch_row(const T* acol, const std::pair<long, long>* op,
+                         long i, long nr) {
   if (i + kPrefetchAhead < nr)
     __builtin_prefetch(acol + op[i + kPrefetchAhead].first, 0, 3);
 }
 
-inline void prefetch_row_w(double* acol, const std::pair<long, long>* op,
-                           long i, long nr) {
+template <typename T>
+inline void prefetch_row_w(T* acol, const std::pair<long, long>* op, long i,
+                           long nr) {
   if (i + kPrefetchAhead < nr)
     __builtin_prefetch(acol + op[i + kPrefetchAhead].first, 1, 3);
 }
 }  // namespace
 
-void row_gather(Stream& s, const double* a, long lda, std::vector<long> rows,
-                long n, double* out, long ldo) {
+template <typename T>
+void row_gather(Stream& s, const T* a, long lda, std::vector<long> rows,
+                long n, T* out, long ldo) {
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
-      static_cast<long>(rows.size()), n);
+      static_cast<long>(rows.size()), n, sizeof(T));
   auto order = sorted_rows(rows);
   // Conservative row-band envelope: rows [rmin, rmax] of every column.
   const long rmin = order.front().first;
@@ -185,8 +236,8 @@ void row_gather(Stream& s, const double* a, long lda, std::vector<long> rows,
     const std::pair<long, long>* op = order.data();
     run_column_tiles(n, [&](long c0, long c1) {
       for (long c = c0; c < c1; ++c) {
-        const double* acol = a + c * lda;
-        double* ocol = out + c * ldo;
+        const T* acol = a + c * lda;
+        T* ocol = out + c * ldo;
         // Reads sweep the column upward; the shuffled writes stay inside
         // one jb-length output column (a few KB, cache-resident).
         for (long r = 0; r < nr; ++r) {
@@ -198,11 +249,12 @@ void row_gather(Stream& s, const double* a, long lda, std::vector<long> rows,
   });
 }
 
-void row_scatter(Stream& s, double* a, long lda, std::vector<long> rows,
-                 long n, const double* in, long ldi) {
+template <typename T>
+void row_scatter(Stream& s, T* a, long lda, std::vector<long> rows, long n,
+                 const T* in, long ldi) {
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
-      static_cast<long>(rows.size()), n);
+      static_cast<long>(rows.size()), n, sizeof(T));
   auto order = sorted_rows(rows);
   const long rmin = order.front().first;
   const long rmax = order.back().first;
@@ -216,8 +268,8 @@ void row_scatter(Stream& s, double* a, long lda, std::vector<long> rows,
     const std::pair<long, long>* op = order.data();
     run_column_tiles(n, [&](long c0, long c1) {
       for (long c = c0; c < c1; ++c) {
-        double* acol = a + c * lda;
-        const double* icol = in + c * ldi;
+        T* acol = a + c * lda;
+        const T* icol = in + c * ldi;
         // Destinations sweep the column upward (rows are distinct, so the
         // reorder cannot change which write wins); the shuffled reads stay
         // inside one cache-resident input column.
@@ -230,11 +282,12 @@ void row_scatter(Stream& s, double* a, long lda, std::vector<long> rows,
   });
 }
 
-void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
-               long n, double* out_rowmajor) {
+template <typename T>
+void pack_rows(Stream& s, const T* a, long lda, std::vector<long> rows,
+               long n, T* out_rowmajor) {
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
-      static_cast<long>(rows.size()), n);
+      static_cast<long>(rows.size()), n, sizeof(T));
   auto order = sorted_rows(rows);
   const long rmin = order.front().first;
   const long rmax = order.back().first;
@@ -254,13 +307,13 @@ void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
     // stage alone would stride a cold array per element.
     run_column_tiles(n, [&](long c0, long c1) {
       const long tc = c1 - c0;
-      static thread_local std::vector<double> scratch;
+      static thread_local std::vector<T> scratch;
       if (static_cast<long>(scratch.size()) < nr * tc)
         scratch.resize(static_cast<std::size_t>(nr) * tc);
-      double* t = scratch.data();
+      T* t = scratch.data();
       for (long c = c0; c < c1; ++c) {
-        const double* acol = a + c * lda;
-        double* tcol = t + (c - c0) * nr;
+        const T* acol = a + c * lda;
+        T* tcol = t + (c - c0) * nr;
         for (long i = 0; i < nr; ++i) {
           prefetch_row(acol, op, i, nr);
           tcol[i] = acol[op[i].first];
@@ -269,18 +322,19 @@ void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
       // Scratch slot i holds sorted-order row i; route it to its original
       // wire slot while reading the tile at unit stride per destination.
       for (long i = 0; i < nr; ++i) {
-        double* orow = out_rowmajor + op[i].second * n;
+        T* orow = out_rowmajor + op[i].second * n;
         for (long c = c0; c < c1; ++c) orow[c] = t[i + (c - c0) * nr];
       }
     });
   });
 }
 
-void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
-                 long n, double* a, long lda) {
+template <typename T>
+void unpack_rows(Stream& s, const T* in_rowmajor, std::vector<long> rows,
+                 long n, T* a, long lda) {
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
-      static_cast<long>(rows.size()), n);
+      static_cast<long>(rows.size()), n, sizeof(T));
   auto order = sorted_rows(rows);
   const long rmin = order.front().first;
   const long rmax = order.back().first;
@@ -296,12 +350,12 @@ void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
     // Scatter each column in ascending destination order (rows are
     // distinct, so the reorder cannot change which write wins). The wire
     // reads in[i*n + c] look strided, but one cache line per wire row
-    // covers eight successive c — across a column tile the whole jb-line
+    // covers several successive c — across a column tile the whole jb-line
     // working set stays resident, so only the first column of every
-    // 8-wide group misses.
+    // line-wide group misses.
     run_column_tiles(n, [&](long c0, long c1) {
       for (long c = c0; c < c1; ++c) {
-        double* acol = a + c * lda;
+        T* acol = a + c * lda;
         for (long i = 0; i < nr; ++i) {
           prefetch_row_w(acol, op, i, nr);
           acol[op[i].first] = in_rowmajor[op[i].second * n + c];
@@ -311,11 +365,12 @@ void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
   });
 }
 
-void pack_rows_cm(Stream& s, const double* a, long lda,
-                  std::vector<long> rows, long n, double* out_colmajor) {
+template <typename T>
+void pack_rows_cm(Stream& s, const T* a, long lda, std::vector<long> rows,
+                  long n, T* out_colmajor) {
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
-      static_cast<long>(rows.size()), n);
+      static_cast<long>(rows.size()), n, sizeof(T));
   auto order = sorted_rows(rows);
   const long rmin = order.front().first;
   const long rmax = order.back().first;
@@ -334,8 +389,8 @@ void pack_rows_cm(Stream& s, const double* a, long lda,
     // get this access pattern; the column-major wire gets it for free.
     run_column_tiles(n, [&](long c0, long c1) {
       for (long c = c0; c < c1; ++c) {
-        const double* acol = a + c * lda;
-        double* ocol = out_colmajor + c * nr;
+        const T* acol = a + c * lda;
+        T* ocol = out_colmajor + c * nr;
         for (long i = 0; i < nr; ++i) {
           prefetch_row(acol, op, i, nr);
           ocol[op[i].second] = acol[op[i].first];
@@ -345,11 +400,12 @@ void pack_rows_cm(Stream& s, const double* a, long lda,
   });
 }
 
-void unpack_rows_cm(Stream& s, const double* in_colmajor,
-                    std::vector<long> rows, long n, double* a, long lda) {
+template <typename T>
+void unpack_rows_cm(Stream& s, const T* in_colmajor, std::vector<long> rows,
+                    long n, T* a, long lda) {
   if (rows.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
-      static_cast<long>(rows.size()), n);
+      static_cast<long>(rows.size()), n, sizeof(T));
   auto order = sorted_rows(rows);
   const long rmin = order.front().first;
   const long rmax = order.back().first;
@@ -363,12 +419,12 @@ void unpack_rows_cm(Stream& s, const double* in_colmajor,
     const long nr = static_cast<long>(order.size());
     const std::pair<long, long>* op = order.data();
     // Contiguous column copies: each wire column is read at unit stride
-    // (shuffled only within its cache-resident nr doubles) and scattered
+    // (shuffled only within its cache-resident nr elements) and scattered
     // down the matrix column in ascending destination order.
     run_column_tiles(n, [&](long c0, long c1) {
       for (long c = c0; c < c1; ++c) {
-        double* acol = a + c * lda;
-        const double* icol = in_colmajor + c * nr;
+        T* acol = a + c * lda;
+        const T* icol = in_colmajor + c * nr;
         for (long i = 0; i < nr; ++i) {
           prefetch_row_w(acol, op, i, nr);
           acol[op[i].first] = icol[op[i].second];
@@ -378,10 +434,11 @@ void unpack_rows_cm(Stream& s, const double* in_colmajor,
   });
 }
 
-void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv) {
+template <typename T>
+void laswp(Stream& s, T* a, long lda, long n, std::vector<long> ipiv) {
   if (ipiv.empty() || n <= 0) return;
   const double modeled = s.device().model().rowswap_seconds(
-      static_cast<long>(ipiv.size()), n);
+      static_cast<long>(ipiv.size()), n, sizeof(T));
   // Swaps touch rows [0, max(np-1, max ipiv)] of every column.
   long rmax = static_cast<long>(ipiv.size()) - 1;
   for (long p : ipiv) rmax = std::max(rmax, p);
@@ -396,7 +453,7 @@ void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv) {
     // full pivot sequence in order over its own columns.
     run_column_tiles(n, [&](long c0, long c1) {
       for (long c = c0; c < c1; ++c) {
-        double* col = a + c * lda;
+        T* col = a + c * lda;
         for (std::size_t k = 0; k < np; ++k) {
           const long other = pp[k];
           if (other == static_cast<long>(k)) continue;
@@ -406,5 +463,39 @@ void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv) {
     });
   });
 }
+
+// Explicit instantiations: double (classic HPL) and float (HPL-MxP).
+#define HPLX_INSTANTIATE_KERNELS(T)                                           \
+  template void gemm<T>(Stream&, long, long, long, T, const T*, long,         \
+                        const T*, long, T, T*, long);                         \
+  template void trsm_left_lower_unit<T>(Stream&, long, long, const T*, long,  \
+                                        T*, long);                            \
+  template void trsv_upper<T>(Stream&, long, const T*, long, T*);             \
+  template void copy_h2d<T>(Stream&, T*, const T*, std::size_t);              \
+  template void copy_d2h<T>(Stream&, T*, const T*, std::size_t);              \
+  template void copy_matrix<T>(Stream&, long, long, const T*, long, T*,       \
+                               long);                                         \
+  template void copy_matrix_h2d<T>(Stream&, long, long, const T*, long, T*,   \
+                                   long);                                     \
+  template void copy_matrix_d2h<T>(Stream&, long, long, const T*, long, T*,   \
+                                   long);                                     \
+  template void row_gather<T>(Stream&, const T*, long, std::vector<long>,     \
+                              long, T*, long);                                \
+  template void row_scatter<T>(Stream&, T*, long, std::vector<long>, long,    \
+                               const T*, long);                               \
+  template void laswp<T>(Stream&, T*, long, long, std::vector<long>);         \
+  template void pack_rows<T>(Stream&, const T*, long, std::vector<long>,      \
+                             long, T*);                                       \
+  template void unpack_rows<T>(Stream&, const T*, std::vector<long>, long,    \
+                               T*, long);                                     \
+  template void pack_rows_cm<T>(Stream&, const T*, long, std::vector<long>,   \
+                                long, T*);                                    \
+  template void unpack_rows_cm<T>(Stream&, const T*, std::vector<long>,       \
+                                  long, T*, long)
+
+HPLX_INSTANTIATE_KERNELS(double);
+HPLX_INSTANTIATE_KERNELS(float);
+
+#undef HPLX_INSTANTIATE_KERNELS
 
 }  // namespace hplx::device

@@ -8,9 +8,17 @@
 /// "a GPU kernel to gather the rows to be communicated, followed by MPI
 /// communication, and a GPU kernel to scatter the received rows back").
 ///
+/// Every kernel is a template over the element type T, instantiated for
+/// double (the classic HPL path) and float (the HPL-MxP mxp32/mxp16-sim
+/// engines). Compute kernels bill their modeled time at
+/// `model().precision_for_elem(sizeof(T))` — FP64 for double, the model's
+/// `low_prec` (FP32, or FP16 under mxp16-sim) for float — and data-motion
+/// kernels charge bytes via sizeof(T), so the float pipeline's wire and
+/// copy traffic is naturally half the fp64 pipeline's.
+///
 /// All matrix pointers refer to device buffers (column-major, leading
-/// dimension in doubles). Host-side index vectors are captured by value at
-/// enqueue time, so callers may reuse them immediately.
+/// dimension in elements). Host-side index vectors are captured by value
+/// at enqueue time, so callers may reuse them immediately.
 ///
 /// The data-motion kernels (row gather/scatter/pack/unpack, laswp, and the
 /// strided matrix copies) execute on the column-tiled engine of
@@ -31,57 +39,79 @@ namespace hplx::device {
 
 /// C := alpha·A·B + beta·C on the stream's device (no-transpose form, the
 /// only one HPL's update needs).
-void gemm(Stream& s, long m, long n, long k, double alpha, const double* a,
-          long lda, const double* b, long ldb, double beta, double* c,
-          long ldc);
+template <typename T>
+void gemm(Stream& s, long m, long n, long k, T alpha, const T* a, long lda,
+          const T* b, long ldb, T beta, T* c, long ldc);
 
 /// U := L1^{-1}·U where L1 is nb×nb unit lower triangular: the U update of
 /// HPL's trailing phase (dtrsm Left/Lower/NoTrans/Unit).
-void trsm_left_lower_unit(Stream& s, long nb, long n, const double* l1,
-                          long ldl, double* u, long ldu);
+template <typename T>
+void trsm_left_lower_unit(Stream& s, long nb, long n, const T* l1, long ldl,
+                          T* u, long ldu);
+
+/// Solve U·x = b in place (x overwrites b), U an n×n non-unit upper
+/// triangle read directly from device memory: backsolve's diagonal-block
+/// stage without the d2h staging copy. Blocked right-to-left: each
+/// diagonal block solves sequentially, then the prefix update
+/// x[0..j0) -= U(0..j0, j0..j1)·x(j0..j1) fans its disjoint row ranges
+/// out over the column-tiled engine. Bitwise identical for every tile
+/// width and team size (each x[i] is written by exactly one tile, inner
+/// accumulation order fixed).
+template <typename T>
+void trsv_upper(Stream& s, long n, const T* u, long ldu, T* x);
 
 /// Asynchronous copies. h2d/d2h are charged at host-link bandwidth, d2d at
 /// HBM bandwidth.
-void copy_h2d(Stream& s, double* dst, const double* src, std::size_t count);
-void copy_d2h(Stream& s, double* dst, const double* src, std::size_t count);
+template <typename T>
+void copy_h2d(Stream& s, T* dst, const T* src, std::size_t count);
+template <typename T>
+void copy_d2h(Stream& s, T* dst, const T* src, std::size_t count);
 
 /// Strided device-to-device matrix copy (m×n, column-major).
-void copy_matrix(Stream& s, long m, long n, const double* src, long lds,
-                 double* dst, long ldd);
+template <typename T>
+void copy_matrix(Stream& s, long m, long n, const T* src, long lds, T* dst,
+                 long ldd);
 
 /// Strided matrix copies across the host link (charged at host<->device
 /// bandwidth): the panel staging transfers of the FACT phase.
-void copy_matrix_h2d(Stream& s, long m, long n, const double* src, long lds,
-                     double* dst, long ldd);
-void copy_matrix_d2h(Stream& s, long m, long n, const double* src, long lds,
-                     double* dst, long ldd);
+template <typename T>
+void copy_matrix_h2d(Stream& s, long m, long n, const T* src, long lds,
+                     T* dst, long ldd);
+template <typename T>
+void copy_matrix_d2h(Stream& s, long m, long n, const T* src, long lds,
+                     T* dst, long ldd);
 
 /// out(r, :) := a(rows[r], :) for r = 0..rows.size()-1, over n columns.
-void row_gather(Stream& s, const double* a, long lda,
-                std::vector<long> rows, long n, double* out, long ldo);
+template <typename T>
+void row_gather(Stream& s, const T* a, long lda, std::vector<long> rows,
+                long n, T* out, long ldo);
 
 /// a(rows[r], :) := in(r, :) — the inverse scatter. `rows` must be
 /// distinct (every caller scatters into disjoint slots); the kernel
 /// reorders the writes by ascending destination row.
-void row_scatter(Stream& s, double* a, long lda, std::vector<long> rows,
-                 long n, const double* in, long ldi);
+template <typename T>
+void row_scatter(Stream& s, T* a, long lda, std::vector<long> rows, long n,
+                 const T* in, long ldi);
 
 /// Local row interchanges: for k = 0..ipiv.size()-1 swap rows k and
 /// ipiv[k] of the m×n matrix (both indices local). Used when all pivot
 /// rows are on one process.
-void laswp(Stream& s, double* a, long lda, long n, std::vector<long> ipiv);
+template <typename T>
+void laswp(Stream& s, T* a, long lda, long n, std::vector<long> ipiv);
 
 /// Pack selected rows of a column-major matrix into a row-major buffer:
 /// out[i*n + c] = a(rows[i], c). This is the gather kernel feeding the
 /// row-swap communication — each communicated row becomes one contiguous
 /// message segment.
-void pack_rows(Stream& s, const double* a, long lda, std::vector<long> rows,
-               long n, double* out_rowmajor);
+template <typename T>
+void pack_rows(Stream& s, const T* a, long lda, std::vector<long> rows,
+               long n, T* out_rowmajor);
 
 /// Inverse of pack_rows: a(rows[i], c) = in[i*n + c]. Like row_scatter,
 /// `rows` must be distinct.
-void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
-                 long n, double* a, long lda);
+template <typename T>
+void unpack_rows(Stream& s, const T* in_rowmajor, std::vector<long> rows,
+                 long n, T* a, long lda);
 
 /// Column-major wire format: out[c*nr + i] = a(rows[i], c), i.e. the
 /// packed buffer is an nr×n column-major matrix (ld = nr = rows.size()).
@@ -89,14 +119,16 @@ void unpack_rows(Stream& s, const double* in_rowmajor, std::vector<long> rows,
 /// contiguous columns — so no scratch transpose tile is needed, and the
 /// receive side can unpack any sub-range of wire columns independently
 /// (the per-chunk delivery path of the pipelined row swap).
-void pack_rows_cm(Stream& s, const double* a, long lda,
-                  std::vector<long> rows, long n, double* out_colmajor);
+template <typename T>
+void pack_rows_cm(Stream& s, const T* a, long lda, std::vector<long> rows,
+                  long n, T* out_colmajor);
 
 /// Inverse of pack_rows_cm: a(rows[i], c) = in[c*nr + i]. `rows` must be
 /// distinct. The wire reads are unit-stride within each cache-resident
 /// nr-length column — this is the contiguous-column-copy receive side the
 /// transposed wire format buys.
-void unpack_rows_cm(Stream& s, const double* in_colmajor,
-                    std::vector<long> rows, long n, double* a, long lda);
+template <typename T>
+void unpack_rows_cm(Stream& s, const T* in_colmajor, std::vector<long> rows,
+                    long n, T* a, long lda);
 
 }  // namespace hplx::device

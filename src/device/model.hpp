@@ -17,17 +17,72 @@
 /// dimension k: eff(k) = k / (k + k_half), which reproduces the "NB must
 /// be large enough for DGEMM to reach a high fraction of peak" trade-off
 /// (§IV.A) without pretending to model silicon.
+///
+/// For the HPL-MxP modes the model adds per-precision throughput: FP64
+/// keeps the analytic ramp above; FP32 and FP16 use piecewise-linear
+/// calibration-anchor curves (ThroughputCurve) whose interpolation is
+/// *clamped* at the last anchor — a rate is never extrapolated beyond the
+/// largest blocking the curve was calibrated at. The FP16 curve is what
+/// `mxp16-sim` bills float kernels at (they still compute in fp32).
 
 #include <cstddef>
 
 namespace hplx::device {
+
+/// Arithmetic precision a kernel's time is modeled at. FP16 stands in for
+/// the half/bf16 family — hplx never computes in it (mxp16-sim computes
+/// fp32), it only bills at its rate.
+enum class Precision { FP64, FP32, FP16 };
+
+const char* to_string(Precision p);
+
+/// Piecewise-linear TFLOP/s curve over calibration anchors, ordered by
+/// strictly increasing blocking k. Between anchors the rate interpolates
+/// linearly; below the first anchor it ramps linearly from (0, 0); at and
+/// beyond the last anchor it *clamps* to the last anchor's rate — the
+/// curve never extrapolates past its calibration range (a curve that kept
+/// the last segment's slope would credit unbounded rates to huge NB).
+struct ThroughputCurve {
+  static constexpr int kMaxAnchors = 8;
+  int count = 0;
+  double k[kMaxAnchors] = {};
+  double tflops[kMaxAnchors] = {};
+
+  /// Clamped piecewise-linear rate at blocking kk (0 for kk <= 0 or an
+  /// empty/invalid curve).
+  double at(double kk) const;
+
+  /// Anchors strictly increasing in k (all positive), rates positive. An
+  /// invalid curve reports 0 TFLOP/s from at(), so a miscalibrated model
+  /// fails loudly (infinite modeled time) instead of silently
+  /// extrapolating.
+  bool valid() const;
+};
 
 struct DeviceModel {
   // Compute. The asymptote and ramp constant are chosen so that
   // gemm_tflops(512) ≈ 24.5 per GCD — the paper's 49 TFLOP/s per MI250X.
   double gemm_peak_tflops = 26.0;  ///< asymptotic DGEMM rate per GCD (k → ∞)
   double gemm_k_half = 32.0;       ///< surface/volume ramp constant
-  double trsm_efficiency = 0.25;   ///< DTRSM fraction of DGEMM rate at same size
+  double trsm_efficiency = 0.25;   ///< TRSM fraction of GEMM rate at same size
+
+  // Per-precision GEMM rates for the low-precision engines. FP64 uses the
+  // analytic ramp above; these curves carry the measured fp32 and the
+  // paper-family fp16 matrix rates. Everywhere above k = 0 the default
+  // curves satisfy fp16 > fp32 > fp64, which is what makes the simulated
+  // MxP speedup ordering monotone.
+  ThroughputCurve fp32_curve = {6,
+                                {16, 64, 128, 256, 512, 1024},
+                                {14.0, 22.0, 32.0, 41.0, 47.0, 50.0}};
+  ThroughputCurve fp16_curve = {7,
+                                {16, 64, 128, 256, 512, 1024, 2048},
+                                {20.0, 45.0, 80.0, 120.0, 155.0, 180.0,
+                                 188.0}};
+
+  /// Rate float kernels are billed at: FP32 for mxp32 (the honest host
+  /// rate), FP16 for mxp16-sim (compute fp32, bill half rates). FP64 here
+  /// would bill float kernels at double rates (not used by any mode).
+  Precision low_prec = Precision::FP32;
 
   // Memory and links.
   double hbm_bw_gbs = 1600.0;   ///< device-local streaming bandwidth
@@ -38,16 +93,18 @@ struct DeviceModel {
   /// far from streaming; they reach only this fraction of HBM bandwidth.
   double rowswap_bw_factor = 0.25;
 
-  /// Modeled seconds for C(m×n) += A(m×k)·B(k×n).
-  double gemm_seconds(long m, long n, long k) const;
+  /// Modeled seconds for C(m×n) += A(m×k)·B(k×n) at the given precision.
+  double gemm_seconds(long m, long n, long k,
+                      Precision p = Precision::FP64) const;
 
-  /// Effective DGEMM TFLOP/s at blocking k (the paper's "49 TFLOPS at
-  /// NB=512" anchor: gemm_tflops(512) ≈ 24.5 per GCD).
-  double gemm_tflops(long k) const;
+  /// Effective GEMM TFLOP/s at blocking k. FP64 is the analytic ramp (the
+  /// paper's "49 TFLOPS at NB=512" anchor: gemm_tflops(512) ≈ 24.5 per
+  /// GCD); FP32/FP16 evaluate the clamped calibration curves.
+  double gemm_tflops(long k, Precision p = Precision::FP64) const;
 
   /// Modeled seconds for a triangular solve with an nb×nb triangle applied
   /// to nb×n right-hand sides.
-  double trsm_seconds(long nb, long n) const;
+  double trsm_seconds(long nb, long n, Precision p = Precision::FP64) const;
 
   /// Device-local data motion touching `bytes` bytes (read+write already
   /// folded into the bandwidth figure).
@@ -56,10 +113,19 @@ struct DeviceModel {
   /// Host<->device transfer.
   double hcopy_seconds(std::size_t bytes) const;
 
-  /// Row gather/scatter kernel moving `rows` rows × `cols` doubles.
-  double rowswap_seconds(long rows, long cols) const;
+  /// Row gather/scatter kernel moving `rows` rows × `cols` elements of
+  /// `elem_bytes` bytes each (doubles by default — the seed fp64 path).
+  double rowswap_seconds(long rows, long cols,
+                         std::size_t elem_bytes = sizeof(double)) const;
 
-  /// The MI250X GCD calibration used throughout the repo.
+  /// Billing precision for a kernel computing in elements of `elem_bytes`
+  /// bytes: 8 → FP64, 4 → low_prec (FP32, or FP16 under mxp16-sim).
+  Precision precision_for_elem(std::size_t elem_bytes) const {
+    return elem_bytes >= sizeof(double) ? Precision::FP64 : low_prec;
+  }
+
+  /// The MI250X GCD calibration used throughout the repo (including the
+  /// default fp32/fp16 curves).
   static DeviceModel mi250x_gcd();
 };
 

@@ -14,8 +14,9 @@ double FactModel::flops(long m, int nb) {
   return B * B * (M - B / 3.0);
 }
 
-double FactModel::seconds(long m, int nb, int threads) const {
-  HPLX_CHECK(m >= nb && nb >= 1 && threads >= 1);
+double FactModel::seconds(long m, int nb, int threads,
+                          std::size_t elem_bytes) const {
+  HPLX_CHECK(m >= nb && nb >= 1 && threads >= 1 && elem_bytes >= 1);
   const double T = static_cast<double>(threads);
 
   // Effective rate: recursion spends most flops in DGEMM unwinds with
@@ -32,7 +33,8 @@ double FactModel::seconds(long m, int nb, int threads) const {
   // (≈ log2(nb) passes). While the panel fits the socket L3 the sweeps
   // are cache-resident (the paper's Frontier observation); once it
   // spills, they stream from DRAM and bound the time from below.
-  const double panel_bytes = static_cast<double>(m) * nb * sizeof(double);
+  const double panel_bytes =
+      static_cast<double>(m) * nb * static_cast<double>(elem_bytes);
   if (panel_bytes > cpu_.l3_bytes) {
     const double passes = std::log2(static_cast<double>(nb)) / 2.0 + 2.0;
     t_compute =

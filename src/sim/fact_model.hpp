@@ -33,7 +33,12 @@ class FactModel {
   static double flops(long m, int nb);
 
   /// Modeled seconds for one panel factorization with T threads.
-  double seconds(long m, int nb, int threads) const;
+  /// `elem_bytes` is the panel's element width (4 under the mxp modes):
+  /// it moves the L3-residency threshold and the DRAM-spill floor, but
+  /// not the compute rate — the model does not credit the CPU with an
+  /// fp32 rate uplift it was never calibrated for.
+  double seconds(long m, int nb, int threads,
+                 std::size_t elem_bytes = sizeof(double)) const;
 
   /// Fig. 5's y-axis: GFLOP/s achieved at this shape and thread count.
   double gflops(long m, int nb, int threads) const;

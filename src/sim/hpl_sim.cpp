@@ -19,6 +19,14 @@ class IterationModel {
     // the NIC as soon as that exceeds one node. Same for process rows.
     col_inter_ = cfg_.p > cfg_.p_node;
     row_inter_ = cfg_.q > cfg_.q_node;
+    // Element width on the wire / in HBM, and the billing precision of
+    // device kernels. mxp16-sim moves fp32 bytes but bills fp16 rates.
+    eb_ = cfg_.precision == core::PrecisionMode::FP64 ? 8.0 : 4.0;
+    prec_ = cfg_.precision == core::PrecisionMode::FP64
+                ? device::Precision::FP64
+                : (cfg_.precision == core::PrecisionMode::MXP32
+                       ? device::Precision::FP32
+                       : device::Precision::FP16);
   }
 
   // --------------------------------------------------- phase primitives
@@ -29,14 +37,15 @@ class IterationModel {
     if (m <= 0 || cols <= 0) return 0.0;
     return (1.0 + node_.gpu_sync_overhead) *
            (node_.gcd.gemm_seconds(static_cast<long>(m),
-                                   static_cast<long>(cols), cfg_.nb) +
-            node_.gcd.trsm_seconds(cfg_.nb, static_cast<long>(cols)));
+                                   static_cast<long>(cols), cfg_.nb, prec_) +
+            node_.gcd.trsm_seconds(cfg_.nb, static_cast<long>(cols), prec_));
   }
 
   /// Device-side gather or scatter kernels for a row-swap window.
   double rs_device_seconds(double cols) const {
     if (cols <= 0) return 0.0;
-    return node_.gcd.rowswap_seconds(cfg_.nb, static_cast<long>(cols));
+    return node_.gcd.rowswap_seconds(cfg_.nb, static_cast<long>(cols),
+                                     static_cast<std::size_t>(eb_));
   }
 
   /// MPI time of the row-swap (allgatherv of U + scatterv of displaced
@@ -51,7 +60,7 @@ class IterationModel {
         (col_inter_ ? node_.net.inter_bw_gbs : node_.net.intra_bw_gbs) * 1e9;
     const double lat =
         col_inter_ ? node_.net.inter_lat_s : node_.net.intra_lat_s;
-    const double ubytes = static_cast<double>(cfg_.nb) * cols * 8.0;
+    const double ubytes = static_cast<double>(cfg_.nb) * cols * eb_;
     const double frac = static_cast<double>(cfg_.p - 1) / cfg_.p;
 
     const bool binexch =
@@ -85,7 +94,7 @@ class IterationModel {
         (col_inter_ ? node_.net.inter_bw_gbs : node_.net.intra_bw_gbs) * 1e9;
     const double lat =
         col_inter_ ? node_.net.inter_lat_s : node_.net.intra_lat_s;
-    const double ubytes = static_cast<double>(cfg_.nb) * cols * 8.0;
+    const double ubytes = static_cast<double>(cfg_.nb) * cols * eb_;
     const double frac = static_cast<double>(cfg_.p - 1) / cfg_.p;
     const double wire = (cfg_.p - 1) * lat + ubytes * frac / bw;
     const double chunks =
@@ -99,7 +108,8 @@ class IterationModel {
   /// FACT on the CPU: compute + the per-column pivot collectives.
   double fact_compute_seconds(double m) const {
     if (m < cfg_.nb) m = cfg_.nb;
-    return fact_.seconds(static_cast<long>(m), cfg_.nb, cfg_.fact_threads);
+    return fact_.seconds(static_cast<long>(m), cfg_.nb, cfg_.fact_threads,
+                         static_cast<std::size_t>(eb_));
   }
 
   double fact_comm_seconds() const {
@@ -109,13 +119,15 @@ class IterationModel {
     const double bw =
         (col_inter_ ? node_.net.inter_bw_gbs : node_.net.intra_bw_gbs) * 1e9;
     const double hops = 2.0 * std::ceil(std::log2(cfg_.p));
+    // Pivot slots stay 8 bytes in every precision mode (index + value
+    // pairs, matching the real wire format).
     const double msg = 2.0 * cfg_.nb * 8.0 + 24.0;
     return cfg_.nb * hops * (lat + msg / bw);
   }
 
   /// Host<->device staging of the panel (both directions).
   double transfer_seconds(double m) const {
-    const double bytes = m * cfg_.nb * 8.0;
+    const double bytes = m * cfg_.nb * eb_;
     return 2.0 * node_.gcd.hcopy_seconds(static_cast<std::size_t>(bytes));
   }
 
@@ -129,7 +141,7 @@ class IterationModel {
         row_inter_ ? node_.net.inter_lat_s : node_.net.intra_lat_s;
     const double bytes =
         (static_cast<double>(cfg_.nb) * cfg_.nb + m_tail * cfg_.nb +
-         cfg_.nb) * 8.0;
+         cfg_.nb) * eb_;
     return lat + bytes / bw;
   }
 
@@ -141,6 +153,8 @@ class IterationModel {
   FactModel fact_;
   bool col_inter_ = false;
   bool row_inter_ = false;
+  double eb_ = 8.0;
+  device::Precision prec_ = device::Precision::FP64;
 };
 
 }  // namespace

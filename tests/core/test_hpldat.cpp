@@ -121,6 +121,102 @@ TEST(HplDat, RoundTripsThroughFormat) {
   EXPECT_DOUBLE_EQ(again.threshold, dat.threshold);
 }
 
+// Every extension knob, in order, set to a non-default value.
+const char kAllExtensions[] =
+    "0.625        split fraction\n"
+    "4            FACT threads\n"
+    "3            BLAS threads\n"
+    "65536        eager threshold bytes\n"
+    "128          swap tile cols\n"
+    "2            kernel threads\n"
+    "3            update streams\n"
+    "48           update band cols\n"
+    "1            hazard check\n"
+    "0            swap wire format\n"
+    "131072       swap chunk bytes\n"
+    "mxp32        precision\n"
+    "12           IR max iters\n"
+    "8.0          IR tolerance\n";
+
+TEST(HplDat, ParsesEveryExtensionKnob) {
+  const HplDat dat = parse_hpldat_string(std::string(kClassic) +
+                                         kAllExtensions);
+  EXPECT_DOUBLE_EQ(dat.split_fraction, 0.625);
+  EXPECT_EQ(dat.fact_threads, 4);
+  EXPECT_EQ(dat.blas_threads, 3);
+  EXPECT_EQ(dat.comm_eager_bytes, 65536);
+  EXPECT_EQ(dat.swap_tile_cols, 128);
+  EXPECT_EQ(dat.kernel_threads, 2);
+  EXPECT_EQ(dat.update_streams, 3);
+  EXPECT_EQ(dat.update_band_cols, 48);
+  EXPECT_EQ(dat.hazard_check, 1);
+  EXPECT_EQ(dat.swap_wire_format, 0);
+  EXPECT_EQ(dat.swap_chunk_bytes, 131072);
+  EXPECT_EQ(dat.precision, "mxp32");
+  EXPECT_EQ(dat.ir_max_iters, 12);
+  EXPECT_DOUBLE_EQ(dat.ir_tol, 8.0);
+}
+
+TEST(HplDat, EveryKnobRoundTripsThroughFormat) {
+  const HplDat dat = parse_hpldat_string(std::string(kClassic) +
+                                         kAllExtensions);
+  const HplDat again = parse_hpldat_string(format_hpldat(dat));
+  // Classic fields.
+  EXPECT_EQ(again.output_file, dat.output_file);
+  EXPECT_EQ(again.device_out, dat.device_out);
+  EXPECT_EQ(again.ns, dat.ns);
+  EXPECT_EQ(again.nbs, dat.nbs);
+  EXPECT_EQ(again.row_major_mapping, dat.row_major_mapping);
+  EXPECT_EQ(again.ps, dat.ps);
+  EXPECT_EQ(again.qs, dat.qs);
+  EXPECT_DOUBLE_EQ(again.threshold, dat.threshold);
+  EXPECT_EQ(again.pfacts, dat.pfacts);
+  EXPECT_EQ(again.nbmins, dat.nbmins);
+  EXPECT_EQ(again.ndivs, dat.ndivs);
+  EXPECT_EQ(again.rfacts, dat.rfacts);
+  EXPECT_EQ(again.depths, dat.depths);
+  EXPECT_EQ(again.bcasts, dat.bcasts);
+  EXPECT_EQ(again.swap_algo, dat.swap_algo);
+  EXPECT_EQ(again.swap_threshold, dat.swap_threshold);
+  EXPECT_EQ(again.l1_transposed, dat.l1_transposed);
+  EXPECT_EQ(again.u_transposed, dat.u_transposed);
+  EXPECT_EQ(again.equilibration, dat.equilibration);
+  EXPECT_EQ(again.alignment, dat.alignment);
+  // Extension fields.
+  EXPECT_DOUBLE_EQ(again.split_fraction, dat.split_fraction);
+  EXPECT_EQ(again.fact_threads, dat.fact_threads);
+  EXPECT_EQ(again.blas_threads, dat.blas_threads);
+  EXPECT_EQ(again.comm_eager_bytes, dat.comm_eager_bytes);
+  EXPECT_EQ(again.swap_tile_cols, dat.swap_tile_cols);
+  EXPECT_EQ(again.kernel_threads, dat.kernel_threads);
+  EXPECT_EQ(again.update_streams, dat.update_streams);
+  EXPECT_EQ(again.update_band_cols, dat.update_band_cols);
+  EXPECT_EQ(again.hazard_check, dat.hazard_check);
+  EXPECT_EQ(again.swap_wire_format, dat.swap_wire_format);
+  EXPECT_EQ(again.swap_chunk_bytes, dat.swap_chunk_bytes);
+  EXPECT_EQ(again.precision, dat.precision);
+  EXPECT_EQ(again.ir_max_iters, dat.ir_max_iters);
+  EXPECT_DOUBLE_EQ(again.ir_tol, dat.ir_tol);
+}
+
+TEST(HplDat, PrecisionExpandsIntoConfigs) {
+  const auto cfgs = expand_configs(parse_hpldat_string(
+      std::string(kClassic) + kAllExtensions));
+  for (const auto& c : cfgs) {
+    EXPECT_EQ(c.precision, PrecisionMode::MXP32);
+    EXPECT_EQ(c.ir_max_iters, 12);
+    EXPECT_DOUBLE_EQ(c.ir_tol, 8.0);
+  }
+}
+
+TEST(HplDat, BadPrecisionThrows) {
+  std::string text = kClassic;
+  text += "0.5 split\n1 fact\n0 blas\n32768 eager\n256 tile\n0 kthreads\n"
+          "1 streams\n0 band\n0 hazard\n1 wire\n262144 chunk\n"
+          "fp42 precision\n";
+  EXPECT_THROW(parse_hpldat_string(text), Error);
+}
+
 TEST(HplDat, TruncatedFileThrows) {
   const std::string text(kClassic, kClassic + 200);
   EXPECT_THROW(parse_hpldat_string(text), Error);

@@ -1,0 +1,197 @@
+/// Mixed-precision (HPL-MxP) mode: the fp32 factorization plus fp64
+/// iterative refinement must reach the same residual criterion as the
+/// fp64 solve, deterministically, across grids, pipelines, stream counts
+/// and swap chunkings — and fall back to fp64 when refinement cannot
+/// converge.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "core/driver.hpp"
+
+namespace hplx::core {
+namespace {
+
+HplConfig base_cfg(long n, int nb, int p, int q) {
+  HplConfig cfg;
+  cfg.n = n;
+  cfg.nb = nb;
+  cfg.p = p;
+  cfg.q = q;
+  cfg.seed = 20230601;
+  cfg.fact_threads = 2;
+  cfg.rfact_nbmin = 8;
+  cfg.verify = true;
+  cfg.precision = PrecisionMode::MXP32;
+  return cfg;
+}
+
+HplResult run(const HplConfig& cfg) {
+  HplResult out;
+  comm::World::run(cfg.p * cfg.q, [&](comm::Communicator& world) {
+    HplResult r = run_hpl(world, cfg);
+    if (world.rank() == 0) out = std::move(r);
+  });
+  return out;
+}
+
+using Param = std::tuple<int /*p*/, int /*q*/, long /*n*/, int /*nb*/,
+                         PipelineMode>;
+
+class MxpSolveSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MxpSolveSweep, RefinesToFp64Residual) {
+  const auto [p, q, n, nb, mode] = GetParam();
+  HplConfig cfg = base_cfg(n, nb, p, q);
+  cfg.pipeline = mode;
+  const HplResult r = run(cfg);
+  EXPECT_TRUE(r.verify.passed)
+      << "residual=" << r.verify.residual << " for " << p << "x" << q
+      << " n=" << n << " nb=" << nb << " mode=" << to_string(mode);
+  EXPECT_LT(r.verify.residual, 16.0);
+  // A well-conditioned system refines rather than falling back, and the
+  // fp32 solve alone is far from fp64 accuracy: at least one correction.
+  EXPECT_FALSE(r.ir_fallback);
+  EXPECT_GE(r.ir_iters, 1);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndModes, MxpSolveSweep,
+    ::testing::Values(Param{1, 1, 96, 16, PipelineMode::Simple},
+                      Param{1, 1, 96, 16, PipelineMode::Lookahead},
+                      Param{1, 1, 96, 16, PipelineMode::LookaheadSplit},
+                      Param{1, 2, 128, 16, PipelineMode::LookaheadSplit},
+                      Param{2, 1, 128, 16, PipelineMode::LookaheadSplit},
+                      Param{2, 2, 128, 16, PipelineMode::Simple},
+                      Param{2, 2, 128, 16, PipelineMode::LookaheadSplit},
+                      Param{2, 3, 144, 16, PipelineMode::LookaheadSplit},
+                      // Ragged last panel and single-panel shapes.
+                      Param{2, 2, 100, 16, PipelineMode::LookaheadSplit},
+                      Param{1, 1, 37, 8, PipelineMode::LookaheadSplit},
+                      Param{2, 2, 32, 32, PipelineMode::Lookahead}));
+
+TEST(Mxp, Mxp16SimRefinesToo) {
+  HplConfig cfg = base_cfg(128, 16, 2, 2);
+  cfg.precision = PrecisionMode::MXP16Sim;
+  const HplResult r = run(cfg);
+  EXPECT_TRUE(r.verify.passed) << "residual=" << r.verify.residual;
+  EXPECT_FALSE(r.ir_fallback);
+  EXPECT_GE(r.ir_iters, 1);
+}
+
+TEST(Mxp, UnreachableToleranceFallsBackToFp64) {
+  HplConfig cfg = base_cfg(96, 16, 1, 1);
+  cfg.ir_tol = 1e-12;  // below what any refinement can reach
+  const HplResult r = run(cfg);
+  EXPECT_TRUE(r.ir_fallback);
+  // The fallback is a true fp64 solve: it passes the standard criterion.
+  EXPECT_TRUE(r.verify.passed) << "residual=" << r.verify.residual;
+  EXPECT_LT(r.verify.residual, 16.0);
+}
+
+TEST(Mxp, ZeroCorrectionBudgetFallsBackToFp64) {
+  HplConfig cfg = base_cfg(96, 16, 1, 1);
+  cfg.ir_max_iters = 0;  // raw fp32 residual cannot pass on its own
+  const HplResult r = run(cfg);
+  EXPECT_TRUE(r.ir_fallback);
+  EXPECT_EQ(r.ir_iters, 0);
+  EXPECT_TRUE(r.verify.passed);
+}
+
+// The mxp32 pipeline must stay bitwise deterministic under every knob
+// that only re-partitions work: the refined residual (a pure function of
+// the computed solution) must not move.
+TEST(Mxp, BitwiseIdenticalAcrossExecutionKnobs) {
+  std::vector<double> residuals;
+  std::vector<int> iters;
+  for (const auto& [threads, streams, chunk] :
+       {std::tuple<int, int, long>{1, 1, 256 * 1024},
+        std::tuple<int, int, long>{4, 1, 256 * 1024},
+        std::tuple<int, int, long>{1, 3, 256 * 1024},
+        std::tuple<int, int, long>{4, 3, 4096},
+        std::tuple<int, int, long>{2, 2, -1}}) {
+    HplConfig cfg = base_cfg(128, 16, 2, 2);
+    cfg.pipeline = PipelineMode::LookaheadSplit;
+    cfg.blas_threads = threads;
+    cfg.update_streams = streams;
+    cfg.swap_chunk_bytes = chunk;
+    const HplResult r = run(cfg);
+    EXPECT_TRUE(r.verify.passed);
+    residuals.push_back(r.verify.residual);
+    iters.push_back(r.ir_iters);
+  }
+  for (std::size_t i = 1; i < residuals.size(); ++i) {
+    EXPECT_EQ(residuals[i], residuals[0])
+        << "mxp32 residual moved between execution-knob variants";
+    EXPECT_EQ(iters[i], iters[0]);
+  }
+}
+
+// All pipeline modes reorder work but never change any value: the mxp32
+// solution (and with it the refined residual) agrees bitwise.
+TEST(Mxp, PipelineModesAgreeBitwise) {
+  std::vector<double> residuals;
+  for (PipelineMode mode : {PipelineMode::Simple, PipelineMode::Lookahead,
+                            PipelineMode::LookaheadSplit}) {
+    HplConfig cfg = base_cfg(128, 16, 2, 2);
+    cfg.pipeline = mode;
+    const HplResult r = run(cfg);
+    EXPECT_TRUE(r.verify.passed);
+    residuals.push_back(r.verify.residual);
+  }
+  EXPECT_EQ(residuals[1], residuals[0]);
+  EXPECT_EQ(residuals[2], residuals[0]);
+}
+
+// Hazard-checker sweep over the mxp32 pipeline: the fp32 data path
+// (half-width staging, refinement's device solves included) must introduce
+// no new unfenced host/device overlap anywhere in
+// pipeline × streams × chunking.
+TEST(Mxp, HazardSweepIsClean) {
+  for (PipelineMode mode : {PipelineMode::Simple, PipelineMode::Lookahead,
+                            PipelineMode::LookaheadSplit}) {
+    for (int streams : {1, 3}) {
+      for (long chunk : {long{-1}, long{4096}, long{256 * 1024}}) {
+        HplConfig cfg = base_cfg(96, 16, 2, 2);
+        cfg.pipeline = mode;
+        cfg.update_streams = streams;
+        cfg.swap_chunk_bytes = chunk;
+        cfg.hazard_check = true;
+        const HplResult r = run(cfg);
+        EXPECT_TRUE(r.hazard_checked);
+        EXPECT_TRUE(r.hazards.empty())
+            << r.hazards.size() << " hazard(s) in mode=" << to_string(mode)
+            << " streams=" << streams << " chunk=" << chunk << ": "
+            << (r.hazards.empty() ? "" : r.hazards.front().detail);
+        EXPECT_TRUE(r.verify.passed);
+      }
+    }
+  }
+}
+
+// The per-precision throughput curves must order the modeled device time:
+// fp16-billed ≤ fp32-billed ≤ fp64, on identical schedules.
+TEST(Mxp, ModeledDeviceTimeOrdersByPrecision) {
+  auto modeled_busy = [&](PrecisionMode prec) {
+    HplConfig cfg = base_cfg(128, 16, 1, 1);
+    cfg.precision = prec;
+    cfg.verify = false;
+    const HplResult r = run(cfg);
+    double sum = 0.0;
+    for (double s : r.stream_busy_seconds) sum += s;
+    return sum;
+  };
+  const double t64 = modeled_busy(PrecisionMode::FP64);
+  const double t32 = modeled_busy(PrecisionMode::MXP32);
+  const double t16 = modeled_busy(PrecisionMode::MXP16Sim);
+  EXPECT_GT(t64, 0.0);
+  EXPECT_LE(t32, t64);
+  EXPECT_LE(t16, t32);
+}
+
+}  // namespace
+}  // namespace hplx::core

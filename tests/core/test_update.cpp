@@ -86,8 +86,8 @@ TEST(Update, EmptyWindowIsNoop) {
     PanelData panel;
     panel.j = 0;
     panel.resize(8, 8);
-    enqueue_u_update(stream, a, panel, nullptr, 8, 0, 0, true, 0);
-    enqueue_tail_gemm(stream, a, panel, nullptr, 8, 0, 0, 8);
+    enqueue_u_update<double>(stream, a, panel, nullptr, 8, 0, 0, true, 0);
+    enqueue_tail_gemm<double>(stream, a, panel, nullptr, 8, 0, 0, 8);
     stream.synchronize();
     EXPECT_DOUBLE_EQ(stream.busy_seconds(), 0.0);
   });

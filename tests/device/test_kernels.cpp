@@ -284,9 +284,9 @@ TEST(Kernels, LaswpAppliesSequentialSwaps) {
 
 TEST(Kernels, EmptyOpsAreNoops) {
   Stream s(test_device());
-  gemm(s, 0, 5, 5, 1.0, nullptr, 1, nullptr, 1, 0.0, nullptr, 1);
-  row_gather(s, nullptr, 1, {}, 5, nullptr, 1);
-  laswp(s, nullptr, 1, 0, {1, 2});
+  gemm<double>(s, 0, 5, 5, 1.0, nullptr, 1, nullptr, 1, 0.0, nullptr, 1);
+  row_gather<double>(s, nullptr, 1, {}, 5, nullptr, 1);
+  laswp<double>(s, nullptr, 1, 0, {1, 2});
   s.synchronize();
   EXPECT_DOUBLE_EQ(s.busy_seconds(), 0.0);
 }

@@ -81,5 +81,89 @@ TEST(DeviceModel, ZeroWorkIsFree) {
   EXPECT_DOUBLE_EQ(m.rowswap_seconds(5, 0), 0.0);
 }
 
+// ----------------------------------------------- per-precision throughput
+
+TEST(ThroughputCurve, ClampsBeyondLastAnchor) {
+  // The fix under test: a rate is never extrapolated past the last
+  // calibration point. Before the clamp, a query beyond the final anchor
+  // continued the last segment's slope and credited rates the hardware was
+  // never measured at.
+  const ThroughputCurve c = {3, {64, 256, 1024}, {10.0, 30.0, 40.0}};
+  EXPECT_DOUBLE_EQ(c.at(1024.0), 40.0);   // exactly at the boundary
+  EXPECT_DOUBLE_EQ(c.at(1025.0), 40.0);   // one past
+  EXPECT_DOUBLE_EQ(c.at(1e9), 40.0);      // far past
+}
+
+TEST(ThroughputCurve, RampsThroughOriginBelowFirstAnchor) {
+  const ThroughputCurve c = {3, {64, 256, 1024}, {10.0, 30.0, 40.0}};
+  EXPECT_DOUBLE_EQ(c.at(32.0), 5.0);  // half the first anchor: half its rate
+  EXPECT_DOUBLE_EQ(c.at(64.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.at(-5.0), 0.0);
+}
+
+TEST(ThroughputCurve, InterpolatesBetweenAnchors) {
+  const ThroughputCurve c = {3, {64, 256, 1024}, {10.0, 30.0, 40.0}};
+  EXPECT_DOUBLE_EQ(c.at(160.0), 20.0);  // midpoint of [64, 256]
+  EXPECT_DOUBLE_EQ(c.at(640.0), 35.0);  // midpoint of [256, 1024]
+}
+
+TEST(ThroughputCurve, InvalidCurvesReportZero) {
+  // Non-increasing k.
+  const ThroughputCurve bad_order = {2, {256, 64}, {10.0, 20.0}};
+  EXPECT_FALSE(bad_order.valid());
+  EXPECT_DOUBLE_EQ(bad_order.at(128.0), 0.0);
+  // Non-positive rate.
+  const ThroughputCurve bad_rate = {2, {64, 256}, {10.0, 0.0}};
+  EXPECT_FALSE(bad_rate.valid());
+  EXPECT_DOUBLE_EQ(bad_rate.at(128.0), 0.0);
+  // Empty.
+  const ThroughputCurve empty = {};
+  EXPECT_FALSE(empty.valid());
+  EXPECT_DOUBLE_EQ(empty.at(128.0), 0.0);
+}
+
+TEST(DeviceModel, DefaultCurvesAreValidAndOrdered) {
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  EXPECT_TRUE(m.fp32_curve.valid());
+  EXPECT_TRUE(m.fp16_curve.valid());
+  // fp16 > fp32 > fp64 at every blocking — the ordering that makes the
+  // simulated MxP speedups monotone in precision.
+  for (long k : {16L, 32L, 64L, 128L, 256L, 512L, 1024L, 2048L, 8192L}) {
+    EXPECT_GT(m.gemm_tflops(k, Precision::FP16),
+              m.gemm_tflops(k, Precision::FP32))
+        << "k=" << k;
+    EXPECT_GT(m.gemm_tflops(k, Precision::FP32),
+              m.gemm_tflops(k, Precision::FP64))
+        << "k=" << k;
+  }
+}
+
+TEST(DeviceModel, LowPrecisionGemmIsFaster) {
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  const double t64 = m.gemm_seconds(2048, 2048, 256, Precision::FP64);
+  const double t32 = m.gemm_seconds(2048, 2048, 256, Precision::FP32);
+  const double t16 = m.gemm_seconds(2048, 2048, 256, Precision::FP16);
+  EXPECT_LT(t32, t64);
+  EXPECT_LT(t16, t32);
+}
+
+TEST(DeviceModel, PrecisionForElemMapsBytes) {
+  DeviceModel m = DeviceModel::mi250x_gcd();
+  EXPECT_EQ(m.precision_for_elem(sizeof(double)), Precision::FP64);
+  EXPECT_EQ(m.precision_for_elem(sizeof(float)), Precision::FP32);
+  m.low_prec = Precision::FP16;  // the mxp16-sim billing switch
+  EXPECT_EQ(m.precision_for_elem(sizeof(float)), Precision::FP16);
+  EXPECT_EQ(m.precision_for_elem(sizeof(double)), Precision::FP64);
+}
+
+TEST(DeviceModel, FloatRowswapChargesHalfTheBytes) {
+  const DeviceModel m = DeviceModel::mi250x_gcd();
+  const double t64 = m.rowswap_seconds(64, 1000);
+  const double t32 = m.rowswap_seconds(64, 1000, sizeof(float));
+  EXPECT_NEAR(t32 - m.kernel_latency_s, (t64 - m.kernel_latency_s) / 2.0,
+              1e-12);
+}
+
 }  // namespace
 }  // namespace hplx::device

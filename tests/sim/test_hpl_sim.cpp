@@ -156,6 +156,33 @@ TEST(HplSim, ChunkOverheadKeepsTinyChunksFromWinning) {
   EXPECT_GE(tiny.seconds, sane.seconds * (1.0 - 1e-9));
 }
 
+TEST(HplSim, PrecisionModesOrderModeledSpeedup) {
+  // The MxP modes must order strictly at paper scale: mxp32 halves every
+  // byte on the wire and in HBM and bills the fp32 curve; mxp16-sim moves
+  // the same bytes but bills the (faster everywhere) fp16 curve. So the
+  // modeled speedup over fp64 is monotone: mxp16-sim > mxp32 > 1.
+  const NodeModel node = NodeModel::crusher();
+  for (const auto mode :
+       {core::PipelineMode::Simple, core::PipelineMode::Lookahead,
+        core::PipelineMode::LookaheadSplit}) {
+    ClusterConfig cfg = crusher_config(node, 1);
+    cfg.pipeline = mode;
+    const SimResult f64 = simulate_hpl(node, cfg);
+    cfg.precision = core::PrecisionMode::MXP32;
+    const SimResult f32 = simulate_hpl(node, cfg);
+    cfg.precision = core::PrecisionMode::MXP16Sim;
+    const SimResult f16 = simulate_hpl(node, cfg);
+    EXPECT_LT(f32.seconds, f64.seconds) << "mode=" << static_cast<int>(mode);
+    EXPECT_LT(f16.seconds, f32.seconds) << "mode=" << static_cast<int>(mode);
+    // Device busy time orders the same way (compute billing), and the
+    // narrower elements shrink the modeled wire and staging time too.
+    EXPECT_LT(f32.gpu_seconds, f64.gpu_seconds);
+    EXPECT_LT(f16.gpu_seconds, f32.gpu_seconds);
+    EXPECT_LT(f32.transfer_seconds, f64.transfer_seconds);
+    EXPECT_EQ(f16.transfer_seconds, f32.transfer_seconds);
+  }
+}
+
 TEST(HplSim, TimelineEndMatchesSimulatedIterationWithChunking) {
   // iteration_timeline duplicates simulate_hpl's composition; the credit
   // must not let the two drift apart.
