@@ -249,6 +249,71 @@ BENCHMARK(BM_SolverMxp)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Solver-variant matrix: pivoting mode × RHS width. Args: {N, NB, P, Q,
+/// pivoting tag (0 = full, 1 = none on a diagonally dominant system),
+/// nrhs}; always the split pipeline. Exports the row-swap wire totals
+/// (seconds and bytes) next to GF/s, so a snapshot shows the no-pivot
+/// path's entire claim in one row: same residual criterion, zero swap
+/// traffic, higher rate. The N=2048 pair is the acceptance comparison —
+/// pivoting=none must beat pivoting=full wall-clock with rs_wire_bytes=0.
+void BM_SolverVariants(benchmark::State& state) {
+  core::HplConfig cfg;
+  cfg.n = state.range(0);
+  cfg.nb = static_cast<int>(state.range(1));
+  cfg.p = static_cast<int>(state.range(2));
+  cfg.q = static_cast<int>(state.range(3));
+  cfg.pipeline = core::PipelineMode::LookaheadSplit;
+  cfg.pivoting = state.range(4) == 0 ? core::PivotMode::Full
+                                     : core::PivotMode::None;
+  // The no-pivot rows solve the diagonally dominant family (its validity
+  // domain); the full-pivot rows solve the same family so the pair is an
+  // apples-to-apples ablation of the swap machinery alone.
+  cfg.diag_dominant = true;
+  cfg.nrhs = static_cast<int>(state.range(5));
+  cfg.fact_threads = 2;
+
+  double gflops = 0.0, fact_s = 0.0, mpi_s = 0.0, wire_s = 0.0;
+  double wire_bytes = 0.0;
+  long solves = 0;
+  for (auto _ : state) {
+    const core::HplResult r = solve_once(cfg);
+    if (!r.verify.passed) {
+      state.SkipWithError("residual check FAILED");
+      return;
+    }
+    gflops += r.gflops;
+    fact_s += r.fact_seconds;
+    mpi_s += r.mpi_seconds;
+    wire_s += r.rs_wire_seconds;
+    wire_bytes += static_cast<double>(r.rs_wire_bytes);
+    ++solves;
+    benchmark::DoNotOptimize(r.seconds);
+  }
+  if (solves > 0) {
+    const double inv = 1.0 / static_cast<double>(solves);
+    state.counters["GF/s"] = gflops * inv;
+    state.counters["fact_s"] = fact_s * inv;
+    state.counters["mpi_s"] = mpi_s * inv;
+    state.counters["rs_wire_s"] = wire_s * inv;
+    state.counters["rs_wire_bytes"] = wire_bytes * inv;
+  }
+  state.SetLabel(std::string(to_string(cfg.pivoting)) + "/nrhs=" +
+                 std::to_string(cfg.nrhs));
+}
+
+BENCHMARK(BM_SolverVariants)
+    // The acceptance pair: full vs none at N=2048 on one rank.
+    ->Args({2048, 256, 1, 1, 0, 1})
+    ->Args({2048, 256, 1, 1, 1, 1})
+    // Cross-rank: the bypassed allgatherv actually rode the fabric.
+    ->Args({1024, 128, 2, 2, 0, 1})
+    ->Args({1024, 128, 2, 2, 1, 1})
+    // Multi-RHS backsolve widths on both paths.
+    ->Args({1024, 128, 1, 1, 0, 8})
+    ->Args({1024, 128, 1, 1, 1, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

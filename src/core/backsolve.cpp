@@ -41,125 +41,156 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
                               device::Stream& stream, double* mpi_seconds) {
   const long n = a.n();
   const int nb = a.nb();
+  const long nrhs = a.nrhs();
   const long nblocks = (n + nb - 1) / nb;
-  const int pc_b = a.cols().owner(n);  // column owning b (global col N)
+  // All RHS columns share the trailing column block (enforced by run_hpl),
+  // so one process column owns the whole b̂ panel and its local columns
+  // are contiguous.
+  const int pc_b = a.cols().owner(n);
   const bool have_b = g.mycol() == pc_b;
 
   Timer mpi;
 
-  // Host copy of my piece of b̂ (updated in place during the sweep).
-  std::vector<T> bh(static_cast<std::size_t>(a.mloc()), T(0));
+  // Host copy of my piece of the b̂ panel (mloc×nrhs, updated in place
+  // during the sweep).
+  const long ldb = std::max<long>(a.mloc(), 1);
+  std::vector<T> bh(static_cast<std::size_t>(ldb) *
+                        static_cast<std::size_t>(nrhs),
+                    T(0));
   if (have_b && a.mloc() > 0) {
     const long jl_b = a.cols().to_local(n);
-    device::copy_matrix_d2h(stream, a.mloc(), 1, a.at(0, jl_b), a.lda(),
-                            bh.data(), a.mloc());
+    device::copy_matrix_d2h(stream, a.mloc(), nrhs, a.at(0, jl_b), a.lda(),
+                            bh.data(), ldb);
     stream.synchronize();
   }
 
-  std::vector<T> x(static_cast<std::size_t>(n), T(0));
-  std::vector<T> xk(static_cast<std::size_t>(nb), T(0));
+  std::vector<T> x(static_cast<std::size_t>(n) *
+                       static_cast<std::size_t>(nrhs),
+                   T(0));
+  std::vector<T> xk;  // jbk×nrhs segment panel, ld = jbk (contiguous)
   std::vector<T> y;
 
   for (long k = nblocks - 1; k >= 0; --k) {
     const long jk = k * nb;
     const int jbk = static_cast<int>(std::min<long>(nb, n - jk));
+    const std::size_t seg = static_cast<std::size_t>(jbk) *
+                            static_cast<std::size_t>(nrhs);
     const int prow_k = a.rows().owner(jk);
     const int pcol_k = a.cols().owner(jk);
     const bool diag_row = g.myrow() == prow_k;
     const bool diag_col = g.mycol() == pcol_k;
+    xk.assign(seg, T(0));
 
-    // 1. Move the b_k segment from b's column to the diagonal owner.
+    // 1. Move the b_k panel segment from b's column to the diagonal
+    //    owner: jbk rows of every RHS column, packed ld=jbk.
     if (diag_row) {
       const long il = a.rows().to_local(jk);
       if (have_b && !diag_col) {
+        for (long r = 0; r < nrhs; ++r)
+          copy_vector(xk.data() + r * jbk, bh.data() + il + r * ldb, jbk);
         mpi.start();
-        g.row_comm().send(bh.data() + il, static_cast<std::size_t>(jbk),
-                          pcol_k, kTagB);
+        g.row_comm().send(xk.data(), seg, pcol_k, kTagB);
         mpi.stop();
       } else if (diag_col && !have_b) {
         mpi.start();
-        g.row_comm().recv(xk.data(), static_cast<std::size_t>(jbk), pc_b,
-                          kTagB);
+        g.row_comm().recv(xk.data(), seg, pc_b, kTagB);
         mpi.stop();
       } else if (diag_col && have_b) {
-        copy_vector(xk.data(), bh.data() + il, jbk);
+        for (long r = 0; r < nrhs; ++r)
+          copy_vector(xk.data() + r * jbk, bh.data() + il + r * ldb, jbk);
       }
     }
 
     // 2. The diagonal owner solves its triangle in place on the device —
-    //    device::trsv_upper reads the NB×NB block straight from the
-    //    distributed matrix, eliminating the former d2h staging copy and
-    //    the host dtrsv it fed.
+    //    the block is read straight from the distributed matrix with no
+    //    d2h staging copy. nrhs == 1 keeps the vector kernel so the
+    //    classic path stays bitwise untouched; wider panels run the
+    //    blocked trsm.
     if (diag_row && diag_col) {
       const long il = a.rows().to_local(jk);
       const long jl = a.cols().to_local(jk);
-      device::trsv_upper(stream, static_cast<long>(jbk), a.at(il, jl),
-                         a.lda(), xk.data());
+      if (nrhs == 1) {
+        device::trsv_upper(stream, static_cast<long>(jbk), a.at(il, jl),
+                           a.lda(), xk.data());
+      } else {
+        device::trsm_upper(stream, static_cast<long>(jbk), nrhs,
+                           a.at(il, jl), a.lda(), xk.data(),
+                           static_cast<long>(jbk));
+      }
       stream.synchronize();
     }
 
     // 3. Broadcast x_k down the diagonal column; apply the local update
     //    U(:, k)·x_k to the rows above block k and ship it to b's column.
     if (diag_col) {
-      // The synchronize after trsv_upper is the edge that makes this host
-      // read of the device-written xk legal.
+      // The synchronize after the triangular solve is the edge that makes
+      // this host read of the device-written xk legal.
       {
         device::HostAccessScope bcast_guard(
             a.dev().hazard(), "backsolve.bcast_xk",
-            {device::span_read(xk.data(), static_cast<std::size_t>(jbk))});
+            {device::span_read(xk.data(), seg)});
         mpi.start();
-        comm::bcast(g.col_comm(), xk.data(), static_cast<std::size_t>(jbk),
-                    prow_k);
+        comm::bcast(g.col_comm(), xk.data(), seg, prow_k);
         mpi.stop();
       }
-      copy_vector(x.data() + jk, xk.data(), jbk);
+      for (long r = 0; r < nrhs; ++r)
+        copy_vector(x.data() + jk + r * n, xk.data() + r * jbk, jbk);
 
       const long m_above = a.row_offset(jk);
-      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)), T(0));
+      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)) *
+                   static_cast<std::size_t>(nrhs),
+               T(0));
       if (m_above > 0) {
         const long jl = a.cols().to_local(jk);
-        // y = A(0..m_above, block k) · x_k on the device (an m×1 GEMM).
+        // y = A(0..m_above, block k) · x_k on the device (an m×nrhs GEMM).
         // x_k is staged through a device-visible scratch via the kernels'
         // host-memory equivalence.
-        device::gemm(stream, m_above, 1, static_cast<long>(jbk), T(1),
+        device::gemm(stream, m_above, nrhs, static_cast<long>(jbk), T(1),
                      a.at(0, jl), a.lda(), xk.data(), static_cast<long>(jbk),
                      T(0), y.data(), m_above);
         stream.synchronize();
       }
+      const std::size_t ycnt = static_cast<std::size_t>(m_above) *
+                               static_cast<std::size_t>(nrhs);
       if (!have_b) {
         mpi.start();
-        g.row_comm().send(y.data(), static_cast<std::size_t>(m_above), pc_b,
-                          kTagY);
+        g.row_comm().send(y.data(), ycnt, pc_b, kTagY);
         mpi.stop();
       } else {
         // y was produced by the device gemm above; its synchronize is the
         // ordering edge for this host read-modify-write.
         device::HostAccessScope axpy_guard(
             a.dev().hazard(), "backsolve.axpy",
-            {device::span_read(y.data(), static_cast<std::size_t>(m_above)),
-             device::span_write(bh.data(),
-                                static_cast<std::size_t>(m_above))});
-        sub_vector(bh.data(), y.data(), m_above);
+            {device::span_read(y.data(), ycnt),
+             device::span_write(bh.data(), bh.size())});
+        for (long r = 0; r < nrhs; ++r)
+          sub_vector(bh.data() + r * ldb, y.data() + r * m_above, m_above);
       }
     } else if (have_b) {
       const long m_above = a.row_offset(jk);
-      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)), T(0));
+      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)) *
+                   static_cast<std::size_t>(nrhs),
+               T(0));
       mpi.start();
-      g.row_comm().recv(y.data(), static_cast<std::size_t>(m_above), pcol_k,
-                        kTagY);
+      g.row_comm().recv(y.data(),
+                        static_cast<std::size_t>(m_above) *
+                            static_cast<std::size_t>(nrhs),
+                        pcol_k, kTagY);
       mpi.stop();
-      sub_vector(bh.data(), y.data(), m_above);
+      for (long r = 0; r < nrhs; ++r)
+        sub_vector(bh.data() + r * ldb, y.data() + r * m_above, m_above);
     }
   }
 
   // 4. Combine the x segments: exactly one rank per diagonal column —
   //    grid row 0 — contributes each block; everyone else holds zeros.
-  std::vector<T> xsum(static_cast<std::size_t>(n), T(0));
+  std::vector<T> xsum(x.size(), T(0));
   for (long k = 0; k < nblocks; ++k) {
     const long jk = k * nb;
     const int jbk = static_cast<int>(std::min<long>(nb, n - jk));
     if (g.mycol() == a.cols().owner(jk) && g.myrow() == 0) {
-      copy_vector(xsum.data() + jk, x.data() + jk, jbk);
+      for (long r = 0; r < nrhs; ++r)
+        copy_vector(xsum.data() + jk + r * n, x.data() + jk + r * n, jbk);
     }
   }
   mpi.start();

@@ -25,9 +25,14 @@
 
 namespace hplx::core {
 
-/// Collective over the grid. Returns the full solution vector (length n),
-/// replicated on every rank, widened to double. Adds communication time
-/// to *mpi_seconds.
+/// Collective over the grid. Returns the full solution panel — n×nrhs
+/// column-major (length n·a.nrhs(), solution of RHS column r at
+/// [r·n, (r+1)·n)) — replicated on every rank, widened to double. For
+/// nrhs == 1 this is the classic length-n solution vector. Multi-RHS runs
+/// the same bottom-up sweep with every per-block stage blocked over the
+/// RHS panel: one device trsm (device::trsm_upper) per diagonal block, one
+/// m×nrhs GEMM per column contribution, one (jbk·nrhs)-element broadcast
+/// per segment. Adds communication time to *mpi_seconds.
 template <typename T>
 std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
                               device::Stream& stream, double* mpi_seconds);

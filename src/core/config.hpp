@@ -67,6 +67,17 @@ enum class PrecisionMode { FP64, MXP32, MXP16Sim };
 
 const char* to_string(PrecisionMode p);
 
+/// Pivoting strategy of the panel factorization. Full is classic HPL
+/// partial (row) pivoting. None skips the pivot search entirely — valid
+/// for diagonally-dominant systems (the HPL-MxP deployment case), where
+/// every diagonal entry already dominates its column. With pivoting off
+/// the whole row-swap machinery disappears: no pivot messages, no
+/// U-assembly wire traffic, no scatter fences — only a broadcast of the
+/// factored top block down the process column.
+enum class PivotMode { Full, None };
+
+const char* to_string(PivotMode p);
+
 struct HplConfig {
   long n = 1024;   ///< global problem size N
   int nb = 64;     ///< blocking factor NB
@@ -112,6 +123,24 @@ struct HplConfig {
   std::function<void(comm::Communicator& row_comm, void* buf,
                      std::size_t bytes, int root)>
       custom_bcast;
+
+  /// Pivoting strategy. PivotMode::None requires a diagonally-dominant
+  /// matrix (set `diag_dominant`) — there is no runtime dominance check
+  /// beyond the existing zero-pivot guard.
+  PivotMode pivoting = PivotMode::Full;
+
+  /// Right-hand sides solved per run. The matrix is generated as
+  /// N×(N+nrhs) — columns N..N+nrhs-1 are the RHS panel — and the
+  /// backsolve runs a blocked trsm/gemm over the whole n×nrhs panel.
+  /// Currently all RHS columns must land in the trailing column block
+  /// (nrhs ≤ NB − N mod NB when N is not a block multiple, or ≤ NB).
+  int nrhs = 1;
+
+  /// Generate a diagonally-dominant matrix: the seeded generator adds +N
+  /// to every diagonal entry, making each |a_ii| ≥ N − 0.5 while every
+  /// off-diagonal row sum stays below (N−1)/2 — margin ≥ N/2. This is the
+  /// input family where `pivoting = none` is numerically safe.
+  bool diag_dominant = false;
 
   FactVariant fact = FactVariant::RecursiveRight;
   /// Base variant used at the recursion leaves (HPL's PFACT).

@@ -54,7 +54,8 @@ class Solver {
                                  : grid::GridOrder::ColMajor),
         dev_("gcd" + std::to_string(world.rank()), cfg.hbm_bytes,
              cfg.dev_model, cfg.hazard_check),
-        a_(dev_, grid_, cfg.n, cfg.nb, cfg.seed),
+        a_(dev_, grid_, cfg.n, cfg.nb, cfg.seed, cfg.nrhs,
+           cfg.diag_dominant ? static_cast<double>(cfg.n) : 0.0),
         pool_(dev_,
               std::clamp(cfg.update_streams, 1, trace::kMaxUpdateStreams),
               "compute"),
@@ -76,6 +77,7 @@ class Solver {
                                rs_right_.get(), rs_right_next_.get()}) {
       rs->reserve(cfg.nb, a_.nloc(), cfg.p);
       rs->set_pipeline(cfg.swap_wire, swap_chunk_bytes);
+      rs->set_pivot_mode(cfg.pivoting);
       rs->set_test_skip_scatter_fence(cfg.test_skip_scatter_fence);
     }
     w_.reserve(static_cast<std::size_t>(std::max<long>(a_.mloc(), 1)) *
@@ -128,12 +130,14 @@ class Solver {
 
     if (cfg_.verify) {
       result.verify =
-          verify_solution(grid_, cfg_.n, cfg_.nb, cfg_.seed, x_);
+          verify_solution(grid_, cfg_.n, cfg_.nb, cfg_.seed, x_,
+                          /*threshold=*/16.0, cfg_.nrhs, a_.diag_shift());
     }
 
     result.fact_seconds = fact_total_;
     result.mpi_seconds = mpi_total_;
     result.rs_wire_seconds = rs_wire_total_;
+    result.rs_wire_bytes = rs_wire_bytes_total_;
     result.rs_unpack_seconds = rs_unpack_total_;
     result.rs_overlap_efficiency =
         rs_wire_total_ > 0.0
@@ -235,6 +239,9 @@ class Solver {
     task.ipiv = panel.ipiv.data();
     task.is_curr = is_curr;
     task.tile_rows = cfg_.nb;
+    // col_comm ranks are process rows, so the diagonal block's owner row
+    // is its broadcast root for the no-pivot factorization.
+    task.diag_root = a_.rows().owner(j);
 
     FactTimers ft;
     panel_factorize(grid_.col_comm(), cfg_, team_, task, &ft);
@@ -254,8 +261,10 @@ class Solver {
     }
     data_.synchronize();
 
-    // Pack L2 for the row broadcast (ld mw -> ld ml2).
-    for (int c = 0; c < jb; ++c) {
+    // Pack L2 for the row broadcast (ld mw -> ld ml2). ml2 can be zero on
+    // ranks that own no rows below the panel (e.g. a one-panel problem on a
+    // taller grid) — an empty l2 has a null data(), so skip the pack.
+    for (int c = 0; ml2 > 0 && c < jb; ++c) {
       std::memcpy(panel.l2.data() + static_cast<std::size_t>(c) * ml2,
                   w_.data() + l2_start + static_cast<std::size_t>(c) * ldw,
                   static_cast<std::size_t>(ml2) * sizeof(T));
@@ -296,6 +305,7 @@ class Solver {
     mpi_total_ += st.mpi;
     rs_wire_total_ += st.rs.wire_s;
     rs_unpack_total_ += st.rs.unpack_s;
+    rs_wire_bytes_total_ += st.rs.wire_bytes;
     if (my_col(j) && my_row(j)) {
       trace::IterationRecord rec;
       rec.iteration = iter;
@@ -400,6 +410,7 @@ class Solver {
       mpi_total_ += st.mpi;
       rs_wire_total_ += st.rs.wire_s;
       rs_unpack_total_ += st.rs.unpack_s;
+      rs_wire_bytes_total_ += st.rs.wire_bytes;
     }
 
     int iter = 0;
@@ -737,6 +748,7 @@ class Solver {
   double mpi_total_ = 0.0;
   double rs_wire_total_ = 0.0;
   double rs_unpack_total_ = 0.0;
+  long rs_wire_bytes_total_ = 0;
   double busy0_[trace::kMaxUpdateStreams] = {};
   double real0_[trace::kMaxUpdateStreams] = {};
 };
@@ -772,7 +784,9 @@ HplResult run_mxp(comm::Communicator& world, const HplConfig& cfg,
                       result.seconds / 1e9;
       if (cfg.verify) {
         result.verify = verify_solution(solver.grid(), cfg.n, cfg.nb,
-                                        cfg.seed, rr.x);
+                                        cfg.seed, rr.x, /*threshold=*/16.0,
+                                        cfg.nrhs,
+                                        solver.matrix().diag_shift());
       }
       return result;
     }
@@ -799,7 +813,14 @@ HplResult run_hpl(comm::Communicator& world, const HplConfig& cfg) {
   HPLX_CHECK_MSG(world.size() == cfg.p * cfg.q,
                  "run_hpl needs " << cfg.p * cfg.q << " ranks, got "
                  << world.size());
-  HPLX_CHECK(cfg.n >= 1 && cfg.nb >= 1);
+  HPLX_CHECK(cfg.n >= 1 && cfg.nb >= 1 && cfg.nrhs >= 1);
+  // The multi-RHS solve (backsolve, verify, refine) assumes every RHS
+  // column shares the trailing column block with classic column N, so one
+  // process column owns the whole b̂ panel contiguously.
+  HPLX_CHECK_MSG(cfg.n / cfg.nb ==
+                     (cfg.n + static_cast<long>(cfg.nrhs) - 1) / cfg.nb,
+                 "nrhs = " << cfg.nrhs << " spills past the trailing column "
+                 "block (n = " << cfg.n << ", nb = " << cfg.nb << ")");
   // Transport + BLAS knobs are process/fabric-global: the threshold is an
   // atomic every rank stores identically, and set_num_threads is a no-op
   // when the team already has the requested size.

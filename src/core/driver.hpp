@@ -2,8 +2,10 @@
 /// \file driver.hpp
 /// \brief The hplx public entry point: the distributed HPL solve.
 ///
-/// run_hpl generates the seeded N×(N+1) augmented system on the simulated
-/// accelerators, LU-factors it with partial pivoting using the configured
+/// run_hpl generates the seeded N×(N+NRHS) augmented system on the
+/// simulated accelerators (NRHS = cfg.nrhs right-hand sides carried as
+/// trailing columns, classically one), LU-factors it with partial — or,
+/// for diagonally dominant systems, no — pivoting using the configured
 /// pipeline (§III: look-ahead and split update), backsolves, and verifies.
 /// It is collective: every rank of `world` (which must have exactly
 /// cfg.p × cfg.q ranks) calls it with the same configuration.
@@ -40,6 +42,11 @@ struct HplResult {
   double rs_wire_seconds = 0.0;
   double rs_unpack_seconds = 0.0;
   double rs_overlap_efficiency = 0.0;
+  /// Bytes the row-swap collectives put on the wire (this rank), summed
+  /// over every window: U-assembly allgatherv + displaced scatterv. Zero
+  /// when pivoting == PivotMode::None — the no-pivot path replaces the
+  /// swap machinery with a plain panel broadcast charged to mpi_seconds.
+  long rs_wire_bytes = 0;
 
   /// Per-stream occupancy of the trailing-update pool (this rank), one
   /// entry per pool stream: modeled busy seconds and wall-clock busy

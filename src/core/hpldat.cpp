@@ -99,6 +99,7 @@ FactVariant fact_from_code(long code, const char* what) {
     case 0: return FactVariant::Left;
     case 1: return FactVariant::Crout;
     case 2: return FactVariant::Right;
+    case 3: return FactVariant::RecursiveRight;  // hplx extension code
     default:
       HPLX_CHECK_MSG(false, "HPL.dat " << what << " code out of range: "
                      << code);
@@ -138,7 +139,11 @@ long fact_to_code(FactVariant v) {
     case FactVariant::Left: return 0;
     case FactVariant::Crout: return 1;
     case FactVariant::Right: return 2;
-    case FactVariant::RecursiveRight: return 2;
+    // hplx extension: classic HPL has no explicit code for the recursive
+    // variant (it *is* the RFACT), but hplx exposes it as a first-class
+    // FactVariant — 3 keeps write→read lossless instead of collapsing
+    // onto Right.
+    case FactVariant::RecursiveRight: return 3;
   }
   return 2;
 }
@@ -278,6 +283,20 @@ HplDat parse_hpldat(std::istream& in) {
     dat.ir_tol = r.real("IR tolerance");
     HPLX_CHECK_MSG(dat.ir_tol > 0.0, "HPL.dat: IR tolerance must be > 0");
   }
+  if (!r.eof()) {
+    dat.pivoting = static_cast<int>(r.integer("pivoting"));
+    HPLX_CHECK_MSG(dat.pivoting == 0 || dat.pivoting == 1,
+                   "HPL.dat: pivoting must be 0 (full) or 1 (none)");
+  }
+  if (!r.eof()) {
+    dat.diag_dominant = static_cast<int>(r.integer("diag dominant"));
+    HPLX_CHECK_MSG(dat.diag_dominant == 0 || dat.diag_dominant == 1,
+                   "HPL.dat: diag dominant must be 0 or 1");
+  }
+  if (!r.eof()) {
+    dat.nrhs = static_cast<int>(r.integer("RHS count"));
+    HPLX_CHECK_MSG(dat.nrhs >= 1, "HPL.dat: RHS count must be >= 1");
+  }
   return dat;
 }
 
@@ -292,20 +311,24 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
     for (long n : dat.ns) {
       for (int nb : dat.nbs) {
         for (FactVariant pfact : dat.pfacts) {
+         for (FactVariant rfact : dat.rfacts) {
           for (int nbmin : dat.nbmins) {
             for (int ndiv : dat.ndivs) {
               for (int depth : dat.depths) {
                 for (comm::BcastAlgo bcast : dat.bcasts) {
-                  // Classic semantics: PFACT is the base variant at the
-                  // recursion leaves (RFACT selects the recursion
-                  // ordering, which hplx always does right-looking — the
-                  // paper's configuration).
+                  // Classic semantics: RFACT is the top-level panel
+                  // variant (code 3 = recursive, the hplx extension and
+                  // the paper's configuration) and PFACT is the base
+                  // variant at the recursion leaves. A non-recursive
+                  // RFACT runs that unblocked variant over the whole
+                  // panel, so every HPL.dat variant line selects a
+                  // distinct code path.
                   HplConfig cfg;
                   cfg.n = n;
                   cfg.nb = nb;
                   cfg.p = dat.ps[g];
                   cfg.q = dat.qs[g];
-                  cfg.fact = FactVariant::RecursiveRight;
+                  cfg.fact = rfact;
                   cfg.rfact_base = pfact;
                   cfg.rfact_nbmin = nbmin;
                   cfg.rfact_ndiv = ndiv;
@@ -338,11 +361,16 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
                                       : PrecisionMode::FP64;
                   cfg.ir_max_iters = dat.ir_max_iters;
                   cfg.ir_tol = dat.ir_tol;
+                  cfg.pivoting = dat.pivoting == 1 ? PivotMode::None
+                                                   : PivotMode::Full;
+                  cfg.diag_dominant = dat.diag_dominant != 0;
+                  cfg.nrhs = dat.nrhs;
                   out.push_back(cfg);
                 }
               }
             }
           }
+         }
         }
       }
     }
@@ -382,7 +410,7 @@ std::string format_hpldat(const HplDat& dat) {
   };
   os << dat.pfacts.size() << "  # of panel fact\n";
   codes(dat.pfacts);
-  os << "  PFACTs (0=left, 1=Crout, 2=Right)\n";
+  os << "  PFACTs (0=left, 1=Crout, 2=Right, 3=recursive)\n";
   os << dat.nbmins.size() << "  # of recursive stopping criterium\n";
   list(dat.nbmins);
   os << "  NBMINs (>= 1)\n";
@@ -391,7 +419,7 @@ std::string format_hpldat(const HplDat& dat) {
   os << "  NDIVs\n";
   os << dat.rfacts.size() << "  # of recursive panel fact.\n";
   codes(dat.rfacts);
-  os << "  RFACTs (0=left, 1=Crout, 2=Right)\n";
+  os << "  RFACTs (0=left, 1=Crout, 2=Right, 3=recursive)\n";
   os << dat.depths.size() << "  # of lookahead depth\n";
   list(dat.depths);
   os << "  DEPTHs (>=0)\n";
@@ -427,6 +455,10 @@ std::string format_hpldat(const HplDat& dat) {
      << "  precision (hplx extension, fp64|mxp32|mxp16-sim)\n";
   os << dat.ir_max_iters << "  IR max iters (hplx extension, mxp modes)\n";
   os << dat.ir_tol << "  IR tolerance (hplx extension, scaled residual)\n";
+  os << dat.pivoting << "  pivoting (hplx extension, 0=full,1=none)\n";
+  os << dat.diag_dominant
+     << "  diag dominant (hplx extension, 0=no,1=yes)\n";
+  os << dat.nrhs << "  RHS count (hplx extension, >=1)\n";
   return os.str();
 }
 

@@ -71,6 +71,15 @@ struct HplDat {
   std::string precision = "fp64";
   int ir_max_iters = 30;  ///< refinement correction budget (mxp modes)
   double ir_tol = 16.0;   ///< scaled-residual target refinement must reach
+  /// Pivoting strategy: 0 = full partial pivoting (classic HPL), 1 = no
+  /// pivoting (gesv_nopiv path; requires a diagonally-dominant matrix).
+  int pivoting = 0;
+  /// 1 = generate a diagonally-dominant matrix (+N on the diagonal) — the
+  /// input family where `pivoting = 1` is numerically safe.
+  int diag_dominant = 0;
+  /// Right-hand sides per solve (>= 1): the backsolve runs blocked
+  /// trsm/gemm over an n×nrhs panel instead of the single-vector path.
+  int nrhs = 1;
 };
 
 /// Parse an HPL.dat stream. Throws hplx::Error with a line diagnostic on

@@ -12,17 +12,20 @@ namespace {
 // source of truth: a float matrix is the element-wise cast of the double
 // one, never an independently generated stream, so every precision solves
 // (a rounding of) the same system.
-void fill_local(std::uint64_t seed, long n, int nb, int myrow, int mycol,
-                int nprow, int npcol, double* a, long lda, long /*nloc*/) {
-  rng::generate_local(seed, n, n + 1, nb, myrow, mycol, nprow, npcol, a, lda);
+void fill_local(std::uint64_t seed, long n, long gn, int nb, int myrow,
+                int mycol, int nprow, int npcol, double* a, long lda,
+                long /*nloc*/, double diag_shift) {
+  rng::generate_local(seed, n, gn, nb, myrow, mycol, nprow, npcol, a, lda,
+                      diag_shift);
 }
 
-void fill_local(std::uint64_t seed, long n, int nb, int myrow, int mycol,
-                int nprow, int npcol, float* a, long lda, long nloc) {
+void fill_local(std::uint64_t seed, long n, long gn, int nb, int myrow,
+                int mycol, int nprow, int npcol, float* a, long lda,
+                long nloc, double diag_shift) {
   std::vector<double> tmp(static_cast<std::size_t>(lda) *
                           static_cast<std::size_t>(nloc > 0 ? nloc : 1));
-  rng::generate_local(seed, n, n + 1, nb, myrow, mycol, nprow, npcol,
-                      tmp.data(), lda);
+  rng::generate_local(seed, n, gn, nb, myrow, mycol, nprow, npcol,
+                      tmp.data(), lda, diag_shift);
   for (std::size_t i = 0; i < tmp.size(); ++i)
     a[i] = static_cast<float>(tmp[i]);
 }
@@ -31,28 +34,31 @@ void fill_local(std::uint64_t seed, long n, int nb, int myrow, int mycol,
 
 template <typename T>
 DistMatrixT<T>::DistMatrixT(device::Device& dev, const grid::ProcessGrid& g,
-                            long n, int nb, std::uint64_t seed)
+                            long n, int nb, std::uint64_t seed, int nrhs,
+                            double diag_shift)
     : dev_(dev),
       n_(n),
       nb_(nb),
+      nrhs_(nrhs),
+      diag_shift_(diag_shift),
       seed_(seed),
       myrow_(g.myrow()),
       mycol_(g.mycol()),
       nprow_(g.nprow()),
       npcol_(g.npcol()),
       rows_(n, nb, g.nprow()),
-      cols_(n + 1, nb, g.npcol()),
+      cols_(n + nrhs, nb, g.npcol()),
       mloc_(rows_.local_count(myrow_)),
       nloc_(cols_.local_count(mycol_)),
       lda_(mloc_ > 0 ? mloc_ : 1),
       buf_(dev.alloc_elems<T>(static_cast<std::size_t>(lda_) *
                               static_cast<std::size_t>(nloc_ > 0 ? nloc_
                                                                  : 1))) {
-  HPLX_CHECK(n >= 1 && nb >= 1);
+  HPLX_CHECK(n >= 1 && nb >= 1 && nrhs >= 1);
   // Generation is an init-time device fill (rocHPL generates on-device);
   // it is not charged to any stream.
-  fill_local(seed_, n_, nb_, myrow_, mycol_, nprow_, npcol_, local(), lda_,
-             nloc_);
+  fill_local(seed_, n_, n_ + nrhs_, nb_, myrow_, mycol_, nprow_, npcol_,
+             local(), lda_, nloc_, diag_shift_);
 }
 
 template <typename T>

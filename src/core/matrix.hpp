@@ -28,19 +28,24 @@ template <typename T>
 class DistMatrixT {
  public:
   /// Allocates the local piece on `dev` (throws if it exceeds HBM) and
-  /// fills it with the seeded random augmented system (cast to T).
+  /// fills it with the seeded random augmented system (cast to T). The
+  /// augmented width is N+nrhs — columns N..N+nrhs-1 are the RHS panel —
+  /// and `diag_shift` is added to the diagonal of A (the diagonally-
+  /// dominant generator mode; see rng::generate_local).
   DistMatrixT(device::Device& dev, const grid::ProcessGrid& g, long n, int nb,
-              std::uint64_t seed);
+              std::uint64_t seed, int nrhs = 1, double diag_shift = 0.0);
 
   long n() const { return n_; }
   int nb() const { return nb_; }
+  int nrhs() const { return nrhs_; }
+  double diag_shift() const { return diag_shift_; }
   std::uint64_t seed() const { return seed_; }
 
   const grid::CyclicDim& rows() const { return rows_; }
   const grid::CyclicDim& cols() const { return cols_; }
 
   long mloc() const { return mloc_; }   ///< local rows (of N)
-  long nloc() const { return nloc_; }   ///< local cols (of N+1, incl. b)
+  long nloc() const { return nloc_; }   ///< local cols (of N+nrhs, incl. b)
   long lda() const { return lda_; }
 
   T* local() { return buf_.template data_as<T>(); }
@@ -62,6 +67,8 @@ class DistMatrixT {
   device::Device& dev_;
   long n_;
   int nb_;
+  int nrhs_;
+  double diag_shift_;
   std::uint64_t seed_;
   int myrow_, mycol_, nprow_, npcol_;
   grid::CyclicDim rows_;

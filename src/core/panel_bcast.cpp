@@ -66,8 +66,10 @@ void panel_broadcast(comm::Communicator& row_comm, comm::BcastAlgo algo,
                 static_cast<std::size_t>(panel.jb) * sizeof(long));
     char* payload = reinterpret_cast<char*>(w + 3 + panel.jb);
     std::memcpy(payload, panel.top.data(), panel.top.size() * sizeof(T));
-    std::memcpy(payload + panel.top.size() * sizeof(T), panel.l2.data(),
-                panel.l2.size() * sizeof(T));
+    if (!panel.l2.empty()) {  // empty l2 (ml2 == 0) has a null data()
+      std::memcpy(payload + panel.top.size() * sizeof(T), panel.l2.data(),
+                  panel.l2.size() * sizeof(T));
+    }
   }
 
   Timer timer;
@@ -94,8 +96,10 @@ void panel_broadcast(comm::Communicator& row_comm, comm::BcastAlgo algo,
                 static_cast<std::size_t>(panel.jb) * sizeof(long));
     const char* payload = reinterpret_cast<const char*>(w + 3 + panel.jb);
     std::memcpy(panel.top.data(), payload, panel.top.size() * sizeof(T));
-    std::memcpy(panel.l2.data(), payload + panel.top.size() * sizeof(T),
-                panel.l2.size() * sizeof(T));
+    if (!panel.l2.empty()) {  // empty l2 (ml2 == 0) has a null data()
+      std::memcpy(panel.l2.data(), payload + panel.top.size() * sizeof(T),
+                  panel.l2.size() * sizeof(T));
+    }
   }
 }
 

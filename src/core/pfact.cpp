@@ -59,6 +59,14 @@ const char* to_string(PrecisionMode p) {
   return "?";
 }
 
+const char* to_string(PivotMode p) {
+  switch (p) {
+    case PivotMode::Full: return "full";
+    case PivotMode::None: return "none";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Header of the combined pivot exchange message (HPL_pdmxswp analogue).
@@ -407,6 +415,72 @@ void recurse(Shared<T>& s, int tid, int k0, int kb, FactVariant bv) {
   recurse(s, tid, k0 + k1, kb - k1, bv);
 }
 
+/// No-pivot factorization of the whole panel (gesv_nopiv-style, for
+/// diagonally-dominant inputs). The diagonal-owning rank LU-factors its
+/// jb×jb top block in place with no pivot search, the factored block is
+/// broadcast once down the process column, and every rank retires its
+/// trailing rows with one triangular solve per tile: L2 := A2 · U1^{-1}.
+/// Against full pivoting this replaces jb combined max-loc allreduces
+/// with a single jb×jb broadcast and makes ipiv the identity (ipiv[k] =
+/// j+k), which in turn collapses the row-swap plan to "copy U, move
+/// nothing".
+template <typename T>
+void factor_nopiv(Shared<T>& s, int tid) {
+  const int jb = s.t.jb;
+  const int ldtop = static_cast<int>(s.t.ldtop);
+  if (tid == 0) {
+    if (s.t.is_curr) {
+      // The first jb w rows are exactly globals j..j+jb-1 (ascending), so
+      // the top block is a straight copy — no pivot rows to collect.
+      for (int c = 0; c < jb; ++c)
+        for (int r = 0; r < jb; ++r) s.Top(r, c) = s.W(r, c);
+      // Unpivoted right-looking LU of the top block.
+      for (int k = 0; k < jb; ++k) {
+        const T pivk = s.Top(k, k);
+        if (pivk == T(0)) break;  // reported via the diagonal scan below
+        const int m = jb - (k + 1);
+        if (m > 0) {
+          blas::scal(m, T(1) / pivk, &s.Top(k + 1, k), 1);
+          blas::ger(m, m, T(-1), &s.Top(k + 1, k), 1, &s.Top(k, k + 1),
+                    ldtop, &s.Top(k + 1, k + 1), ldtop);
+        }
+      }
+    }
+    // One broadcast replicates the factored block (ldtop may exceed jb,
+    // so stage it contiguously for the wire).
+    std::vector<T> stage(static_cast<std::size_t>(jb) * jb);
+    if (s.t.is_curr) {
+      for (int c = 0; c < jb; ++c)
+        for (int r = 0; r < jb; ++r)
+          stage[static_cast<std::size_t>(c) * jb + r] = s.Top(r, c);
+    }
+    {
+      Timer timer;
+      timer.start();
+      comm::bcast(s.comm, stage.data(), stage.size(), s.t.diag_root);
+      s.comm_seconds += timer.stop();
+    }
+    if (!s.t.is_curr) {
+      for (int c = 0; c < jb; ++c)
+        for (int r = 0; r < jb; ++r)
+          s.Top(r, c) = stage[static_cast<std::size_t>(c) * jb + r];
+    }
+    // A zero diagonal travels with the block, so every rank agrees on
+    // failure without an extra message.
+    for (int k = 0; k < jb; ++k)
+      if (s.Top(k, k) == T(0)) s.failed.store(true);
+    for (int k = 0; k < jb; ++k) s.t.ipiv[k] = s.t.j + k;
+  }
+  s.team.barrier();
+  if (s.failed.load()) return;
+  s.for_tiles(tid, s.active_start(jb), [&](long r0, long r1) {
+    blas::trsm(blas::Side::Right, blas::Uplo::Upper, blas::Trans::No,
+               blas::Diag::NonUnit, static_cast<int>(r1 - r0), jb, T(1),
+               s.t.top, ldtop, &s.W(r0, 0), static_cast<int>(s.t.ldw));
+  });
+  s.team.barrier();
+}
+
 }  // namespace
 
 template <typename T>
@@ -424,7 +498,9 @@ void panel_factorize(comm::Communicator& col_comm, const HplConfig& cfg,
 
   Shared<T> s(task, cfg, col_comm, team);
   team.run([&](int tid) {
-    if (cfg.fact == FactVariant::RecursiveRight) {
+    if (cfg.pivoting == PivotMode::None) {
+      factor_nopiv(s, tid);
+    } else if (cfg.fact == FactVariant::RecursiveRight) {
       recurse(s, tid, 0, task.jb, cfg.rfact_base);
     } else {
       base(s, tid, 0, task.jb, cfg.fact);

@@ -54,6 +54,10 @@ struct PanelTaskT {
 
   bool is_curr = false;  ///< true on the rank owning the diagonal block row
   int tile_rows = 0;     ///< tile height for the round-robin (0 => jb)
+  /// Rank (within col_comm) of the diagonal-block owner — only read by the
+  /// no-pivot path, which broadcasts the factored top block from it
+  /// instead of accumulating pivot rows via allreduce.
+  int diag_root = 0;
 };
 
 using PanelTask = PanelTaskT<double>;

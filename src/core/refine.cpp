@@ -26,49 +26,60 @@ struct RefineCtx {
   const std::vector<std::vector<long>>& pivots;
   Timer mpi;
 
-  long n, nb, ml, nl, ldh;
-  std::vector<double> ah;    ///< fp64 local [A|b], regenerated (ldh×nl)
+  long n, nrhs, nb, ml, nl, ldh;
+  std::vector<double> ah;    ///< fp64 local [A|B], regenerated (ldh×nl)
   std::vector<long> igmap;   ///< local row il → global row index
-  std::vector<double> b;     ///< replicated rhs (length n)
+  std::vector<double> b;     ///< replicated rhs panel (n×nrhs column-major)
   double norm_a = 0.0;       ///< ||A||_∞
-  double norm_b = 0.0;       ///< ||b||_∞
+  std::vector<double> norm_b;  ///< per-RHS ||b_r||_∞
 
   RefineCtx(grid::ProcessGrid& g_, DistMatrixT<T>& a_,
             device::Stream& stream_,
             const std::vector<std::vector<long>>& pivots_)
       : g(g_), a(a_), stream(stream_), pivots(pivots_) {
     n = a.n();
+    nrhs = a.nrhs();
     nb = a.nb();
     ml = a.mloc();
     nl = a.nloc();
     ldh = std::max<long>(ml, 1);
 
     // One regeneration of the local fp64 operator — the residual is
-    // always measured against the original full-precision system.
+    // always measured against the original full-precision system,
+    // including its diagonal shift when the run is diagonally dominant.
     ah.resize(static_cast<std::size_t>(ldh) *
               static_cast<std::size_t>(std::max<long>(nl, 1)));
-    rng::generate_local(a.seed(), n, n + 1, static_cast<int>(nb), g.myrow(),
-                        g.mycol(), g.nprow(), g.npcol(), ah.data(), ldh);
+    rng::generate_local(a.seed(), n, n + nrhs, static_cast<int>(nb),
+                        g.myrow(), g.mycol(), g.nprow(), g.npcol(), ah.data(),
+                        ldh, a.diag_shift());
 
     igmap.resize(static_cast<std::size_t>(std::max<long>(ml, 1)));
     for (long il = 0; il < ml; ++il)
       igmap[static_cast<std::size_t>(il)] =
           a.rows().to_global(il, g.myrow());
 
-    // Replicated b: each owner of a piece of column N writes its rows,
-    // everyone else holds zeros, one sum assembles the full vector.
-    b.assign(static_cast<std::size_t>(n), 0.0);
-    if (a.cols().owner(n) == g.mycol()) {
-      const long jlb = a.col_offset(n);
+    // Replicated B panel: each owner of a piece of a rhs column (global
+    // columns n..n+nrhs) writes its rows, everyone else holds zeros, one
+    // sum assembles the full panel.
+    b.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(nrhs),
+             0.0);
+    for (long jl = 0; jl < nl; ++jl) {
+      const long jg = a.cols().to_global(jl, g.mycol());
+      if (jg < n || jg >= n + nrhs) continue;
+      double* bcol = b.data() + (jg - n) * n;
       for (long il = 0; il < ml; ++il)
-        b[static_cast<std::size_t>(igmap[static_cast<std::size_t>(il)])] =
-            ah[static_cast<std::size_t>(il + jlb * ldh)];
+        bcol[igmap[static_cast<std::size_t>(il)]] =
+            ah[static_cast<std::size_t>(il + jl * ldh)];
     }
     mpi.start();
     comm::allreduce(g.all_comm(), b.data(), b.size(), comm::ReduceOp::Sum);
     mpi.stop();
-    for (long i = 0; i < n; ++i)
-      norm_b = std::max(norm_b, std::fabs(b[static_cast<std::size_t>(i)]));
+    norm_b.assign(static_cast<std::size_t>(nrhs), 0.0);
+    for (long rhs = 0; rhs < nrhs; ++rhs)
+      for (long i = 0; i < n; ++i)
+        norm_b[static_cast<std::size_t>(rhs)] =
+            std::max(norm_b[static_cast<std::size_t>(rhs)],
+                     std::fabs(b[static_cast<std::size_t>(i + rhs * n)]));
 
     // ||A||_∞ over the replicated row sums.
     std::vector<double> rowsum(static_cast<std::size_t>(n), 0.0);
@@ -88,8 +99,10 @@ struct RefineCtx {
       norm_a = std::max(norm_a, rowsum[static_cast<std::size_t>(i)]);
   }
 
-  /// r = b − A·x into `r` (replicated). Returns the HPL scaled residual.
-  double residual(const std::vector<double>& x, std::vector<double>& r) {
+  /// r = b_rhs − A·x into `r` (replicated); `x` is one solution column
+  /// (length n). Returns that column's HPL scaled residual.
+  double residual(const std::vector<double>& x, std::vector<double>& r,
+                  long rhs) {
     r.assign(static_cast<std::size_t>(n), 0.0);
     for (long jl = 0; jl < nl; ++jl) {
       const long jg = a.cols().to_global(jl, g.mycol());
@@ -104,16 +117,18 @@ struct RefineCtx {
     comm::allreduce(g.all_comm(), r.data(), r.size(), comm::ReduceOp::Sum);
     mpi.stop();
 
+    const double* bcol = b.data() + rhs * n;
     double norm_r = 0.0, norm_x = 0.0;
     for (long i = 0; i < n; ++i) {
       r[static_cast<std::size_t>(i)] =
-          b[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+          bcol[i] - r[static_cast<std::size_t>(i)];
       norm_r = std::max(norm_r, std::fabs(r[static_cast<std::size_t>(i)]));
       norm_x = std::max(norm_x, std::fabs(x[static_cast<std::size_t>(i)]));
     }
     const double eps = std::numeric_limits<double>::epsilon();
     const double denom =
-        eps * (norm_a * norm_x + norm_b) * static_cast<double>(n);
+        eps * (norm_a * norm_x + norm_b[static_cast<std::size_t>(rhs)]) *
+        static_cast<double>(n);
     return denom > 0.0 ? norm_r / denom : norm_r;
   }
 
@@ -271,30 +286,55 @@ RefineResult iterative_refine(grid::ProcessGrid& g, DistMatrixT<T>& a,
                               std::vector<double> x0, int max_iters,
                               double tol, double* mpi_seconds) {
   RefineCtx<T> ctx(g, a, stream, pivots);
+  const long n = a.n();
+  const long nrhs = a.nrhs();
   RefineResult out;
   out.x = std::move(x0);
-  HPLX_CHECK(static_cast<long>(out.x.size()) == a.n());
+  HPLX_CHECK(static_cast<long>(out.x.size()) == n * nrhs);
+  out.converged = true;
 
-  std::vector<double> r;
-  double prev = std::numeric_limits<double>::infinity();
-  for (int it = 0;; ++it) {
-    const double scaled = ctx.residual(out.x, r);
-    out.residual = scaled;
-    if (!std::isfinite(scaled)) break;  // low-precision solve blew up
-    if (scaled < tol) {
-      out.converged = true;
-      break;
+  // Each RHS column refines independently against its own b column; the
+  // regenerated operator, row map, and pivot replay are shared through the
+  // one context. Reported iters/residual are the worst column's, and
+  // `converged` requires every column to pass.
+  std::vector<double> xcol(static_cast<std::size_t>(n)), r;
+  for (long rhs = 0; rhs < nrhs; ++rhs) {
+    for (long i = 0; i < n; ++i)
+      xcol[static_cast<std::size_t>(i)] =
+          out.x[static_cast<std::size_t>(i + rhs * n)];
+
+    double prev = std::numeric_limits<double>::infinity();
+    double resid = 0.0;
+    int iters = 0;
+    bool conv = false;
+    for (int it = 0;; ++it) {
+      const double scaled = ctx.residual(xcol, r, rhs);
+      resid = scaled;
+      if (!std::isfinite(scaled)) break;  // low-precision solve blew up
+      if (scaled < tol) {
+        conv = true;
+        break;
+      }
+      // Stalled (no strict decrease) or out of budget: let the driver fall
+      // back to fp64 rather than polishing a hopeless iterate.
+      if (it >= max_iters || scaled >= prev) break;
+      prev = scaled;
+
+      const std::vector<T> d = ctx.correct(r);
+      for (long i = 0; i < n; ++i)
+        xcol[static_cast<std::size_t>(i)] +=
+            static_cast<double>(d[static_cast<std::size_t>(i)]);
+      ++iters;
     }
-    // Stalled (no strict decrease) or out of budget: let the driver fall
-    // back to fp64 rather than polishing a hopeless iterate.
-    if (it >= max_iters || scaled >= prev) break;
-    prev = scaled;
 
-    const std::vector<T> d = ctx.correct(r);
-    for (long i = 0; i < a.n(); ++i)
-      out.x[static_cast<std::size_t>(i)] +=
-          static_cast<double>(d[static_cast<std::size_t>(i)]);
-    ++out.iters;
+    for (long i = 0; i < n; ++i)
+      out.x[static_cast<std::size_t>(i + rhs * n)] =
+          xcol[static_cast<std::size_t>(i)];
+    out.iters = std::max(out.iters, iters);
+    out.converged = out.converged && conv;
+    // max over columns, but keep a non-finite residual visible (NaN
+    // compares false, so assign the first column unconditionally).
+    if (rhs == 0 || resid > out.residual) out.residual = resid;
   }
 
   if (mpi_seconds != nullptr) *mpi_seconds += ctx.mpi.total();

@@ -34,18 +34,20 @@
 namespace hplx::core {
 
 struct RefineResult {
-  std::vector<double> x;   ///< refined solution, replicated on every rank
-  int iters = 0;           ///< correction steps applied (x-updates)
-  bool converged = false;  ///< scaled residual < tol at exit
-  double residual = 0.0;   ///< final HPL scaled residual
+  std::vector<double> x;   ///< refined n×nrhs panel, replicated everywhere
+  int iters = 0;           ///< correction steps (worst RHS column)
+  bool converged = false;  ///< every RHS column's residual < tol at exit
+  double residual = 0.0;   ///< final HPL scaled residual (worst column)
 };
 
 /// Collective over the grid. `a` holds the low-precision LU factors (the
 /// matrix after the factorization); `pivots[k]` is panel k's global pivot
 /// row list (length = that panel's jb); `x0` is the low-precision solve's
-/// solution, replicated and widened to double. `tol` is the HPL residual
+/// solution panel — n×nrhs column-major, replicated and widened to double.
+/// Each RHS column is refined independently against its own regenerated b
+/// column, sharing one regenerated operator. `tol` is the HPL residual
 /// threshold the refined solution must pass; `max_iters` bounds the
-/// correction count. Communication time is added to *mpi_seconds.
+/// correction count per column. Communication time goes to *mpi_seconds.
 template <typename T>
 RefineResult iterative_refine(grid::ProcessGrid& g, DistMatrixT<T>& a,
                               device::Stream& stream,

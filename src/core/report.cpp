@@ -14,7 +14,10 @@ char fact_letter(FactVariant v) {
     case FactVariant::Left: return 'L';
     case FactVariant::Crout: return 'C';
     case FactVariant::Right: return 'R';
-    case FactVariant::RecursiveRight: return 'R';
+    // Distinct letter so the T/V string round-trips the variant — folding
+    // the recursive variant into 'R' made recursive-over-Right runs
+    // indistinguishable from plain Right-looking ones.
+    case FactVariant::RecursiveRight: return 'V';
   }
   return 'R';
 }

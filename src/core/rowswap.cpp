@@ -140,6 +140,24 @@ void RowSwapperT<T>::prepare(const RowSwapPlan& plan, const DistMatrixT<T>& a,
   diag_root_ = rows.owner(j_);
   in_diag_row_ = diag_root_ == myrow_;
 
+  if (nopiv_) {
+    // No pivoting: U is the top block verbatim and nothing is displaced.
+    // All index bookkeeping collapses to empty lists (so gather/scatter
+    // take their no-op branches); the only workspace is the broadcast
+    // staging block, and only when the column actually has multiple rows.
+    my_u_slots_.clear();
+    u_dest_of_packed_.clear();
+    u_counts_.assign(static_cast<std::size_t>(nprow_), 0);
+    u_displs_.assign(static_cast<std::size_t>(nprow_), 0);
+    disp_src_slots_.clear();
+    my_disp_dest_slots_.clear();
+    disp_counts_.assign(static_cast<std::size_t>(nprow_), 0);
+    if (nprow_ > 1)
+      ensure_size(gathered_u_, static_cast<std::size_t>(jb_) *
+                                   static_cast<std::size_t>(njl_));
+    return;
+  }
+
   // --- U assembly bookkeeping -------------------------------------------
   // Determine, for each U row k, the owning grid row of its source and the
   // pack order: ranks contribute their sources in ascending k. All ranks
@@ -207,6 +225,21 @@ void RowSwapperT<T>::gather(device::Stream& stream, DistMatrixT<T>& a) {
   hz_ = stream.device().hazard();
   gather_pending_ = false;
   if (njl_ == 0) return;
+  if (nopiv_) {
+    // Single process row: scatter() copies the top block device-to-device,
+    // no staging at all. Otherwise the diagonal row stages its jb×njl top
+    // block (local rows of j_..j_+jb_-1 are contiguous — panels start on
+    // block boundaries) for the column broadcast.
+    if (nprow_ > 1 && in_diag_row_ && jb_ > 0) {
+      const long il0 = a.rows().to_local(j_);
+      device::copy_matrix_d2h(stream, static_cast<long>(jb_), njl_,
+                              a.at(il0, jl0_), a.lda(), gathered_u_.data(),
+                              static_cast<long>(jb_));
+      gather_done_ = stream.record();
+      gather_pending_ = true;
+    }
+    return;
+  }
   T* window = a.at(0, jl0_);
   bool enqueued = false;
   if (!my_u_slots_.empty()) {
@@ -243,6 +276,28 @@ void RowSwapperT<T>::communicate(comm::Communicator& col_comm,
   if (gather_pending_) {
     gather_done_.wait();
     gather_pending_ = false;
+  }
+  if (nopiv_) {
+    // Broadcast the packed top block down the process column. This is the
+    // panel's U replication, not swap traffic: the time goes to the comm
+    // budget and `stats` stays untouched (zero wire seconds/bytes is the
+    // no-pivot invariant the tests assert).
+    if (nprow_ > 1 && njl_ > 0 && jb_ > 0) {
+      const std::size_t cnt =
+          static_cast<std::size_t>(jb_) * static_cast<std::size_t>(njl_);
+      // Root reads what its d2h pack wrote (ordered by the event wait
+      // above); receivers rewrite the staging block scatter() will read.
+      device::HostAccessScope guard(
+          hz_, "rowswap.nopiv_bcast",
+          {in_diag_row_ ? device::span_read(gathered_u_.data(), cnt)
+                        : device::span_write(gathered_u_.data(), cnt)});
+      Timer timer;
+      timer.start();
+      comm::bcast(col_comm, gathered_u_.data(), cnt, diag_root_);
+      const double dt = timer.stop();
+      if (mpi_seconds != nullptr) *mpi_seconds += dt;
+    }
+    return;
   }
   do_communicate(col_comm, mpi_seconds, stream, u_dev, ldu, stats);
 }
@@ -354,6 +409,14 @@ void RowSwapperT<T>::do_communicate(comm::Communicator& col_comm,
   }
   const double dt = timer.stop();
   if (mpi_seconds != nullptr) *mpi_seconds += wire_dt + dt;
+  if (stats != nullptr) {
+    // Wire traffic of this window: the full rank-packed U assembly every
+    // rank receives plus the displaced rows scattered from the root.
+    std::size_t wb = 0;
+    for (std::size_t c : u_counts_) wb += c;
+    for (std::size_t c : disp_counts_) wb += c;
+    stats->wire_bytes += static_cast<long>(wb);
+  }
 }
 
 template <typename T>
@@ -361,6 +424,25 @@ void RowSwapperT<T>::scatter(device::Stream& stream, DistMatrixT<T>& a,
                              T* u_dev, long ldu) {
   if (njl_ == 0) return;
   HPLX_CHECK(ldu >= jb_);
+  if (nopiv_) {
+    if (jb_ > 0) {
+      if (nprow_ == 1) {
+        // The top block is already resident: one d2d copy, zero host hops.
+        const long il0 = a.rows().to_local(j_);
+        device::copy_matrix(stream, static_cast<long>(jb_), njl_,
+                            a.at(il0, jl0_), a.lda(), u_dev, ldu);
+      } else {
+        device::copy_matrix_h2d(stream, static_cast<long>(jb_), njl_,
+                                gathered_u_.data(), static_cast<long>(jb_),
+                                u_dev, ldu);
+      }
+    }
+    // Fence for the next prepare()/communicate() rewrite of gathered_u_
+    // (the h2d copy reads it through a pointer captured at enqueue time).
+    scatter_done_ = stream.record();
+    scatter_pending_ = true;
+    return;
+  }
   T* window = a.at(0, jl0_);
 
   // Displaced rows land back in A.

@@ -60,6 +60,11 @@ struct RowSwapStats {
   double wire_s = 0.0;    ///< wall seconds inside the U-assembly collective
   double unpack_s = 0.0;  ///< modeled device seconds of fused chunk unpacks
   bool fused = false;     ///< per-chunk unpacks were enqueued on delivery
+  /// Bytes this window's swap collectives put on the wire (U-assembly
+  /// allgatherv total + displaced scatterv). Stays zero on the no-pivot
+  /// path — its U replication is a plain panel broadcast charged to comm
+  /// time, not row-swap traffic.
+  long wire_bytes = 0;
 };
 
 /// Per-window workspace + this rank's precomputed index lists. One
@@ -101,6 +106,16 @@ class RowSwapperT {
     wire_ = wire;
     chunk_bytes_ = chunk_bytes;
   }
+
+  /// No-pivot mode (HplConfig::pivoting == PivotMode::None): the factored
+  /// U *is* the top block — nothing was swapped, nothing is displaced. The
+  /// three stages collapse: gather() packs the diagonal row's jb×njl block
+  /// (nprow > 1 only), communicate() broadcasts it down the process column
+  /// (time charged to *mpi_seconds, not to RowSwapStats — there is no swap
+  /// traffic), and scatter() lands it in the U buffer — a single
+  /// device-to-device copy when the column has one process row. Call once
+  /// before the first prepare().
+  void set_pivot_mode(PivotMode mode) { nopiv_ = mode == PivotMode::None; }
 
   /// Stage 2: communication over the column communicator, gated on the
   /// event gather() recorded (a no-op wait when this rank had nothing to
@@ -155,6 +170,7 @@ class RowSwapperT {
   bool in_diag_row_ = false;
   comm::AllgatherAlgo u_algo_ = comm::AllgatherAlgo::Ring;
   SwapWireFormat wire_ = SwapWireFormat::RowMajor;
+  bool nopiv_ = false;     ///< no-pivot mode: broadcast-only U replication
   long chunk_bytes_ = -1;  ///< < 0: seed path (blocking + bulk unpack)
   bool fused_delivered_ = false;  ///< this window's U unpacks already enqueued
   bool test_skip_scatter_fence_ = false;

@@ -31,10 +31,17 @@ struct VerifyResult {
   double resid2 = 0.0;  ///< ||Ax−b||_∞ / (ε·||A||_∞·||x||_∞·N)
 };
 
-/// Collective over the grid: `x` must be the replicated solution vector.
+/// Collective over the grid: `x` must be the replicated solution panel —
+/// n×nrhs column-major (the backsolve's return). Each RHS column is
+/// checked against its own regenerated b column (global column n+r) and
+/// its own ||x_r||/||b_r|| norms; the reported residual/norms are the
+/// worst column's, so `passed` means *every* RHS passed. `diag_shift`
+/// must match the generator's diagonal shift (HplConfig::diag_dominant)
+/// so the regenerated operator is the one that was solved.
 VerifyResult verify_solution(grid::ProcessGrid& g, long n, int nb,
                              std::uint64_t seed,
                              const std::vector<double>& x,
-                             double threshold = 16.0);
+                             double threshold = 16.0, int nrhs = 1,
+                             double diag_shift = 0.0);
 
 }  // namespace hplx::core

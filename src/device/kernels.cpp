@@ -93,6 +93,50 @@ void trsv_upper(Stream& s, long n, const T* u, long ldu, T* x) {
       });
 }
 
+template <typename T>
+void trsm_upper(Stream& s, long n, long nrhs, const T* u, long ldu, T* x,
+                long ldx) {
+  if (n <= 0 || nrhs <= 0) return;
+  const Precision prec = s.device().model().precision_for_elem(sizeof(T));
+  const double modeled = s.device().model().trsm_seconds(n, nrhs, prec);
+  s.enqueue_annotated(
+      modeled, "trsm_upper",
+      {span_matrix(u, n, n, ldu, false), span_matrix(x, n, nrhs, ldx, true)},
+      [=] {
+        // Same schedule as trsv_upper with an inner RHS-column loop: the
+        // diagonal block solves each column sequentially (identical
+        // per-element order to the vector kernel, so nrhs==1 is bitwise
+        // the trsv path), then the prefix update retires the block's
+        // contribution to every row above it, tiled over disjoint row
+        // ranges that never alias across RHS columns.
+        constexpr long kBlock = 64;
+        for (long j1 = n; j1 > 0; j1 -= kBlock) {
+          const long j0 = std::max<long>(0, j1 - kBlock);
+          for (long rhs = 0; rhs < nrhs; ++rhs) {
+            T* xcol = x + rhs * ldx;
+            for (long j = j1 - 1; j >= j0; --j) {
+              const T* ucol = u + j * ldu;
+              xcol[j] /= ucol[j];
+              const T t = xcol[j];
+              for (long i = j0; i < j; ++i) xcol[i] -= t * ucol[i];
+            }
+          }
+          if (j0 > 0) {
+            run_column_tiles(j0, [&](long r0, long r1) {
+              for (long rhs = 0; rhs < nrhs; ++rhs) {
+                T* xcol = x + rhs * ldx;
+                for (long j = j0; j < j1; ++j) {
+                  const T* ucol = u + j * ldu;
+                  const T t = xcol[j];
+                  for (long i = r0; i < r1; ++i) xcol[i] -= t * ucol[i];
+                }
+              }
+            });
+          }
+        }
+      });
+}
+
 namespace {
 template <typename T>
 void linear_hcopy(Stream& s, const char* what, T* dst, const T* src,
@@ -471,6 +515,7 @@ void laswp(Stream& s, T* a, long lda, long n, std::vector<long> ipiv) {
   template void trsm_left_lower_unit<T>(Stream&, long, long, const T*, long,  \
                                         T*, long);                            \
   template void trsv_upper<T>(Stream&, long, const T*, long, T*);             \
+  template void trsm_upper<T>(Stream&, long, long, const T*, long, T*, long); \
   template void copy_h2d<T>(Stream&, T*, const T*, std::size_t);              \
   template void copy_d2h<T>(Stream&, T*, const T*, std::size_t);              \
   template void copy_matrix<T>(Stream&, long, long, const T*, long, T*,       \

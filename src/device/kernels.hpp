@@ -60,6 +60,18 @@ void trsm_left_lower_unit(Stream& s, long nb, long n, const T* l1, long ldl,
 template <typename T>
 void trsv_upper(Stream& s, long n, const T* u, long ldu, T* x);
 
+/// Multi-RHS generalization of trsv_upper: solve U·X = B in place over an
+/// n×nrhs column-major RHS panel X (ld = ldx), U an n×n non-unit upper
+/// triangle in device memory. Same blocked right-to-left structure — each
+/// diagonal block back-substitutes every RHS column sequentially, then the
+/// prefix update X[0..j0, :] -= U(0..j0, j0..j1)·X(j0..j1, :) fans out over
+/// the column-tiled engine. Bitwise identical for every tile width and
+/// team size, and bitwise identical to trsv_upper per column when nrhs==1
+/// (same per-element accumulation order).
+template <typename T>
+void trsm_upper(Stream& s, long n, long nrhs, const T* u, long ldu, T* x,
+                long ldx);
+
 /// Asynchronous copies. h2d/d2h are charged at host-link bandwidth, d2d at
 /// HBM bandwidth.
 template <typename T>

@@ -18,26 +18,29 @@ Lcg at_position(std::uint64_t seed, std::uint64_t pos) {
 }
 }  // namespace
 
-double element(std::uint64_t seed, long gm, long i, long j) {
+double element(std::uint64_t seed, long gm, long i, long j,
+               double diag_shift) {
   HPLX_CHECK(i >= 0 && i < gm && j >= 0);
   Lcg g = at_position(seed, static_cast<std::uint64_t>(j) *
                                 static_cast<std::uint64_t>(gm) +
                             static_cast<std::uint64_t>(i));
-  return g.next_centered();
+  return g.next_centered() + (i == j ? diag_shift : 0.0);
 }
 
 void generate_serial(std::uint64_t seed, long gm, long gn, double* a,
-                     long lda) {
+                     long lda, double diag_shift) {
   HPLX_CHECK(lda >= gm);
   Lcg g(seed);
   for (long j = 0; j < gn; ++j) {
     double* col = a + j * lda;
     for (long i = 0; i < gm; ++i) col[i] = g.next_centered();
+    if (diag_shift != 0.0 && j < gm) col[j] += diag_shift;
   }
 }
 
 void generate_local(std::uint64_t seed, long gm, long gn, int nb, int myrow,
-                    int mycol, int nprow, int npcol, double* a, long lda) {
+                    int mycol, int nprow, int npcol, double* a, long lda,
+                    double diag_shift) {
   const grid::CyclicDim rows(gm, nb, nprow);
   const grid::CyclicDim cols(gn, nb, npcol);
   const long ml = rows.local_count(myrow);
@@ -57,6 +60,10 @@ void generate_local(std::uint64_t seed, long gm, long gn, int nb, int myrow,
                                     static_cast<std::uint64_t>(gm) +
                                 static_cast<std::uint64_t>(ig));
       for (long k = 0; k < run; ++k) col[il + k] = g.next_centered();
+      // The run covers consecutive globals ig..ig+run-1; the diagonal
+      // crosses it at most once (at global row jg).
+      if (diag_shift != 0.0 && jg >= ig && jg < ig + run)
+        col[il + (jg - ig)] += diag_shift;
       il += run;
     }
   }

@@ -16,18 +16,27 @@
 
 namespace hplx::rng {
 
-/// Value of global element (i, j); uniform on [-0.5, 0.5).
-double element(std::uint64_t seed, long gm, long i, long j);
+/// Value of global element (i, j); uniform on [-0.5, 0.5), plus
+/// `diag_shift` on the diagonal (i == j). A shift of gm makes the matrix
+/// strictly diagonally dominant — every off-diagonal row sum is below
+/// (gm−1)/2 while the diagonal magnitude is at least gm − 0.5, a margin
+/// of gm/2 — which is the input family where no-pivot LU is safe.
+double element(std::uint64_t seed, long gm, long i, long j,
+               double diag_shift = 0.0);
 
 /// Fill a dense gm×gn matrix serially (tests, reference checks).
 void generate_serial(std::uint64_t seed, long gm, long gn, double* a,
-                     long lda);
+                     long lda, double diag_shift = 0.0);
 
 /// Fill this rank's local part of the gm×gn global matrix distributed
 /// block-cyclically with blocking nb over a P×Q grid; (myrow, mycol) are
 /// this rank's grid coordinates. `a` is the local column-major buffer with
-/// leading dimension lda >= numroc(gm, nb, myrow, P).
+/// leading dimension lda >= numroc(gm, nb, myrow, P). `diag_shift` is
+/// added where the global indices coincide (i == j), identically to the
+/// serial generator, so distributed-vs-serial bit-identity holds for any
+/// shift.
 void generate_local(std::uint64_t seed, long gm, long gn, int nb, int myrow,
-                    int mycol, int nprow, int npcol, double* a, long lda);
+                    int mycol, int nprow, int npcol, double* a, long lda,
+                    double diag_shift = 0.0);
 
 }  // namespace hplx::rng

@@ -82,9 +82,10 @@ TEST(HplDat, ParsesRocHplExtensionLines) {
 TEST(HplDat, ExpandEnumeratesTheCartesianSweep) {
   const HplDat dat = parse_hpldat_string(kClassic);
   const auto cfgs = expand_configs(dat);
-  // grids(3) × N(4) × NB(4) × rfact(3) × nbmin(2) × ndiv(1) × depth(1)
-  // × bcast(2).
-  EXPECT_EQ(cfgs.size(), 3u * 4 * 4 * 3 * 2 * 1 * 1 * 2);
+  // grids(3) × N(4) × NB(4) × pfact(3) × rfact(3) × nbmin(2) × ndiv(1)
+  // × depth(1) × bcast(2) — PFACTs and RFACTs each sweep independently:
+  // RFACT is the top-level variant, PFACT the recursion-leaf base.
+  EXPECT_EQ(cfgs.size(), 3u * 4 * 4 * 3 * 3 * 2 * 1 * 1 * 2);
   // Spot-check the first config.
   const HplConfig& c = cfgs.front();
   EXPECT_EQ(c.n, 29);
@@ -93,6 +94,52 @@ TEST(HplDat, ExpandEnumeratesTheCartesianSweep) {
   EXPECT_EQ(c.q, 2);
   EXPECT_TRUE(c.row_major_grid);
   EXPECT_EQ(c.pipeline, PipelineMode::LookaheadSplit);
+  EXPECT_EQ(c.fact, FactVariant::Left);
+  EXPECT_EQ(c.rfact_base, FactVariant::Left);
+  EXPECT_EQ(c.pivoting, PivotMode::Full);
+  EXPECT_FALSE(c.diag_dominant);
+  EXPECT_EQ(c.nrhs, 1);
+}
+
+TEST(HplDat, FactCodeRoundTripsEveryVariant) {
+  // Code 3 (the hplx recursive extension) must survive parse → format →
+  // parse like the three classic codes — fact_to_code used to fold it
+  // into 2, silently rewriting recursive sweeps as Right-looking ones.
+  std::string text = kClassic;
+  auto pos = text.find("3            # of panel fact");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 1, "4");
+  pos = text.find("0 1 2        PFACTs");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "0 1 2 3");
+  pos = text.find("3            # of recursive panel fact.");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 1, "4");
+  pos = text.find("0 1 2        RFACTs");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "3 2 1 0");
+
+  const HplDat dat = parse_hpldat_string(text);
+  const std::vector<FactVariant> all = {
+      FactVariant::Left, FactVariant::Crout, FactVariant::Right,
+      FactVariant::RecursiveRight};
+  EXPECT_EQ(dat.pfacts, all);
+  EXPECT_EQ(dat.rfacts,
+            (std::vector<FactVariant>{
+                FactVariant::RecursiveRight, FactVariant::Right,
+                FactVariant::Crout, FactVariant::Left}));
+
+  const HplDat again = parse_hpldat_string(format_hpldat(dat));
+  EXPECT_EQ(again.pfacts, dat.pfacts);
+  EXPECT_EQ(again.rfacts, dat.rfacts);
+}
+
+TEST(HplDat, BadFactCodeThrows) {
+  std::string text = kClassic;
+  const auto pos = text.find("0 1 2        PFACTs");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "0 1 4");
+  EXPECT_THROW(parse_hpldat_string(text), Error);
 }
 
 TEST(HplDat, DepthZeroMapsToSimplePipeline) {
@@ -136,7 +183,10 @@ const char kAllExtensions[] =
     "131072       swap chunk bytes\n"
     "mxp32        precision\n"
     "12           IR max iters\n"
-    "8.0          IR tolerance\n";
+    "8.0          IR tolerance\n"
+    "1            pivoting\n"
+    "1            diag dominant\n"
+    "4            RHS count\n";
 
 TEST(HplDat, ParsesEveryExtensionKnob) {
   const HplDat dat = parse_hpldat_string(std::string(kClassic) +
@@ -155,6 +205,9 @@ TEST(HplDat, ParsesEveryExtensionKnob) {
   EXPECT_EQ(dat.precision, "mxp32");
   EXPECT_EQ(dat.ir_max_iters, 12);
   EXPECT_DOUBLE_EQ(dat.ir_tol, 8.0);
+  EXPECT_EQ(dat.pivoting, 1);
+  EXPECT_EQ(dat.diag_dominant, 1);
+  EXPECT_EQ(dat.nrhs, 4);
 }
 
 TEST(HplDat, EveryKnobRoundTripsThroughFormat) {
@@ -197,6 +250,9 @@ TEST(HplDat, EveryKnobRoundTripsThroughFormat) {
   EXPECT_EQ(again.precision, dat.precision);
   EXPECT_EQ(again.ir_max_iters, dat.ir_max_iters);
   EXPECT_DOUBLE_EQ(again.ir_tol, dat.ir_tol);
+  EXPECT_EQ(again.pivoting, dat.pivoting);
+  EXPECT_EQ(again.diag_dominant, dat.diag_dominant);
+  EXPECT_EQ(again.nrhs, dat.nrhs);
 }
 
 TEST(HplDat, PrecisionExpandsIntoConfigs) {
@@ -206,7 +262,26 @@ TEST(HplDat, PrecisionExpandsIntoConfigs) {
     EXPECT_EQ(c.precision, PrecisionMode::MXP32);
     EXPECT_EQ(c.ir_max_iters, 12);
     EXPECT_DOUBLE_EQ(c.ir_tol, 8.0);
+    EXPECT_EQ(c.pivoting, PivotMode::None);
+    EXPECT_TRUE(c.diag_dominant);
+    EXPECT_EQ(c.nrhs, 4);
   }
+}
+
+TEST(HplDat, BadPivotingThrows) {
+  std::string text = std::string(kClassic) + kAllExtensions;
+  const auto pos = text.find("1            pivoting");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = '2';
+  EXPECT_THROW(parse_hpldat_string(text), Error);
+}
+
+TEST(HplDat, BadNrhsThrows) {
+  std::string text = std::string(kClassic) + kAllExtensions;
+  const auto pos = text.find("4            RHS count");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = '0';
+  EXPECT_THROW(parse_hpldat_string(text), Error);
 }
 
 TEST(HplDat, BadPrecisionThrows) {

@@ -48,12 +48,14 @@ std::vector<long> reference_lu(long m, int jb, double* a, long lda) {
   return ipiv;
 }
 
-HplConfig make_cfg(FactVariant v, int threads) {
+HplConfig make_cfg(FactVariant v, int threads,
+                   PivotMode pivoting = PivotMode::Full) {
   HplConfig cfg;
   cfg.fact = v;
   cfg.fact_threads = threads;
   cfg.rfact_nbmin = 4;
   cfg.rfact_ndiv = 2;
+  cfg.pivoting = pivoting;
   return cfg;
 }
 
@@ -64,7 +66,8 @@ struct SingleResult {
 };
 
 SingleResult run_single(const std::vector<double>& a0, long m, int jb,
-                        FactVariant v, int threads, int tile_rows) {
+                        FactVariant v, int threads, int tile_rows,
+                        PivotMode pivoting = PivotMode::Full) {
   SingleResult out;
   out.w = a0;
   out.top.assign(static_cast<std::size_t>(jb) * jb, 0.0);
@@ -73,7 +76,7 @@ SingleResult run_single(const std::vector<double>& a0, long m, int jb,
   for (long i = 0; i < m; ++i) glob[static_cast<std::size_t>(i)] = i;
 
   comm::World::run(1, [&](comm::Communicator& comm) {
-    const HplConfig cfg = make_cfg(v, threads);
+    const HplConfig cfg = make_cfg(v, threads, pivoting);
     ThreadTeam team(threads);
     PanelTask task;
     task.j = 0;
@@ -204,6 +207,164 @@ TEST(Pfact, ThreadCountDoesNotChangeBits) {
   }
   for (std::size_t i = 0; i < r1.top.size(); ++i)
     ASSERT_EQ(r1.top[i], r7.top[i]);
+}
+
+TEST(Pfact, VariantsAgreeOnSamePivotSequence) {
+  // Left/Crout defer the trailing update into gemv sweeps whose rank-k
+  // accumulation order differs from Right's sequential gers, so the last
+  // bits can move — but the pivot sequence must be identical on a
+  // well-separated panel, and the factors must agree to rounding.
+  const long m = 96;
+  const int jb = 16;
+  testref::Rand rng(42);
+  const auto a0 = rng.matrix(static_cast<int>(m), jb, static_cast<int>(m));
+  const double tol = 1e-12;
+
+  const auto right = run_single(a0, m, jb, FactVariant::Right, 2, jb);
+  for (FactVariant v : {FactVariant::Left, FactVariant::Crout,
+                        FactVariant::RecursiveRight}) {
+    const auto r = run_single(a0, m, jb, v, 2, jb);
+    EXPECT_EQ(r.ipiv, right.ipiv) << to_string(v);
+    for (std::size_t i = 0; i < right.top.size(); ++i)
+      ASSERT_NEAR(r.top[i], right.top[i], tol)
+          << to_string(v) << " top[" << i << "]";
+    // Rows < jb of w are per-variant scratch (the factored top block lives
+    // in r.top); only the below-top L2 slots carry the result.
+    for (int c = 0; c < jb; ++c)
+      for (long i = jb; i < m; ++i)
+        ASSERT_NEAR(r.w[i + static_cast<long>(c) * m],
+                    right.w[i + static_cast<long>(c) * m], tol)
+            << to_string(v) << " w(" << i << "," << c << ")";
+  }
+}
+
+/// a0 with `shift` added on the panel diagonal (rows 0..jb-1).
+std::vector<double> diag_dominant_panel(const std::vector<double>& a0,
+                                        long m, int jb, double shift) {
+  std::vector<double> a = a0;
+  for (int k = 0; k < jb; ++k) a[k + static_cast<long>(k) * m] += shift;
+  return a;
+}
+
+TEST(Pfact, NopivFactorsDominantPanelWithIdentityPivots) {
+  const long m = 80;
+  const int jb = 16;
+  testref::Rand rng(5);
+  const auto a0 = diag_dominant_panel(
+      rng.matrix(static_cast<int>(m), jb, static_cast<int>(m)), m, jb,
+      static_cast<double>(m));
+
+  for (int threads : {1, 3}) {
+    const auto r = run_single(a0, m, jb, FactVariant::Right, threads, jb,
+                              PivotMode::None);
+    // ipiv entries are absolute global rows; no-pivot means identity.
+    for (int k = 0; k < jb; ++k)
+      EXPECT_EQ(r.ipiv[static_cast<std::size_t>(k)], k);
+    check_factorization(a0, m, jb, r, 1e-8);
+  }
+}
+
+TEST(Pfact, NopivTopBlockMatchesUnpivotedReference) {
+  // The no-pivot top-block loop is the textbook unpivoted right-looking
+  // elimination — same scal/ger sequence as a reference run, so the
+  // factored jb×jb block must match bit for bit.
+  const long m = 48;
+  const int jb = 12;
+  testref::Rand rng(17);
+  const auto a0 = diag_dominant_panel(
+      rng.matrix(static_cast<int>(m), jb, static_cast<int>(m)), m, jb,
+      static_cast<double>(m));
+
+  std::vector<double> ref(static_cast<std::size_t>(jb) * jb);
+  for (int c = 0; c < jb; ++c)
+    for (int i = 0; i < jb; ++i)
+      ref[i + static_cast<long>(c) * jb] = a0[i + static_cast<long>(c) * m];
+  for (int k = 0; k < jb; ++k) {
+    blas::dscal(jb - k - 1, 1.0 / ref[k + static_cast<long>(k) * jb],
+                ref.data() + k + 1 + static_cast<long>(k) * jb, 1);
+    blas::dger(jb - k - 1, jb - k - 1, -1.0,
+               ref.data() + k + 1 + static_cast<long>(k) * jb, 1,
+               ref.data() + k + static_cast<long>(k + 1) * jb, jb,
+               ref.data() + k + 1 + static_cast<long>(k + 1) * jb, jb);
+  }
+
+  const auto r = run_single(a0, m, jb, FactVariant::Right, 1, jb,
+                            PivotMode::None);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(r.top[i], ref[i]) << "top[" << i << "]";
+}
+
+TEST(Pfact, NopivDistributedMatchesSerial) {
+  // Block-cyclic rows over P ranks: the broadcast top block and the
+  // per-tile trsm rows must reproduce the serial no-pivot run bit for bit
+  // (each L2 row's back-substitution order is independent of the tiling).
+  const int P = 3;
+  const long gm = 96;
+  const int jb = 16;
+  const int nb = 16;
+  testref::Rand rng(321);
+  const auto a0 = diag_dominant_panel(
+      rng.matrix(static_cast<int>(gm), jb, static_cast<int>(gm)), gm, jb,
+      static_cast<double>(gm));
+
+  const auto serial = run_single(a0, gm, jb, FactVariant::Right, 1, jb,
+                                 PivotMode::None);
+
+  std::vector<SingleResult> results(static_cast<std::size_t>(P));
+  std::vector<std::vector<long>> globs(static_cast<std::size_t>(P));
+  comm::World::run(P, [&](comm::Communicator& comm) {
+    const int me = comm.rank();
+    const grid::CyclicDim rows(gm, nb, comm.size());
+    const long ml = rows.local_count(me);
+    auto& mine = results[static_cast<std::size_t>(me)];
+    auto& glob = globs[static_cast<std::size_t>(me)];
+    glob.resize(static_cast<std::size_t>(ml));
+    mine.w.resize(static_cast<std::size_t>(ml) * jb);
+    for (long il = 0; il < ml; ++il) {
+      glob[static_cast<std::size_t>(il)] = rows.to_global(il, me);
+      for (int c = 0; c < jb; ++c)
+        mine.w[il + static_cast<long>(c) * ml] =
+            a0[glob[static_cast<std::size_t>(il)] +
+               static_cast<long>(c) * gm];
+    }
+    mine.top.assign(static_cast<std::size_t>(jb) * jb, 0.0);
+    mine.ipiv.assign(static_cast<std::size_t>(jb), -1);
+
+    const HplConfig cfg = make_cfg(FactVariant::Right, 2, PivotMode::None);
+    ThreadTeam team(2);
+    PanelTask task;
+    task.j = 0;
+    task.jb = jb;
+    task.w = mine.w.data();
+    task.mw = ml;
+    task.ldw = std::max<long>(ml, 1);
+    task.glob = glob.data();
+    task.top = mine.top.data();
+    task.ldtop = jb;
+    task.ipiv = mine.ipiv.data();
+    task.is_curr = rows.owner(0) == me;
+    task.tile_rows = nb;
+    task.diag_root = rows.owner(0);
+    panel_factorize(comm, cfg, team, task);
+  });
+
+  const grid::CyclicDim rows(gm, nb, P);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)].ipiv, serial.ipiv);
+    for (std::size_t i = 0; i < serial.top.size(); ++i)
+      ASSERT_EQ(results[static_cast<std::size_t>(r)].top[i], serial.top[i])
+          << "rank " << r << " top[" << i << "]";
+    const long ml = rows.local_count(r);
+    for (long il = 0; il < ml; ++il) {
+      const long g = rows.to_global(il, r);
+      if (g < jb) continue;
+      for (int c = 0; c < jb; ++c)
+        ASSERT_EQ(results[static_cast<std::size_t>(r)]
+                      .w[il + static_cast<long>(c) * ml],
+                  serial.w[g + static_cast<long>(c) * gm])
+            << "rank " << r << " slot " << g << " col " << c;
+    }
+  }
 }
 
 /// Distributed: rows block-cyclic over P ranks must reproduce the serial

@@ -23,8 +23,10 @@ HplConfig sample_cfg() {
 }
 
 TEST(Report, EncodeTvMatchesClassicShape) {
-  // W + mapping + depth + bcast + rfact + NDIV + pfact + NBMIN.
-  EXPECT_EQ(encode_tv(sample_cfg()), "WR11R2R16");
+  // W + mapping + depth + bcast + rfact + NDIV + pfact + NBMIN. The
+  // recursive variant gets its own letter ('V') so the encoding is
+  // lossless: every FactVariant maps to a distinct T/V character.
+  EXPECT_EQ(encode_tv(sample_cfg()), "WR11V2R16");
   HplConfig cfg = sample_cfg();
   cfg.row_major_grid = false;
   cfg.pipeline = PipelineMode::Simple;
@@ -32,7 +34,13 @@ TEST(Report, EncodeTvMatchesClassicShape) {
   EXPECT_EQ(encode_tv(cfg), "WC01C2C16");
   cfg = sample_cfg();
   cfg.rfact_base = FactVariant::Left;
-  EXPECT_EQ(encode_tv(cfg), "WR11R2L16");
+  EXPECT_EQ(encode_tv(cfg), "WR11V2L16");
+  // Non-recursive top-level variants echo themselves in the pfact slot.
+  cfg = sample_cfg();
+  cfg.fact = FactVariant::Left;
+  EXPECT_EQ(encode_tv(cfg), "WR11L2L16");
+  cfg.fact = FactVariant::Right;
+  EXPECT_EQ(encode_tv(cfg), "WR11R2R16");
 }
 
 TEST(Report, ResultLineContainsAllColumns) {
@@ -45,7 +53,7 @@ TEST(Report, ResultLineContainsAllColumns) {
   std::ostringstream os;
   print_hpl_result(os, sample_cfg(), r);
   const std::string s = os.str();
-  EXPECT_NE(s.find("WR11R2R16"), std::string::npos);
+  EXPECT_NE(s.find("WR11V2R16"), std::string::npos);
   EXPECT_NE(s.find("35840"), std::string::npos);
   EXPECT_NE(s.find("384"), std::string::npos);
   EXPECT_NE(s.find("203.49"), std::string::npos);

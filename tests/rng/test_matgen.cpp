@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <tuple>
 #include <vector>
 
@@ -81,6 +83,66 @@ TEST(Matgen, AugmentedColumnIsConsistent) {
   for (long i = 0; i < n; ++i)
     EXPECT_DOUBLE_EQ(element(5, n, i, n),
                      aug[static_cast<std::size_t>(n * n + i)]);
+}
+
+TEST(Matgen, DiagShiftProducesDominanceMarginAcrossSeeds) {
+  // With shift = N on the diagonal, every off-diagonal entry stays in
+  // [-0.5, 0.5), so each row's off-diagonal |sum| is < (N-1)/2 while the
+  // diagonal is >= N - 0.5: the dominance margin is at least N/2 for
+  // every seed.
+  const long n = 24;
+  const double shift = static_cast<double>(n);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 20230612ull, 999999937ull}) {
+    generate_serial(seed, n, n, a.data(), n, shift);
+    for (long i = 0; i < n; ++i) {
+      double offsum = 0.0;
+      for (long j = 0; j < n; ++j)
+        if (j != i) offsum += std::fabs(a[static_cast<std::size_t>(j * n + i)]);
+      const double diag = std::fabs(a[static_cast<std::size_t>(i * n + i)]);
+      EXPECT_GE(diag - offsum, static_cast<double>(n) / 2.0)
+          << "seed " << seed << " row " << i;
+    }
+  }
+}
+
+TEST(Matgen, DiagShiftAgreesAcrossAllThreeGenerators) {
+  // element / generate_serial / generate_local must apply the identical
+  // shift at the identical positions — the verifier regenerates through a
+  // different path than the matrix fill, and any disagreement would be a
+  // silent residual-check corruption.
+  const long gm = 19, gn = 23;  // rectangular: shift only where i == j
+  const double shift = 11.0;
+  const std::uint64_t seed = 77;
+
+  std::vector<double> serial(static_cast<std::size_t>(gm * gn));
+  generate_serial(seed, gm, gn, serial.data(), gm, shift);
+  for (long j = 0; j < gn; ++j)
+    for (long i = 0; i < gm; ++i)
+      ASSERT_DOUBLE_EQ(element(seed, gm, i, j, shift),
+                       serial[static_cast<std::size_t>(j * gm + i)]);
+
+  const int P = 2, Q = 3, nb = 4;
+  const grid::CyclicDim rows(gm, nb, P);
+  const grid::CyclicDim cols(gn, nb, Q);
+  for (int pr = 0; pr < P; ++pr) {
+    for (int pc = 0; pc < Q; ++pc) {
+      const long ml = rows.local_count(pr);
+      const long nl = cols.local_count(pc);
+      const long lda = std::max<long>(ml, 1);
+      std::vector<double> local(static_cast<std::size_t>(lda) *
+                                static_cast<std::size_t>(std::max<long>(nl, 1)));
+      generate_local(seed, gm, gn, nb, pr, pc, P, Q, local.data(), lda,
+                     shift);
+      for (long jl = 0; jl < nl; ++jl)
+        for (long il = 0; il < ml; ++il)
+          ASSERT_DOUBLE_EQ(
+              local[static_cast<std::size_t>(jl * lda + il)],
+              serial[static_cast<std::size_t>(
+                  cols.to_global(jl, pc) * gm + rows.to_global(il, pr))])
+              << "proc (" << pr << "," << pc << ")";
+    }
+  }
 }
 
 TEST(Matgen, DifferentSeedsProduceDifferentMatrices) {
