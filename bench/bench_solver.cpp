@@ -314,6 +314,63 @@ BENCHMARK(BM_SolverVariants)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Unified allocator ablation: pooled vs passthrough. Args: {N, NB, P,
+/// Q, pooled tag (1 = size-classed pool, 0 = every lease is a system
+/// malloc/free)}; always the split pipeline. Exports the steady-window
+/// upstream allocation count (must be 0 pooled — the zero-alloc hot
+/// path), the worst-rank steady hit rate, and the pools' peak footprint,
+/// next to GF/s — so a snapshot shows what the pool buys and what it
+/// costs in held memory. The two modes compute bitwise-identical
+/// residuals; only where scratch lives differs.
+void BM_SolverAlloc(benchmark::State& state) {
+  core::HplConfig cfg;
+  cfg.n = state.range(0);
+  cfg.nb = static_cast<int>(state.range(1));
+  cfg.p = static_cast<int>(state.range(2));
+  cfg.q = static_cast<int>(state.range(3));
+  cfg.pipeline = core::PipelineMode::LookaheadSplit;
+  cfg.alloc_pool = state.range(4) != 0;
+  cfg.fact_threads = 2;
+
+  double gflops = 0.0, hit_rate = 0.0, hwm_mib = 0.0;
+  double steady_allocs = 0.0;
+  long solves = 0;
+  for (auto _ : state) {
+    const core::HplResult r = solve_once(cfg);
+    if (!r.verify.passed) {
+      state.SkipWithError("residual check FAILED");
+      return;
+    }
+    gflops += r.gflops;
+    steady_allocs += static_cast<double>(r.alloc.steady_upstream_allocs);
+    hit_rate += r.alloc.steady_hit_rate;
+    double hwm = 0.0;
+    for (const core::AllocPoolReport& pool : r.alloc.pools)
+      hwm += static_cast<double>(pool.hwm_bytes);
+    hwm_mib += hwm / (1024.0 * 1024.0);
+    ++solves;
+    benchmark::DoNotOptimize(r.seconds);
+  }
+  if (solves > 0) {
+    const double inv = 1.0 / static_cast<double>(solves);
+    state.counters["GF/s"] = gflops * inv;
+    state.counters["steady_allocs"] = steady_allocs * inv;
+    state.counters["hit_rate"] = hit_rate * inv;
+    state.counters["pool_hwm_mib"] = hwm_mib * inv;
+  }
+  state.SetLabel(cfg.alloc_pool ? "pooled" : "passthrough");
+}
+
+BENCHMARK(BM_SolverAlloc)
+    // The acceptance pair: pooled vs passthrough at N=2048 on one rank.
+    ->Args({2048, 256, 1, 1, 1})
+    ->Args({2048, 256, 1, 1, 0})
+    // Cross-rank: message pools carry the swap traffic too.
+    ->Args({1024, 128, 2, 2, 1})
+    ->Args({1024, 128, 2, 2, 0})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

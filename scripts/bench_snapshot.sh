@@ -61,5 +61,10 @@ cd "$out"
   --benchmark_min_time="$min_time" \
   --benchmark_out="$out/BENCH_variants.json" \
   --benchmark_out_format=json
+"$build/bench/bench_solver" \
+  --benchmark_filter='BM_SolverAlloc/' \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out/BENCH_alloc.json" \
+  --benchmark_out_format=json
 
-echo "wrote $out/BENCH_{blas,comm,kernels,solver,streams,rowswap,mxp,variants}.json"
+echo "wrote $out/BENCH_{blas,comm,kernels,solver,streams,rowswap,mxp,variants,alloc}.json"

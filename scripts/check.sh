@@ -10,7 +10,8 @@
 # gate is visible at a glance (ctest -L mxp re-runs only those tests); the
 # solver-variant matrix (pfact variants × pivoting × nrhs × precision)
 # likewise carries "variants" and gets its own step and both sanitizer
-# legs.
+# legs, as does the unified-allocator suite ("alloc": size-class/stats
+# unit tests plus the zero-steady-state-allocation solve gates).
 # This is what CI runs and what a perf PR must keep green.
 #
 #   scripts/check.sh             # build/ + build-tsan/ + build-asan/
@@ -36,6 +37,9 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs" -L mxp
 echo "== variants gate: ctest -L variants ($build)"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" -L variants
 
+echo "== alloc gate: ctest -L alloc ($build)"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L alloc
+
 if [ "${SKIP_TSAN:-0}" = "1" ]; then
   echo "== skipping TSan pass (SKIP_TSAN=1)"
 else
@@ -44,7 +48,7 @@ else
     -DHPLX_WERROR=ON >/dev/null
   cmake --build "$build_tsan" -j "$jobs" \
     --target test_util test_blas test_comm test_comm_chunked test_device \
-             test_mxp test_variants
+             test_alloc test_mxp test_variants
   ctest --test-dir "$build_tsan" --output-on-failure -j "$jobs" -L tsan
 fi
 
@@ -56,7 +60,7 @@ else
     -DHPLX_WERROR=ON >/dev/null
   cmake --build "$build_asan" -j "$jobs" \
     --target test_grid test_rng test_trace test_hazard test_comm_chunked \
-             test_mxp test_variants
+             test_alloc test_mxp test_variants
   # LSan rides along with ASan by default on Linux; halt_on_error keeps UB
   # findings fatal so the leg cannot silently pass over them.
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \

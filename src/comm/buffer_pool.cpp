@@ -1,78 +1,27 @@
 #include "comm/buffer_pool.hpp"
 
-#include "util/error.hpp"
-
 namespace hplx::comm {
 
 void PoolBuffer::release() {
-  if (data_ != nullptr) {
-    if (pool_ != nullptr) {
-      pool_->release(data_, cls_);
-    } else {
-      delete[] data_;
-    }
-  }
-  pool_ = nullptr;
-  data_ = nullptr;
-  size_ = 0;
-  cls_ = -1;
-}
-
-BufferPool::~BufferPool() {
-  for (auto& cls : free_)
-    for (std::byte* p : cls) delete[] p;
-}
-
-int BufferPool::class_of(std::size_t bytes) {
-  int cls = 0;
-  while ((std::size_t{1} << (kMinClassLog + cls)) < bytes) ++cls;
-  return cls;
+  if (alloc_ != nullptr && block_.data != nullptr) alloc_->release(block_);
+  alloc_ = nullptr;
+  block_ = {};
 }
 
 PoolBuffer BufferPool::acquire(std::size_t bytes) {
-  if (bytes == 0) return PoolBuffer(nullptr, nullptr, 0, -1);
-  if (bytes > (std::size_t{1} << kMaxClassLog)) {
-    // Oversize: direct allocation, freed (not cached) on release.
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.acquires;
-    ++stats_.oversize;
-    ++stats_.outstanding;
-    return PoolBuffer(this, new std::byte[bytes], bytes, -1);
-  }
-  const int cls = class_of(bytes);
-  const std::size_t capacity = std::size_t{1} << (kMinClassLog + cls);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.acquires;
-    ++stats_.outstanding;
-    auto& list = free_[static_cast<std::size_t>(cls)];
-    if (!list.empty()) {
-      ++stats_.hits;
-      stats_.cached_bytes -= capacity;
-      std::byte* p = list.back();
-      list.pop_back();
-      return PoolBuffer(this, p, bytes, cls);
-    }
-  }
-  return PoolBuffer(this, new std::byte[capacity], bytes, cls);
-}
-
-void BufferPool::release(std::byte* data, int cls) {
-  if (cls < 0) {
-    delete[] data;
-    std::lock_guard<std::mutex> lock(mutex_);
-    --stats_.outstanding;
-    return;
-  }
-  std::lock_guard<std::mutex> lock(mutex_);
-  --stats_.outstanding;
-  stats_.cached_bytes += std::size_t{1} << (kMinClassLog + cls);
-  free_[static_cast<std::size_t>(cls)].push_back(data);
+  if (bytes == 0) return PoolBuffer();
+  return PoolBuffer(&alloc_, alloc_.acquire(bytes));
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  const device::PoolAllocator::Stats s = alloc_.stats();
+  Stats out;
+  out.acquires = s.acquires;
+  out.hits = s.hits + s.borrows;
+  out.oversize = s.oversize;
+  out.outstanding = s.outstanding;
+  out.cached_bytes = s.cached_bytes;
+  return out;
 }
 
 }  // namespace hplx::comm

@@ -4,18 +4,21 @@
 ///
 /// Every eager send used to heap-allocate a std::vector payload and every
 /// matched receive freed it — one malloc/free pair per message, on the
-/// critical path of the panel broadcast and the row-swap collectives. The
-/// pool replaces that with power-of-two freelists per communicator
-/// (per-Fabric): a send acquires a recycled buffer of the right class,
-/// the matched receive's envelope returns it on destruction. Buffers
-/// above the largest class fall back to direct allocation (counted in the
-/// stats as oversize) so pathological sizes cannot pin memory forever.
+/// critical path of the panel broadcast and the row-swap collectives.
+/// Since the unified allocator landed, this pool is a thin adapter over
+/// `device::PoolAllocator`: the same power-of-two freelists serve device
+/// buffers, the host arena, and the fabric's message payloads, so the
+/// steady-state-allocation accounting covers all three with one counter.
+/// The adapter keeps the historical comm behavior: requests above 16 MiB
+/// fall back to direct allocation (counted as oversize) so pathological
+/// sizes cannot pin memory forever, and zero-byte acquires never touch
+/// the pool.
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <utility>
-#include <vector>
+
+#include "device/alloc.hpp"
 
 namespace hplx::comm {
 
@@ -39,39 +42,34 @@ class PoolBuffer {
   PoolBuffer& operator=(const PoolBuffer&) = delete;
   ~PoolBuffer() { release(); }
 
-  std::byte* data() { return data_; }
-  const std::byte* data() const { return data_; }
+  std::byte* data() { return block_.data; }
+  const std::byte* data() const { return block_.data; }
   /// Logical payload size (<= the class capacity).
-  std::size_t size() const { return size_; }
+  std::size_t size() const { return block_.bytes; }
 
  private:
   friend class BufferPool;
-  PoolBuffer(BufferPool* pool, std::byte* data, std::size_t size, int cls)
-      : pool_(pool), data_(data), size_(size), cls_(cls) {}
+  PoolBuffer(device::PoolAllocator* alloc, device::PoolAllocator::Block block)
+      : alloc_(alloc), block_(block) {}
 
   void release();
   void swap(PoolBuffer& other) noexcept {
-    std::swap(pool_, other.pool_);
-    std::swap(data_, other.data_);
-    std::swap(size_, other.size_);
-    std::swap(cls_, other.cls_);
+    std::swap(alloc_, other.alloc_);
+    std::swap(block_, other.block_);
   }
 
-  BufferPool* pool_ = nullptr;
-  std::byte* data_ = nullptr;
-  std::size_t size_ = 0;
-  int cls_ = -1;  // size class; -1 = oversize direct allocation
+  device::PoolAllocator* alloc_ = nullptr;
+  device::PoolAllocator::Block block_{};
 };
 
 class BufferPool {
  public:
   /// Smallest pooled class: 256 B. Largest: 16 MiB; beyond that requests
   /// are served by plain allocation and freed on release.
-  static constexpr int kMinClassLog = 8;
+  static constexpr int kMinClassLog = device::PoolAllocator::kMinClassLog;
   static constexpr int kMaxClassLog = 24;
 
-  BufferPool() : free_(kMaxClassLog - kMinClassLog + 1) {}
-  ~BufferPool();
+  BufferPool() : alloc_("comm", /*passthrough=*/false, kMaxClassLog) {}
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -81,7 +79,7 @@ class BufferPool {
 
   struct Stats {
     std::uint64_t acquires = 0;   ///< total acquire() calls (bytes > 0)
-    std::uint64_t hits = 0;       ///< served from a freelist
+    std::uint64_t hits = 0;       ///< served from a freelist (incl. borrows)
     std::uint64_t oversize = 0;   ///< above kMaxClassLog, direct alloc
     std::size_t outstanding = 0;  ///< live buffers not yet released
     std::size_t cached_bytes = 0; ///< capacity parked on freelists
@@ -93,14 +91,12 @@ class BufferPool {
   };
   Stats stats() const;
 
- private:
-  friend class PoolBuffer;
-  void release(std::byte* data, int cls);
-  static int class_of(std::size_t bytes);
+  /// The underlying unified allocator (full stats, upstream counter).
+  device::PoolAllocator& allocator() { return alloc_; }
+  const device::PoolAllocator& allocator() const { return alloc_; }
 
-  mutable std::mutex mutex_;
-  std::vector<std::vector<std::byte*>> free_;  // freelist per class
-  Stats stats_;
+ private:
+  device::PoolAllocator alloc_;
 };
 
 }  // namespace hplx::comm

@@ -51,12 +51,17 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
 
   Timer mpi;
 
+  // All solve-path scratch leases from the device's host arena: on the
+  // repeated backsolves of the refinement loop every panel below is a
+  // freelist hit, not an allocation.
+  device::PoolAllocator& arena = a.dev().host_arena();
+
   // Host copy of my piece of the b̂ panel (mloc×nrhs, updated in place
   // during the sweep).
   const long ldb = std::max<long>(a.mloc(), 1);
-  std::vector<T> bh(static_cast<std::size_t>(ldb) *
-                        static_cast<std::size_t>(nrhs),
-                    T(0));
+  device::ArenaBufT<T> bh(arena);
+  bh.assign(static_cast<std::size_t>(ldb) * static_cast<std::size_t>(nrhs),
+            T(0));
   if (have_b && a.mloc() > 0) {
     const long jl_b = a.cols().to_local(n);
     device::copy_matrix_d2h(stream, a.mloc(), nrhs, a.at(0, jl_b), a.lda(),
@@ -64,11 +69,22 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
     stream.synchronize();
   }
 
-  std::vector<T> x(static_cast<std::size_t>(n) *
-                       static_cast<std::size_t>(nrhs),
-                   T(0));
-  std::vector<T> xk;  // jbk×nrhs segment panel, ld = jbk (contiguous)
-  std::vector<T> y;
+  device::ArenaBufT<T> x(arena);
+  x.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(nrhs),
+           T(0));
+
+  // Hoisted out of the block sweep: both panels used to be assign()ed —
+  // allocated and zeroed — once per block, but every element either
+  // branch reads is written first (xk is filled by the copy/recv/bcast
+  // before the solve reads it, y by the gemm's beta = 0 overwrite or the
+  // recv), so one maximum-size lease up front serves all nblocks
+  // iterations with no per-block work at all.
+  device::ArenaBufT<T> xk(arena);  // jbk×nrhs segment, ld = jbk (contiguous)
+  device::ArenaBufT<T> y(arena);
+  xk.resize_discard(static_cast<std::size_t>(nb) *
+                    static_cast<std::size_t>(nrhs));
+  y.resize_discard(static_cast<std::size_t>(ldb) *
+                   static_cast<std::size_t>(nrhs));
 
   for (long k = nblocks - 1; k >= 0; --k) {
     const long jk = k * nb;
@@ -79,7 +95,6 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
     const int pcol_k = a.cols().owner(jk);
     const bool diag_row = g.myrow() == prow_k;
     const bool diag_col = g.mycol() == pcol_k;
-    xk.assign(seg, T(0));
 
     // 1. Move the b_k panel segment from b's column to the diagonal
     //    owner: jbk rows of every RHS column, packed ld=jbk.
@@ -137,9 +152,6 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
         copy_vector(x.data() + jk + r * n, xk.data() + r * jbk, jbk);
 
       const long m_above = a.row_offset(jk);
-      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)) *
-                   static_cast<std::size_t>(nrhs),
-               T(0));
       if (m_above > 0) {
         const long jl = a.cols().to_local(jk);
         // y = A(0..m_above, block k) · x_k on the device (an m×nrhs GEMM).
@@ -168,9 +180,6 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
       }
     } else if (have_b) {
       const long m_above = a.row_offset(jk);
-      y.assign(static_cast<std::size_t>(std::max<long>(m_above, 1)) *
-                   static_cast<std::size_t>(nrhs),
-               T(0));
       mpi.start();
       g.row_comm().recv(y.data(),
                         static_cast<std::size_t>(m_above) *
@@ -184,7 +193,8 @@ std::vector<double> backsolve(grid::ProcessGrid& g, DistMatrixT<T>& a,
 
   // 4. Combine the x segments: exactly one rank per diagonal column —
   //    grid row 0 — contributes each block; everyone else holds zeros.
-  std::vector<T> xsum(x.size(), T(0));
+  device::ArenaBufT<T> xsum(arena);
+  xsum.assign(x.size(), T(0));
   for (long k = 0; k < nblocks; ++k) {
     const long jk = k * nb;
     const int jbk = static_cast<int>(std::min<long>(nb, n - jk));

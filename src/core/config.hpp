@@ -125,8 +125,10 @@ struct HplConfig {
       custom_bcast;
 
   /// Pivoting strategy. PivotMode::None requires a diagonally-dominant
-  /// matrix (set `diag_dominant`) — there is no runtime dominance check
-  /// beyond the existing zero-pivot guard.
+  /// matrix (set `diag_dominant`): every panel factorization checks
+  /// column dominance of the current panel at runtime and the solve
+  /// fails fast — on all ranks, the verdict travels with the factored
+  /// top block's broadcast — when the input is not dominant.
   PivotMode pivoting = PivotMode::Full;
 
   /// Right-hand sides solved per run. The matrix is generated as
@@ -207,6 +209,17 @@ struct HplConfig {
   double ir_tol = 16.0;
 
   bool verify = true;  ///< run the residual check after the solve
+
+  /// Pooled allocation (device::PoolAllocator) for device buffers, the
+  /// host arena, and the fabric message pools. On (default), steady-state
+  /// solve iterations perform zero system allocations; off is the
+  /// ablation mode — every acquire goes straight upstream (stats are
+  /// still tracked so the two modes are directly comparable).
+  bool alloc_pool = true;
+
+  /// Cap on bytes parked on the device/arena freelists; releases beyond
+  /// it free upstream. Negative (default) = unbounded.
+  long alloc_cache_bytes = -1;
 
   /// Attach the hazard-checking runtime (device::HazardTracker) to every
   /// rank's device: enqueued ops declare access sets, happens-before is

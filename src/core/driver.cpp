@@ -1,6 +1,7 @@
 #include "core/driver.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "blas/threading.hpp"
+#include "comm/buffer_pool.hpp"
 #include "comm/collectives.hpp"
 #include "core/backsolve.hpp"
 #include "core/matrix.hpp"
@@ -17,6 +19,7 @@
 #include "core/refine.hpp"
 #include "core/rowswap.hpp"
 #include "core/update.hpp"
+#include "device/alloc.hpp"
 #include "device/autotune.hpp"
 #include "device/engine.hpp"
 #include "device/kernels.hpp"
@@ -53,7 +56,8 @@ class Solver {
               cfg.row_major_grid ? grid::GridOrder::RowMajor
                                  : grid::GridOrder::ColMajor),
         dev_("gcd" + std::to_string(world.rank()), cfg.hbm_bytes,
-             cfg.dev_model, cfg.hazard_check),
+             cfg.dev_model, cfg.hazard_check, cfg.alloc_pool,
+             cfg.alloc_cache_bytes),
         a_(dev_, grid_, cfg.n, cfg.nb, cfg.seed, cfg.nrhs,
            cfg.diag_dominant ? static_cast<double>(cfg.n) : 0.0),
         pool_(dev_,
@@ -61,7 +65,8 @@ class Solver {
               "compute"),
         compute_(pool_.primary()),
         data_(dev_, "data"),
-        team_(std::max(1, cfg.fact_threads)) {
+        team_(std::max(1, cfg.fact_threads)),
+        swap_chunk_bytes_(swap_chunk_bytes) {
     const std::size_t ucap = static_cast<std::size_t>(cfg.nb) *
                              static_cast<std::size_t>(std::max<long>(a_.nloc(), 1));
     u_main_ = dev_.alloc_elems<T>(ucap);
@@ -75,7 +80,7 @@ class Solver {
     // same allocations instead of reallocating (and re-zeroing) per panel.
     for (RowSwapperT<T>* rs : {&rs_main_, &rs_la_, &rs_left_,
                                rs_right_.get(), rs_right_next_.get()}) {
-      rs->reserve(cfg.nb, a_.nloc(), cfg.p);
+      rs->reserve(dev_.host_arena(), cfg.nb, a_.nloc(), cfg.p);
       rs->set_pipeline(cfg.swap_wire, swap_chunk_bytes);
       rs->set_pivot_mode(cfg.pivoting);
       rs->set_test_skip_scatter_fence(cfg.test_skip_scatter_fence);
@@ -85,6 +90,10 @@ class Solver {
     glob_.reserve(static_cast<std::size_t>(std::max<long>(a_.mloc(), 1)));
     pivots_.resize(
         static_cast<std::size_t>((cfg.n + cfg.nb - 1) / cfg.nb));
+    // Keep the per-iteration bookkeeping off the hot path too: pivot rows
+    // and trace records grow to known maxima, so size them up front.
+    for (auto& p : pivots_) p.reserve(static_cast<std::size_t>(cfg.nb));
+    my_records_.reserve(pivots_.size());
   }
 
   HplResult solve() {
@@ -152,6 +161,7 @@ class Solver {
     }
     collect_trace(result);
     collect_hazards(result);
+    collect_alloc(result);
     return result;
   }
 
@@ -242,6 +252,7 @@ class Solver {
     // col_comm ranks are process rows, so the diagonal block's owner row
     // is its broadcast root for the no-pivot factorization.
     task.diag_root = a_.rows().owner(j);
+    task.scratch = &dev_.host_arena();
 
     FactTimers ft;
     panel_factorize(grid_.col_comm(), cfg_, team_, task, &ft);
@@ -327,6 +338,159 @@ class Solver {
     }
   }
 
+  // ------------------------------------------- steady-state alloc window
+
+  /// Warmup iterations before the zero-allocation window opens. Iteration
+  /// 0 builds the pools' freelist inventories (every lease is fresh);
+  /// iteration 1 absorbs cross-rank skew — the upstream counter is
+  /// process-wide, and a neighbor still finishing its own warmup while
+  /// this rank starts iteration 1 must not be charged to the window. On
+  /// a grid, roles rotate: panel ownership cycles through the q process
+  /// columns and pivot-row ownership through the p rows, so a rank's
+  /// *first* factorization (and its first-touch scratch leases) can come
+  /// as late as iteration max(p, q) - 1 — steady state begins only once
+  /// every rank has played every role it will play.
+  int alloc_warmup_iters() const {
+    return std::max({2, cfg_.p, cfg_.q});
+  }
+
+  /// Freelist depth the comm pool is stocked to when the steady window
+  /// opens: enough for every rank of the process plus overlapped
+  /// next-panel swaps to hold same-class blocks concurrently.
+  static constexpr int kPrewarmBlocks = 8;
+
+  /// Every distinct pool this rank's solve leases from: device HBM, host
+  /// arena, and the message pool of each fabric the grid's communicators
+  /// ride on. The row/col split communicators own their own fabric (and
+  /// pool) — the rowswap and panel-broadcast traffic flows there, not
+  /// through all_comm's fabric, so accounting only the latter would miss
+  /// most of the message leases. Shared fabrics are deduplicated by
+  /// allocator address.
+  std::vector<device::PoolAllocator*> rank_pools() {
+    std::vector<device::PoolAllocator*> pools = {&dev_.hbm_pool(),
+                                                 &dev_.host_arena()};
+    for (comm::Communicator* c :
+         {&grid_.all_comm(), &grid_.row_comm(), &grid_.col_comm()}) {
+      device::PoolAllocator* a = &c->fabric().pool().allocator();
+      if (std::find(pools.begin(), pools.end(), a) == pools.end())
+        pools.push_back(a);
+    }
+    return pools;
+  }
+
+  /// Acquires + freelist hits summed over every pool in rank_pools().
+  void sample_pool_counters(std::uint64_t& acquires, std::uint64_t& hits) {
+    for (const device::PoolAllocator* p : rank_pools()) {
+      const device::PoolAllocator::Stats s = p->stats();
+      acquires += s.acquires;
+      hits += s.hits + s.borrows;
+    }
+  }
+
+  /// Latch the counters once the warmup iterations are done (called at
+  /// the bottom of every factorization-loop iteration).
+  void mark_steady(int iter) {
+    if (steady_marked_ || iter + 1 < alloc_warmup_iters()) return;
+    steady_marked_ = true;
+    // Comm message sizes are not deterministic per iteration: a rank's
+    // rowswap contribution scales with how many pivot rows it happens to
+    // own, which is not monotone in the iteration — a class can see its
+    // first request mid-run, above or below anything warmup touched,
+    // while every nearby larger block is in flight in the same
+    // collective (borrowing can't save that one). Stock every class up
+    // to the largest message the remaining iterations can send, on every
+    // fabric this rank touches, while the fills still count as warmup.
+    // Device and arena pools are skipped: their lease sizes are
+    // deterministic max-extent functions of the iteration, so warmup
+    // already covers them. The bound: a chunked swap buffer is capped at
+    // max(chunk, one grain = one packed matrix row incl. the B columns);
+    // the bulk (seed) path ships a whole nb-row contribution at once.
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(cfg_.n + cfg_.nrhs) * sizeof(T);
+    const std::size_t swap_bound =
+        swap_chunk_bytes_ >= 0
+            ? std::max(static_cast<std::size_t>(swap_chunk_bytes_), row_bytes)
+            : static_cast<std::size_t>(cfg_.nb) * row_bytes;
+    for (comm::Communicator* c :
+         {&grid_.all_comm(), &grid_.row_comm(), &grid_.col_comm()}) {
+      c->fabric().pool().allocator().prewarm(kPrewarmBlocks, swap_bound);
+    }
+    // The upstream counter is process-wide, so the window must open after
+    // *every* rank's warmup: without the barrier a slow rank's last
+    // warmup allocation would land inside a fast rank's window. The
+    // barrier also warms the small-message class its twin in
+    // finish_steady reuses.
+    comm::barrier(grid_.all_comm());
+    steady_upstream0_ = device::upstream_alloc_count();
+    sample_pool_counters(steady_acquires0_, steady_hits0_);
+    if (std::getenv("HPLX_ALLOC_DEBUG") != nullptr) {
+      std::fprintf(stderr, "STEADY MARK rank=%d after #%llu\n",
+                   grid_.all_comm().rank(),
+                   static_cast<unsigned long long>(steady_upstream0_));
+    }
+  }
+
+  /// Read the steady-window deltas at the end of the factorization loop —
+  /// before backsolve/refinement, whose first-call arena leases are
+  /// legitimate one-time allocations outside the window.
+  void finish_steady(int iters_total) {
+    if (!steady_marked_ || iters_total <= alloc_warmup_iters()) return;
+    steady_measured_ = true;
+    // Mirror of mark_steady's fence: read first (backsolve has not
+    // started anywhere — it needs this barrier to pass), then hold every
+    // rank until all have read, so no rank's post-loop leases land in a
+    // slower rank's window. The barrier's messages hit the small-message
+    // freelist the mark-side barrier warmed.
+    steady_upstream_delta_ =
+        device::upstream_alloc_count() - steady_upstream0_;
+    if (std::getenv("HPLX_ALLOC_DEBUG") != nullptr) {
+      std::fprintf(stderr, "STEADY CLOSE rank=%d at #%llu delta=%llu\n",
+                   grid_.all_comm().rank(),
+                   static_cast<unsigned long long>(steady_upstream0_ +
+                                                  steady_upstream_delta_),
+                   static_cast<unsigned long long>(steady_upstream_delta_));
+    }
+    comm::barrier(grid_.all_comm());
+    std::uint64_t acquires = 0, hits = 0;
+    sample_pool_counters(acquires, hits);
+    const std::uint64_t dacq = acquires - steady_acquires0_;
+    const std::uint64_t dhit = hits - steady_hits0_;
+    steady_hit_rate_ = dacq == 0 ? 1.0
+                                 : static_cast<double>(dhit) /
+                                       static_cast<double>(dacq);
+  }
+
+  /// Fill HplResult::alloc: reduce the steady-window scalars so every
+  /// rank reports the same (worst-rank) values, then copy the per-pool
+  /// lifetime rows.
+  void collect_alloc(HplResult& result) {
+    result.alloc.pool_enabled = cfg_.alloc_pool;
+    result.alloc.steady_measured = steady_measured_;
+    std::uint64_t worst_upstream = steady_upstream_delta_;
+    double worst_hit_rate = steady_measured_ ? steady_hit_rate_ : 1.0;
+    comm::allreduce(grid_.all_comm(), &worst_upstream, 1,
+                    comm::ReduceOp::Max);
+    comm::allreduce(grid_.all_comm(), &worst_hit_rate, 1,
+                    comm::ReduceOp::Min);
+    result.alloc.steady_upstream_allocs = worst_upstream;
+    result.alloc.steady_hit_rate = worst_hit_rate;
+    for (const device::PoolAllocator* p : rank_pools()) {
+      const device::PoolAllocator::Stats s = p->stats();
+      AllocPoolReport row;
+      row.name = p->name();
+      row.acquires = s.acquires;
+      row.hits = s.hits + s.borrows;
+      row.oversize = s.oversize;
+      row.upstream_allocs = s.upstream_allocs;
+      row.hwm_bytes = s.hwm_bytes;
+      row.cached_bytes = s.cached_bytes;
+      row.outstanding_bytes = s.outstanding_bytes;
+      row.hit_rate = s.hit_rate();
+      row.fragmentation = s.fragmentation();
+      result.alloc.pools.push_back(std::move(row));
+    }
+  }
+
   // ------------------------------------------------------ simple pipeline
 
   void solve_simple() {
@@ -349,15 +513,17 @@ class Solver {
       record_iteration(j, iter, t_iter.stop(),
                        pool_.real_busy_seconds() - gpu0, st,
                        data_.real_busy_seconds() - xfer0);
+      mark_steady(iter);
     }
+    finish_steady(iter);
   }
 
   void apply_full_rowswap_and_update(long j, int jb, PanelDataT<T>& panel,
                                      IterStats& st) {
-    const auto plan = build_rowswap_plan(j, jb, panel.ipiv.data());
+    build_rowswap_plan(j, jb, panel.ipiv.data(), plan_);
     const long jl0 = col_of(j + jb);
     const long njl = a_.nloc() - jl0;
-    rs_main_.prepare(plan, a_, grid_.myrow(), jl0, njl, cfg_.swap,
+    rs_main_.prepare(plan_, a_, grid_.myrow(), jl0, njl, cfg_.swap,
                      cfg_.swap_threshold);
     rs_main_.gather(compute_, a_);
     rs_main_.communicate(grid_.col_comm(), &st.mpi, &compute_,
@@ -397,9 +563,9 @@ class Solver {
       csplit_ = std::clamp<long>((want_left / cfg_.nb) * cfg_.nb, 0,
                                  a_.nloc());
       IterStats st;
-      const auto plan0 = build_rowswap_plan(0, jb_at(0), cur->ipiv.data());
+      build_rowswap_plan(0, jb_at(0), cur->ipiv.data(), plan_);
       right_start_ = std::max<long>(csplit_, col_of(jb_at(0)));
-      rs_right_->prepare(plan0, a_, grid_.myrow(), right_start_,
+      rs_right_->prepare(plan_, a_, grid_.myrow(), right_start_,
                          a_.nloc() - right_start_, cfg_.swap,
                          cfg_.swap_threshold);
       rs_right_->gather(compute_, a_);
@@ -438,7 +604,9 @@ class Solver {
       record_iteration(j, iter, t_iter.stop(),
                        pool_.real_busy_seconds() - gpu0, st,
                        data_.real_busy_seconds() - xfer0);
+      mark_steady(iter);
     }
+    finish_steady(iter);
 
     // Drain the pool before the panel double-buffers (locals of this
     // function) are destroyed: the last iteration's bands still read
@@ -468,8 +636,8 @@ class Solver {
                          cfg_.nb);
       u = u_right_.template data_as<T>();
     } else {
-      const auto plan = build_rowswap_plan(j, jb, cur.ipiv.data());
-      rs_main_.prepare(plan, a_, grid_.myrow(), jl0, njl, cfg_.swap,
+      build_rowswap_plan(j, jb, cur.ipiv.data(), plan_);
+      rs_main_.prepare(plan_, a_, grid_.myrow(), jl0, njl, cfg_.swap,
                      cfg_.swap_threshold);
       rs_main_.gather(compute_, a_);
       rs_main_.communicate(grid_.col_comm(), &st.mpi, &compute_, u, cfg_.nb,
@@ -547,14 +715,14 @@ class Solver {
     const long u_row = row_of(j);
     const long tail = row_of(j + jb);
 
-    const auto plan = build_rowswap_plan(j, jb, cur.ipiv.data());
+    build_rowswap_plan(j, jb, cur.ipiv.data(), plan_);
 
     // Gather look-ahead + left rows; scatter the pre-communicated right
     // rows (they must land before UPDATE2 reads the window).
-    rs_la_.prepare(plan, a_, grid_.myrow(), jl0, la_cols, cfg_.swap,
+    rs_la_.prepare(plan_, a_, grid_.myrow(), jl0, la_cols, cfg_.swap,
                    cfg_.swap_threshold);
     rs_la_.gather(compute_, a_);
-    rs_left_.prepare(plan, a_, grid_.myrow(), left_start, left_cols,
+    rs_left_.prepare(plan_, a_, grid_.myrow(), left_start, left_cols,
                      cfg_.swap, cfg_.swap_threshold);
     rs_left_.gather(compute_, a_);
     rs_right_->scatter(compute_, a_, u_right_.template data_as<T>(),
@@ -626,10 +794,9 @@ class Solver {
     bool pending = false;
     long next_right_start = right_start_;
     if (has_next) {
-      const auto plan_next =
-          build_rowswap_plan(next, jb_next, nxt.ipiv.data());
+      build_rowswap_plan(next, jb_next, nxt.ipiv.data(), plan_next_);
       next_right_start = std::max<long>(csplit_, col_of(next + jb_next));
-      rs_right_next_->prepare(plan_next, a_, grid_.myrow(), next_right_start,
+      rs_right_next_->prepare(plan_next_, a_, grid_.myrow(), next_right_start,
                               a_.nloc() - next_right_start, cfg_.swap,
                               cfg_.swap_threshold);
       rs_right_next_->gather(compute_, a_);
@@ -733,6 +900,9 @@ class Solver {
   device::Buffer u_main_, u_la_, u_left_, u_right_;
   RowSwapperT<T> rs_main_, rs_la_, rs_left_;
   std::unique_ptr<RowSwapperT<T>> rs_right_, rs_right_next_;
+  /// Per-iteration row-swap plans, rebuilt in place (capacity persists
+  /// across iterations, so planning allocates nothing once warm).
+  RowSwapPlan plan_, plan_next_;
   long csplit_ = 0;
   long right_start_ = 0;
   /// Completion events of the previous iteration's update sections: the
@@ -751,6 +921,16 @@ class Solver {
   long rs_wire_bytes_total_ = 0;
   double busy0_[trace::kMaxUpdateStreams] = {};
   double real0_[trace::kMaxUpdateStreams] = {};
+
+  // Steady-window allocation accounting (mark_steady / finish_steady).
+  long swap_chunk_bytes_ = -1;  ///< resolved RS chunk (prewarm bound)
+  bool steady_marked_ = false;
+  bool steady_measured_ = false;
+  std::uint64_t steady_upstream0_ = 0;
+  std::uint64_t steady_acquires0_ = 0;
+  std::uint64_t steady_hits0_ = 0;
+  std::uint64_t steady_upstream_delta_ = 0;
+  double steady_hit_rate_ = 1.0;
 };
 
 /// Mixed-precision run: low-precision factorization + backsolve, fp64

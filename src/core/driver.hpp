@@ -10,12 +10,51 @@
 /// It is collective: every rank of `world` (which must have exactly
 /// cfg.p × cfg.q ranks) calls it with the same configuration.
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "comm/communicator.hpp"
 #include "core/config.hpp"
 #include "core/verify.hpp"
 #include "trace/records.hpp"
 
 namespace hplx::core {
+
+/// Lifetime counters of one allocator pool (the device HBM pool, the host
+/// arena, or the process-shared fabric message pool), copied from
+/// device::PoolAllocator::Stats at the end of the run.
+struct AllocPoolReport {
+  std::string name;
+  std::uint64_t acquires = 0;
+  std::uint64_t hits = 0;      ///< freelist hits, including borrows
+  std::uint64_t oversize = 0;  ///< requests above the pool's largest class
+  std::uint64_t upstream_allocs = 0;  ///< system allocations ever made
+  std::size_t hwm_bytes = 0;          ///< peak leased + parked capacity
+  std::size_t cached_bytes = 0;       ///< parked on freelists at run end
+  std::size_t outstanding_bytes = 0;  ///< still leased at run end
+  double hit_rate = 1.0;
+  double fragmentation = 0.0;  ///< class-rounding padding / leased bytes
+};
+
+/// Memory-allocator accounting of one run. The *steady window* is the
+/// factorization loop after the warmup iterations (iteration 0 builds the
+/// freelist inventory, iteration 1 absorbs cross-rank skew); backsolve /
+/// refinement first-call leases happen after the loop and are excluded by
+/// construction. With the pool enabled, `steady_upstream_allocs == 0` is
+/// the guarantee the allocator exists for: no pooled subsystem touched
+/// the system allocator once warm.
+struct AllocStats {
+  bool pool_enabled = true;   ///< cfg.alloc_pool (false = passthrough)
+  bool steady_measured = false;  ///< run had iterations past warmup
+  /// Process-wide upstream (system) allocations by any pool inside the
+  /// steady window — max over ranks, identical on every rank.
+  std::uint64_t steady_upstream_allocs = 0;
+  /// Pool hit rate over the steady window — min over ranks.
+  double steady_hit_rate = 1.0;
+  /// Per-pool lifetime rows (this rank's device pools + shared fabric).
+  std::vector<AllocPoolReport> pools;
+};
 
 struct HplResult {
   double seconds = 0.0;  ///< wall time of factorization + backsolve
@@ -61,6 +100,10 @@ struct HplResult {
   /// the factorization in full fp64. Zero / false in fp64 mode.
   int ir_iters = 0;
   bool ir_fallback = false;
+
+  /// Unified-allocator accounting: steady-window allocation counts and
+  /// per-pool lifetime stats (identical scalar fields on every rank).
+  AllocStats alloc;
 
   /// True when the hazard-checking runtime (device::HazardTracker) was
   /// attached to this run's devices (cfg.hazard_check or HPLX_HAZARD).

@@ -297,6 +297,14 @@ HplDat parse_hpldat(std::istream& in) {
     dat.nrhs = static_cast<int>(r.integer("RHS count"));
     HPLX_CHECK_MSG(dat.nrhs >= 1, "HPL.dat: RHS count must be >= 1");
   }
+  if (!r.eof()) {
+    dat.alloc_pool = static_cast<int>(r.integer("alloc pool"));
+    HPLX_CHECK_MSG(dat.alloc_pool == 0 || dat.alloc_pool == 1,
+                   "HPL.dat: alloc pool must be 0 or 1");
+  }
+  if (!r.eof()) {
+    dat.alloc_cache_bytes = r.integer("alloc cache bytes");
+  }
   return dat;
 }
 
@@ -365,6 +373,8 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
                                                    : PivotMode::Full;
                   cfg.diag_dominant = dat.diag_dominant != 0;
                   cfg.nrhs = dat.nrhs;
+                  cfg.alloc_pool = dat.alloc_pool != 0;
+                  cfg.alloc_cache_bytes = dat.alloc_cache_bytes;
                   out.push_back(cfg);
                 }
               }
@@ -459,6 +469,10 @@ std::string format_hpldat(const HplDat& dat) {
   os << dat.diag_dominant
      << "  diag dominant (hplx extension, 0=no,1=yes)\n";
   os << dat.nrhs << "  RHS count (hplx extension, >=1)\n";
+  os << dat.alloc_pool
+     << "  alloc pool (hplx extension, 0=passthrough,1=pooled)\n";
+  os << dat.alloc_cache_bytes
+     << "  alloc cache bytes (hplx extension, <0=unbounded)\n";
   return os.str();
 }
 

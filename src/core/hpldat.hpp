@@ -80,6 +80,12 @@ struct HplDat {
   /// Right-hand sides per solve (>= 1): the backsolve runs blocked
   /// trsm/gemm over an n×nrhs panel instead of the single-vector path.
   int nrhs = 1;
+  /// 1 = pooled allocation (device buffers, host arena, message pools
+  /// share the unified size-classed allocator; zero steady-state system
+  /// allocations), 0 = passthrough ablation.
+  int alloc_pool = 1;
+  /// Cap on bytes parked on the pool freelists (< 0 = unbounded).
+  long alloc_cache_bytes = -1;
 };
 
 /// Parse an HPL.dat stream. Throws hplx::Error with a line diagnostic on

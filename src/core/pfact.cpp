@@ -94,14 +94,26 @@ struct Shared {
   int T_;
   int tile;  // tile height in rows
 
+  /// Arena for the per-panel scratch below (the task's, or the
+  /// process-wide default). Leases die with this Shared, so in steady
+  /// state every panel's scratch is a freelist hit, not an allocation.
+  device::PoolAllocator& arena;
+
   // Per-thread local pivot candidates (index into w rows, or -1).
-  std::vector<double> cand_val;
-  std::vector<long> cand_idx;
+  device::ArenaBufT<double> cand_val;
+  device::ArenaBufT<long> cand_idx;
 
   // Pivot exchange message: header + pivot row + current row.
-  std::vector<std::byte> msg;
+  device::ArenaBufT<std::byte> msg;
+
+  // No-pivot path only: contiguous jb×jb broadcast stage (+ the
+  // diagonal-dominance verdict slot) and the |W| column sums — one jb row
+  // per thread, plus the combined row at offset T_*jb.
+  device::ArenaBufT<T> stage;
+  device::ArenaBufT<double> colsum;
 
   std::atomic<bool> failed{false};
+  std::atomic<bool> dom_failed{false};
   double comm_seconds = 0.0;
 
   Shared(const PanelTaskT<T>& task, const HplConfig& config,
@@ -112,10 +124,21 @@ struct Shared {
         team(thread_team),
         T_(thread_team.size()),
         tile(task.tile_rows > 0 ? task.tile_rows : task.jb),
-        cand_val(static_cast<std::size_t>(T_), -1.0),
-        cand_idx(static_cast<std::size_t>(T_), -1),
-        msg(sizeof(PivotHeader) +
-            2 * static_cast<std::size_t>(task.jb) * sizeof(T)) {}
+        arena(task.scratch != nullptr ? *task.scratch
+                                      : device::default_host_arena()),
+        cand_val(arena),
+        cand_idx(arena),
+        msg(arena),
+        stage(arena),
+        colsum(arena) {
+    // Every slot is written before it is read (local_search fills all T_
+    // candidates, pivot_exchange rewrites the message per column), so the
+    // leases stay uninitialized.
+    cand_val.resize_discard(static_cast<std::size_t>(T_));
+    cand_idx.resize_discard(static_cast<std::size_t>(T_));
+    msg.resize_discard(sizeof(PivotHeader) +
+                       2 * static_cast<std::size_t>(task.jb) * sizeof(T));
+  }
 
   PivotHeader* header() { return reinterpret_cast<PivotHeader*>(msg.data()); }
   T* pivot_row() {
@@ -428,7 +451,53 @@ template <typename T>
 void factor_nopiv(Shared<T>& s, int tid) {
   const int jb = s.t.jb;
   const int ldtop = static_cast<int>(s.t.ldtop);
+
+  // Runtime diagonal-dominance guard: skipping the pivot search is only
+  // stable when every panel column is diagonally dominant over the
+  // trailing rows (a property the generator's +N diagonal shift provides
+  // and Schur complements preserve, so checking the current panel is the
+  // induction step). Each thread sums |W| over its own tiles; thread 0
+  // combines, allreduces across the process column, and the diagonal
+  // owner tests 2|W(c,c)| >= colsum[c] (the sum includes the diagonal).
+  // The verdict travels in the broadcast block below — like the
+  // zero-diagonal case, every rank agrees without an extra message.
   if (tid == 0) {
+    s.colsum.resize_discard(static_cast<std::size_t>(s.T_ + 1) *
+                            static_cast<std::size_t>(jb));
+  }
+  s.team.barrier();
+  double* part = s.colsum.data() +
+                 static_cast<std::size_t>(tid) * static_cast<std::size_t>(jb);
+  std::fill_n(part, jb, 0.0);
+  s.for_tiles(tid, 0, [&](long r0, long r1) {
+    for (int c = 0; c < jb; ++c)
+      for (long r = r0; r < r1; ++r)
+        part[c] += std::fabs(static_cast<double>(s.W(r, c)));
+  });
+  s.team.barrier();
+
+  if (tid == 0) {
+    double* total = s.colsum.data() + static_cast<std::size_t>(s.T_) *
+                                          static_cast<std::size_t>(jb);
+    std::fill_n(total, jb, 0.0);
+    for (int t = 0; t < s.T_; ++t)
+      for (int c = 0; c < jb; ++c)
+        total[c] += s.colsum[static_cast<std::size_t>(t) *
+                                 static_cast<std::size_t>(jb) +
+                             static_cast<std::size_t>(c)];
+    {
+      Timer timer;
+      timer.start();
+      comm::allreduce(s.comm, total, static_cast<std::size_t>(jb),
+                      comm::ReduceOp::Sum);
+      s.comm_seconds += timer.stop();
+    }
+    bool dom_bad = false;
+    if (s.t.is_curr) {
+      for (int c = 0; c < jb; ++c)
+        if (2.0 * std::fabs(static_cast<double>(s.W(c, c))) < total[c])
+          dom_bad = true;
+    }
     if (s.t.is_curr) {
       // The first jb w rows are exactly globals j..j+jb-1 (ascending), so
       // the top block is a straight copy — no pivot rows to collect.
@@ -447,24 +516,28 @@ void factor_nopiv(Shared<T>& s, int tid) {
       }
     }
     // One broadcast replicates the factored block (ldtop may exceed jb,
-    // so stage it contiguously for the wire).
-    std::vector<T> stage(static_cast<std::size_t>(jb) * jb);
+    // so stage it contiguously for the wire). The extra trailing element
+    // carries the diagonal owner's dominance verdict.
+    const std::size_t cnt = static_cast<std::size_t>(jb) * jb;
+    s.stage.resize_discard(cnt + 1);
     if (s.t.is_curr) {
       for (int c = 0; c < jb; ++c)
         for (int r = 0; r < jb; ++r)
-          stage[static_cast<std::size_t>(c) * jb + r] = s.Top(r, c);
+          s.stage[static_cast<std::size_t>(c) * jb + r] = s.Top(r, c);
     }
+    s.stage[cnt] = dom_bad ? T(1) : T(0);
     {
       Timer timer;
       timer.start();
-      comm::bcast(s.comm, stage.data(), stage.size(), s.t.diag_root);
+      comm::bcast(s.comm, s.stage.data(), cnt + 1, s.t.diag_root);
       s.comm_seconds += timer.stop();
     }
     if (!s.t.is_curr) {
       for (int c = 0; c < jb; ++c)
         for (int r = 0; r < jb; ++r)
-          s.Top(r, c) = stage[static_cast<std::size_t>(c) * jb + r];
+          s.Top(r, c) = s.stage[static_cast<std::size_t>(c) * jb + r];
     }
+    if (s.stage[cnt] != T(0)) s.dom_failed.store(true);
     // A zero diagonal travels with the block, so every rank agrees on
     // failure without an extra message.
     for (int k = 0; k < jb; ++k)
@@ -472,7 +545,7 @@ void factor_nopiv(Shared<T>& s, int tid) {
     for (int k = 0; k < jb; ++k) s.t.ipiv[k] = s.t.j + k;
   }
   s.team.barrier();
-  if (s.failed.load()) return;
+  if (s.failed.load() || s.dom_failed.load()) return;
   s.for_tiles(tid, s.active_start(jb), [&](long r0, long r1) {
     blas::trsm(blas::Side::Right, blas::Uplo::Upper, blas::Trans::No,
                blas::Diag::NonUnit, static_cast<int>(r1 - r0), jb, T(1),
@@ -507,6 +580,11 @@ void panel_factorize(comm::Communicator& col_comm, const HplConfig& cfg,
     }
   });
 
+  HPLX_CHECK_MSG(!s.dom_failed.load(),
+                 "pivoting=none requires a column diagonally dominant "
+                 "matrix, but dominance fails inside the panel at column "
+                 << task.j << " (generate with diag_dominant, or use full "
+                 "pivoting)");
   HPLX_CHECK_MSG(!s.failed.load(),
                  "panel factorization hit an exactly-zero pivot at column "
                  << task.j << " (singular matrix?)");

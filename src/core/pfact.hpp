@@ -33,6 +33,7 @@
 
 #include "comm/communicator.hpp"
 #include "core/config.hpp"
+#include "device/alloc.hpp"
 #include "util/thread_team.hpp"
 
 namespace hplx::core {
@@ -58,6 +59,11 @@ struct PanelTaskT {
   /// no-pivot path, which broadcasts the factored top block from it
   /// instead of accumulating pivot rows via allreduce.
   int diag_root = 0;
+  /// Arena the per-panel scratch (pivot message, candidate lists, no-pivot
+  /// broadcast stage) is leased from. The driver passes its device's host
+  /// arena so panel scratch recycles through the same freelists as every
+  /// other subsystem; null falls back to the process-wide default arena.
+  device::PoolAllocator* scratch = nullptr;
 };
 
 using PanelTask = PanelTaskT<double>;

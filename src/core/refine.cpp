@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "comm/collectives.hpp"
+#include "device/alloc.hpp"
 #include "device/hazard.hpp"
 #include "device/kernels.hpp"
 #include "rng/matgen.hpp"
@@ -33,10 +34,21 @@ struct RefineCtx {
   double norm_a = 0.0;       ///< ||A||_∞
   std::vector<double> norm_b;  ///< per-RHS ||b_r||_∞
 
+  /// Per-correction scratch, leased from the device's host arena and
+  /// reused across every block of every refinement iteration (correct()
+  /// used to assign() fresh vectors per block).
+  device::ArenaBufT<T> y, acc, d;
+
   RefineCtx(grid::ProcessGrid& g_, DistMatrixT<T>& a_,
             device::Stream& stream_,
             const std::vector<std::vector<long>>& pivots_)
-      : g(g_), a(a_), stream(stream_), pivots(pivots_) {
+      : g(g_),
+        a(a_),
+        stream(stream_),
+        pivots(pivots_),
+        y(a_.dev().host_arena()),
+        acc(a_.dev().host_arena()),
+        d(a_.dev().host_arena()) {
     n = a.n();
     nrhs = a.nrhs();
     nb = a.nb();
@@ -143,17 +155,16 @@ struct RefineCtx {
   }
 
   /// Solve L·U·d = P·r in precision T against the factors in device
-  /// memory; d is replicated on every rank.
-  std::vector<T> correct(const std::vector<double>& r) {
-    std::vector<T> d(static_cast<std::size_t>(n));
+  /// memory; d is replicated on every rank. The returned pointer is the
+  /// reusable `d` member — valid until the next correct() call.
+  const T* correct(const std::vector<double>& r) {
+    d.resize_discard(static_cast<std::size_t>(n));
     for (long i = 0; i < n; ++i)
       d[static_cast<std::size_t>(i)] =
           static_cast<T>(r[static_cast<std::size_t>(i)]);
 
     const long nblocks = (n + nb - 1) / nb;
     HPLX_CHECK(static_cast<long>(pivots.size()) == nblocks);
-
-    std::vector<T> y, acc;
 
     // Forward substitution L·z = P·r (unit lower, stored below the
     // diagonal of the factored blocks). The row swaps are *interleaved*
@@ -200,7 +211,8 @@ struct RefineCtx {
         const long mtail = ml - il0;
         if (mtail > 0) {
           const long jl = a.col_offset(jk);
-          y.assign(static_cast<std::size_t>(mtail), T(0));
+          // beta = 0: the gemm overwrites all mtail elements, no zeroing.
+          y.resize_discard(static_cast<std::size_t>(mtail));
           device::gemm(stream, mtail, 1, static_cast<long>(jbk), T(1),
                        a.at(il0, jl), a.lda(), d.data() + jk,
                        static_cast<long>(jbk), T(0), y.data(), mtail);
@@ -250,7 +262,7 @@ struct RefineCtx {
         const long mabove = a.row_offset(jk);
         if (mabove > 0) {
           const long jl = a.col_offset(jk);
-          y.assign(static_cast<std::size_t>(mabove), T(0));
+          y.resize_discard(static_cast<std::size_t>(mabove));
           device::gemm(stream, mabove, 1, static_cast<long>(jbk), T(1),
                        a.at(0, jl), a.lda(), d.data() + jk,
                        static_cast<long>(jbk), T(0), y.data(), mabove);
@@ -273,7 +285,7 @@ struct RefineCtx {
         d[static_cast<std::size_t>(i)] -= acc[static_cast<std::size_t>(i)];
     }
 
-    return d;
+    return d.data();
   }
 };
 
@@ -320,7 +332,7 @@ RefineResult iterative_refine(grid::ProcessGrid& g, DistMatrixT<T>& a,
       if (it >= max_iters || scaled >= prev) break;
       prev = scaled;
 
-      const std::vector<T> d = ctx.correct(r);
+      const T* d = ctx.correct(r);
       for (long i = 0; i < n; ++i)
         xcol[static_cast<std::size_t>(i)] +=
             static_cast<double>(d[static_cast<std::size_t>(i)]);

@@ -172,4 +172,36 @@ void print_hazard_report(std::ostream& os, const HplResult& result) {
   os << kDash;
 }
 
+void print_alloc_report(std::ostream& os, const HplResult& result) {
+  const AllocStats& a = result.alloc;
+  if (a.pools.empty()) return;
+  os << kDash << "Memory pools ("
+     << (a.pool_enabled ? "pooled" : "passthrough ablation") << "):";
+  if (a.steady_measured) {
+    os << " steady-state system allocations = " << a.steady_upstream_allocs
+       << (a.steady_upstream_allocs == 0 ? " (zero-alloc hot path)" : "")
+       << ", steady hit rate = " << std::fixed << std::setprecision(4)
+       << a.steady_hit_rate << '\n';
+  } else {
+    os << " run too short for a steady window (all iterations are "
+          "warmup)\n";
+  }
+  os << "  " << std::left << std::setw(12) << "pool" << std::right
+     << std::setw(10) << "acquires" << std::setw(10) << "hit rate"
+     << std::setw(10) << "upstream" << std::setw(12) << "hwm MiB"
+     << std::setw(12) << "cached MiB" << std::setw(9) << "pad %" << '\n';
+  const double mib = 1024.0 * 1024.0;
+  for (const AllocPoolReport& p : a.pools) {
+    os << "  " << std::left << std::setw(12) << p.name << std::right
+       << std::setw(10) << p.acquires << std::fixed << std::setprecision(4)
+       << std::setw(10) << p.hit_rate << std::setw(10) << p.upstream_allocs
+       << std::setprecision(2) << std::setw(12)
+       << static_cast<double>(p.hwm_bytes) / mib << std::setw(12)
+       << static_cast<double>(p.cached_bytes) / mib << std::setprecision(1)
+       << std::setw(9) << 100.0 * p.fragmentation << '\n';
+  }
+  os << kDash;
+  os.unsetf(std::ios::floatfield);
+}
+
 }  // namespace hplx::core

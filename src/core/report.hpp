@@ -48,4 +48,10 @@ void print_phase_breakdown(std::ostream& os, const HplResult& result);
 /// off.
 void print_hazard_report(std::ostream& os, const HplResult& result);
 
+/// End-of-run memory-allocator table (result.alloc): the steady-window
+/// verdict (system allocations after warmup — 0 is the pool's guarantee —
+/// and the worst-rank hit rate), then one row per pool with lifetime
+/// acquires, hit rate, peak footprint, parked bytes, and padding overhead.
+void print_alloc_report(std::ostream& os, const HplResult& result);
+
 }  // namespace hplx::core

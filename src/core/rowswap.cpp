@@ -12,6 +12,12 @@ namespace hplx::core {
 
 RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv) {
   RowSwapPlan plan;
+  build_rowswap_plan(j, jb, ipiv, plan);
+  return plan;
+}
+
+void build_rowswap_plan(long j, int jb, const long* ipiv,
+                        RowSwapPlan& plan) {
   plan.j = j;
   plan.jb = jb;
 
@@ -25,6 +31,7 @@ RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv) {
   for (int k = 0; k < jb; ++k) top[static_cast<std::size_t>(k)] = j + k;
 
   std::vector<std::pair<long, long>>& below = plan.displaced;
+  below.clear();
   below.reserve(static_cast<std::size_t>(jb));
 
   for (int k = 0; k < jb; ++k) {
@@ -63,29 +70,35 @@ RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv) {
     (void)slot;
     HPLX_CHECK(orig >= j && orig < j + jb);  // sources always from the top
   }
-  return plan;
 }
 
-namespace {
-/// Grow-only resize for the staging buffers: every byte a kernel or
-/// collective reads is written first (pack fills exactly the packed row
-/// count, the collectives move exact byte counts), so stale tail content
-/// past the live region is never observed and re-zeroing each panel —
-/// what assign() did — is pure overhead.
 template <typename T>
-void ensure_size(std::vector<T>& v, std::size_t n) {
-  if (v.size() < n) v.resize(n);
+void RowSwapperT<T>::ensure_bound() {
+  if (my_u_.bound()) return;
+  device::PoolAllocator& arena = device::default_host_arena();
+  my_u_.bind(arena);
+  gathered_u_.bind(arena);
+  disp_send_.bind(arena);
+  disp_recv_.bind(arena);
 }
-}  // namespace
 
 template <typename T>
-void RowSwapperT<T>::reserve(int max_jb, long max_njl, int nprow) {
+void RowSwapperT<T>::reserve(device::PoolAllocator& arena, int max_jb,
+                             long max_njl, int nprow) {
+  my_u_.bind(arena);
+  gathered_u_.bind(arena);
+  disp_send_.bind(arena);
+  disp_recv_.bind(arena);
+  // Lease the maximum-window capacity up front and keep it for the
+  // swapper's lifetime: per-panel resize_discard calls below capacity
+  // never touch the pool, so the hot loop is re-lease-free as well as
+  // allocation-free.
   const std::size_t u = static_cast<std::size_t>(max_jb) *
                         static_cast<std::size_t>(std::max<long>(max_njl, 1));
-  my_u_.reserve(u);
-  gathered_u_.reserve(u);
-  disp_send_.reserve(u);
-  disp_recv_.reserve(u);
+  my_u_.resize_discard(u);
+  gathered_u_.resize_discard(u);
+  disp_send_.resize_discard(u);
+  disp_recv_.resize_discard(u);
   my_u_slots_.reserve(static_cast<std::size_t>(max_jb));
   u_dest_of_packed_.reserve(static_cast<std::size_t>(max_jb));
   disp_src_slots_.reserve(static_cast<std::size_t>(max_jb));
@@ -99,11 +112,12 @@ template <typename T>
 void RowSwapperT<T>::prepare(const RowSwapPlan& plan, const DistMatrixT<T>& a,
                              int myrow, long jl0, long njl, RowSwapAlgo algo,
                              long threshold) {
+  ensure_bound();
   // The previous cycle's scatter kernels captured raw pointers into
   // gathered_u_ / disp_recv_ at enqueue time. Before this cycle resizes
-  // those buffers (ensure_size may reallocate — the displaced-row count
-  // varies per panel) or communicate() rewrites them, wait for the unpacks
-  // to drain. The wait is usually already satisfied; it only blocks when
+  // those buffers (a growing resize_discard re-leases — the displaced-row
+  // count varies per panel) or communicate() rewrites them, wait for the
+  // unpacks to drain. The wait is usually already satisfied; it only blocks when
   // the host has run a full iteration ahead of the device.
   if (scatter_pending_) {
     if (test_skip_scatter_fence_) {
@@ -153,8 +167,8 @@ void RowSwapperT<T>::prepare(const RowSwapPlan& plan, const DistMatrixT<T>& a,
     my_disp_dest_slots_.clear();
     disp_counts_.assign(static_cast<std::size_t>(nprow_), 0);
     if (nprow_ > 1)
-      ensure_size(gathered_u_, static_cast<std::size_t>(jb_) *
-                                   static_cast<std::size_t>(njl_));
+      gathered_u_.resize_discard(static_cast<std::size_t>(jb_) *
+                                 static_cast<std::size_t>(njl_));
     return;
   }
 
@@ -186,9 +200,14 @@ void RowSwapperT<T>::prepare(const RowSwapPlan& plan, const DistMatrixT<T>& a,
     }
   }
 
-  ensure_size(my_u_, my_u_slots_.size() * static_cast<std::size_t>(njl_));
-  ensure_size(gathered_u_,
-              static_cast<std::size_t>(jb_) * static_cast<std::size_t>(njl_));
+  // resize_discard never initializes: every byte a kernel or collective
+  // reads is written first (pack fills exactly the packed row count, the
+  // collectives move exact byte counts), so stale content past the live
+  // region is never observed and re-zeroing each panel — what assign()
+  // did — would be pure overhead.
+  my_u_.resize_discard(my_u_slots_.size() * static_cast<std::size_t>(njl_));
+  gathered_u_.resize_discard(static_cast<std::size_t>(jb_) *
+                             static_cast<std::size_t>(njl_));
 
   // --- displaced rows ----------------------------------------------------
   disp_src_slots_.clear();
@@ -213,11 +232,11 @@ void RowSwapperT<T>::prepare(const RowSwapPlan& plan, const DistMatrixT<T>& a,
   }
   if (!in_diag_row_) disp_src_slots_.clear();
 
-  ensure_size(disp_send_, in_diag_row_ ? disp_src_slots_.size() *
-                                             static_cast<std::size_t>(njl_)
-                                       : 0);
-  ensure_size(disp_recv_,
-              my_disp_dest_slots_.size() * static_cast<std::size_t>(njl_));
+  disp_send_.resize_discard(in_diag_row_ ? disp_src_slots_.size() *
+                                               static_cast<std::size_t>(njl_)
+                                         : 0);
+  disp_recv_.resize_discard(my_disp_dest_slots_.size() *
+                            static_cast<std::size_t>(njl_));
 }
 
 template <typename T>

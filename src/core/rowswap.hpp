@@ -27,6 +27,7 @@
 #include "comm/communicator.hpp"
 #include "core/config.hpp"
 #include "core/matrix.hpp"
+#include "device/alloc.hpp"
 #include "device/stream.hpp"
 
 namespace hplx::core {
@@ -52,6 +53,12 @@ struct RowSwapPlan {
 /// displaced, no per-swap node allocations).
 RowSwapPlan build_rowswap_plan(long j, int jb, const long* ipiv);
 
+/// In-place variant: rebuilds into `plan`, reusing its vectors' capacity,
+/// so the per-iteration plan construction allocates nothing once the
+/// first panel has sized them (the driver keeps one plan per pipeline
+/// slot and rebuilds it every iteration).
+void build_rowswap_plan(long j, int jb, const long* ipiv, RowSwapPlan& plan);
+
 /// Per-call timing of one communicate(): how long the U assembly spent on
 /// the wire and how much device unpack work was fused into the delivery
 /// (modeled seconds). unpack_s > 0 only on the pipelined path; the ratio
@@ -75,9 +82,14 @@ class RowSwapperT {
  public:
   /// Pre-size every workspace for the largest window this swapper will
   /// see (jb <= max_jb, njl <= max_njl, a process column of nprow ranks),
-  /// so per-panel prepare() calls neither allocate nor re-zero. Optional:
-  /// without it the buffers grow to their high-water mark on first use.
-  void reserve(int max_jb, long max_njl, int nprow);
+  /// so per-panel prepare() calls neither allocate nor re-zero. The
+  /// staging buffers are leased from `arena` (the owning device's host
+  /// arena) and held for the swapper's lifetime. Optional: without it
+  /// the buffers bind to the process-wide default arena on first use and
+  /// grow to their high-water mark (re-leasing through the pool, so the
+  /// growth still stops allocating once the inventory is built).
+  void reserve(device::PoolAllocator& arena, int max_jb, long max_njl,
+               int nprow);
 
   /// Prepare for applying `plan` to local columns [jl0, jl0+njl) on this
   /// rank, whose grid row coordinate is `myrow`. njl may be 0; the rank
@@ -182,19 +194,25 @@ class RowSwapperT {
   device::Event scatter_done_;   ///< recorded after the last unpack enqueue
   bool scatter_pending_ = false; ///< a scatter is (possibly) still in flight
 
-  // U assembly.
+  /// Bind the staging buffers to their arena (reserve()'s, or the
+  /// process-wide default when reserve was never called).
+  void ensure_bound();
+
+  // U assembly. The index lists are plain vectors (tiny, pre-reserved);
+  // the element staging moved to arena leases so resizes recycle through
+  // the pool's freelists instead of the system allocator.
   std::vector<long> my_u_slots_;        ///< local rows of my U sources
   std::vector<long> u_dest_of_packed_;  ///< U row k for each packed position
   std::vector<std::size_t> u_counts_, u_displs_;  ///< allgatherv (bytes)
-  std::vector<T> my_u_;       ///< packed rows I contribute (wire format)
-  std::vector<T> gathered_u_; ///< all jb rows, rank-packed (wire format)
+  device::ArenaBufT<T> my_u_;       ///< packed rows I contribute (wire format)
+  device::ArenaBufT<T> gathered_u_; ///< all jb rows, rank-packed (wire fmt)
 
   // Displaced rows.
   std::vector<long> disp_src_slots_;   ///< diag row only: local top rows
   std::vector<std::size_t> disp_counts_;
   std::vector<long> my_disp_dest_slots_;  ///< local destination rows
-  std::vector<T> disp_send_;  ///< diag row: rows packed in rank order
-  std::vector<T> disp_recv_;
+  device::ArenaBufT<T> disp_send_;  ///< diag row: rows packed in rank order
+  device::ArenaBufT<T> disp_recv_;
 };
 
 using RowSwapper = RowSwapperT<double>;

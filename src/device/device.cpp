@@ -1,6 +1,7 @@
 #include "device/device.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "device/hazard.hpp"
@@ -8,19 +9,25 @@
 namespace hplx::device {
 
 Buffer::Buffer(Device& dev, std::size_t count) : device_(&dev), count_(count) {
+  // Accounting first: an over-capacity request throws before the pool is
+  // touched, so a failed alloc leaks neither bytes nor a lease. The
+  // charge is the logical byte count — class rounding stays inside the
+  // pool, so exact-fit requests against a full device still succeed.
   device_->account_alloc(bytes());
-  storage_ = std::make_unique<double[]>(count);
-  if (HazardTracker* hz = device_->hazard())
-    hz->on_alloc(storage_.get(), bytes());
+  block_ = device_->hbm_pool().acquire(bytes());
+  // Pooled blocks carry their previous lease's contents; device buffers
+  // are zero-initialized by contract (the seed allocated with
+  // make_unique<double[]>, and residual bitwise-reproducibility depends
+  // on it).
+  std::memset(block_.data, 0, bytes());
 }
 
 Buffer::~Buffer() { release(); }
 
 Buffer::Buffer(Buffer&& other) noexcept
-    : device_(other.device_),
-      storage_(std::move(other.storage_)),
-      count_(other.count_) {
+    : device_(other.device_), block_(other.block_), count_(other.count_) {
   other.device_ = nullptr;
+  other.block_ = {};
   other.count_ = 0;
 }
 
@@ -28,33 +35,41 @@ Buffer& Buffer::operator=(Buffer&& other) noexcept {
   // Steal into locals first so self-move-assignment (`b = std::move(b)`)
   // cannot release the storage it is about to adopt.
   Device* dev = other.device_;
-  std::unique_ptr<double[]> storage = std::move(other.storage_);
+  const PoolAllocator::Block block = other.block_;
   const std::size_t count = other.count_;
   other.device_ = nullptr;
+  other.block_ = {};
   other.count_ = 0;
   release();
   device_ = dev;
-  storage_ = std::move(storage);
+  block_ = block;
   count_ = count;
   return *this;
 }
 
 void Buffer::release() {
-  if (storage_ && device_ != nullptr) {
-    if (HazardTracker* hz = device_->hazard())
-      hz->on_free(storage_.get(), bytes());
+  if (block_.data != nullptr && device_ != nullptr) {
+    device_->hbm_pool().release(block_);
     device_->account_free(bytes());
   }
-  storage_.reset();
+  block_ = {};
   device_ = nullptr;
   count_ = 0;
 }
 
 Device::Device(std::string name, std::size_t hbm_bytes, DeviceModel model,
-               bool hazard_check)
+               bool hazard_check, bool pool_enabled, long pool_cache_bytes)
     : name_(std::move(name)), hbm_bytes_(hbm_bytes), model_(model) {
   if (hazard_check || hazard_env_enabled())
     hazard_ = std::make_unique<HazardTracker>(name_);
+  hbm_pool_ =
+      std::make_unique<PoolAllocator>(name_ + ".hbm", !pool_enabled);
+  host_arena_ =
+      std::make_unique<PoolAllocator>(name_ + ".arena", !pool_enabled);
+  hbm_pool_->set_hazard(hazard_.get());
+  host_arena_->set_hazard(hazard_.get());
+  hbm_pool_->set_cache_limit(pool_cache_bytes);
+  host_arena_->set_cache_limit(pool_cache_bytes);
 }
 
 Device::~Device() {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "device/alloc.hpp"
 #include "device/model.hpp"
 #include "util/error.hpp"
 
@@ -35,22 +36,24 @@ class Buffer {
   Buffer(const Buffer&) = delete;
   Buffer& operator=(const Buffer&) = delete;
 
-  double* data() { return storage_.get(); }
-  const double* data() const { return storage_.get(); }
+  double* data() { return reinterpret_cast<double*>(block_.data); }
+  const double* data() const {
+    return reinterpret_cast<const double*>(block_.data);
+  }
   std::size_t count() const { return count_; }
   std::size_t bytes() const { return count_ * sizeof(double); }
-  bool allocated() const { return storage_ != nullptr; }
+  bool allocated() const { return block_.data != nullptr; }
 
   /// View the storage as elements of T (float for the mxp engines). The
   /// backing array stays double-allocated — alignment is always
   /// sufficient and the hazard tracker's byte ranges coincide.
   template <typename T>
   T* data_as() {
-    return reinterpret_cast<T*>(storage_.get());
+    return reinterpret_cast<T*>(block_.data);
   }
   template <typename T>
   const T* data_as() const {
-    return reinterpret_cast<const T*>(storage_.get());
+    return reinterpret_cast<const T*>(block_.data);
   }
   /// Elements of T that fit in this allocation.
   template <typename T>
@@ -61,7 +64,7 @@ class Buffer {
  private:
   void release();
   Device* device_ = nullptr;
-  std::unique_ptr<double[]> storage_;
+  PoolAllocator::Block block_{};
   std::size_t count_ = 0;
 };
 
@@ -74,9 +77,14 @@ class Device {
   /// HPLX_HAZARD environment override, so any run can be checked without
   /// a rebuild. When off, hazard() is null and every instrumentation site
   /// in the runtime is a single pointer test.
+  /// \param pool_enabled route Buffer storage and the host arena through
+  /// the size-classed pools (the `alloc_pool` config knob); off =
+  /// passthrough to the system allocator, for ablation.
+  /// \param pool_cache_bytes cap on parked bytes per pool (<0 unbounded).
   Device(std::string name, std::size_t hbm_bytes,
          DeviceModel model = DeviceModel::mi250x_gcd(),
-         bool hazard_check = false);
+         bool hazard_check = false, bool pool_enabled = true,
+         long pool_cache_bytes = -1);
 
   /// Reports leaked allocations (hbm_used() != 0) under the tracker.
   ~Device();
@@ -91,6 +99,13 @@ class Device {
 
   /// The hazard-checking runtime, or nullptr when checking is off.
   HazardTracker* hazard() { return hazard_.get(); }
+
+  /// The size-classed pool backing Buffer storage (HBM accounting stays
+  /// in logical bytes on this Device; class rounding is pool-internal).
+  PoolAllocator& hbm_pool() { return *hbm_pool_; }
+  /// Pinned-style host scratch arena for the core layer's per-panel
+  /// staging (backsolve/pfact/refine temporaries, row-swap staging).
+  PoolAllocator& host_arena() { return *host_arena_; }
 
   /// Allocate `count` doubles of device memory.
   Buffer alloc(std::size_t count) { return Buffer(*this, count); }
@@ -112,6 +127,10 @@ class Device {
   DeviceModel model_;
   std::atomic<std::size_t> used_bytes_{0};
   std::unique_ptr<HazardTracker> hazard_;
+  // Pools are declared after (so destroyed before) the tracker: their
+  // teardown frees cached blocks while the tracker is still alive.
+  std::unique_ptr<PoolAllocator> hbm_pool_;
+  std::unique_ptr<PoolAllocator> host_arena_;
 };
 
 }  // namespace hplx::device

@@ -1,0 +1,181 @@
+/// Solve-level allocator guarantees: after the warmup iterations a full
+/// factorization performs zero upstream (system) allocations through any
+/// pool — device HBM, host arena, fabric message pool — on every
+/// pipeline, precision, and RHS-width variant; the pooled and
+/// passthrough (ablation) modes produce bitwise-identical residuals; and
+/// the no-pivot path's runtime dominance check rejects non-dominant
+/// inputs on every rank instead of silently factoring garbage.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <utility>
+
+#include "comm/world.hpp"
+#include "core/driver.hpp"
+#include "core/report.hpp"
+#include "util/error.hpp"
+
+namespace hplx::core {
+namespace {
+
+HplConfig base_cfg(long n, int nb, int p, int q) {
+  HplConfig cfg;
+  cfg.n = n;
+  cfg.nb = nb;
+  cfg.p = p;
+  cfg.q = q;
+  cfg.seed = 20230901;
+  cfg.fact_threads = 2;
+  cfg.rfact_nbmin = 8;
+  cfg.verify = true;
+  return cfg;
+}
+
+HplResult run(const HplConfig& cfg) {
+  HplResult out;
+  comm::World::run(cfg.p * cfg.q, [&](comm::Communicator& world) {
+    HplResult r = run_hpl(world, cfg);
+    if (world.rank() == 0) out = std::move(r);
+  });
+  return out;
+}
+
+void expect_zero_steady_allocs(const HplResult& r, const char* what) {
+  EXPECT_TRUE(r.verify.passed) << what;
+  ASSERT_TRUE(r.alloc.pool_enabled) << what;
+  ASSERT_TRUE(r.alloc.steady_measured) << what;
+  EXPECT_EQ(r.alloc.steady_upstream_allocs, 0u)
+      << what << ": the solve hot path touched the system allocator "
+      << "after warmup";
+  EXPECT_GE(r.alloc.steady_hit_rate, 0.97) << what;
+  ASSERT_FALSE(r.alloc.pools.empty()) << what;
+}
+
+// ------------------------------------------- zero steady-state allocation
+
+TEST(AllocSolve, SteadyStateZeroAllocsSingleRank) {
+  const HplResult r = run(base_cfg(512, 64, 1, 1));
+  expect_zero_steady_allocs(r, "fp64 1x1");
+}
+
+TEST(AllocSolve, SteadyStateZeroAllocsGrid) {
+  const HplResult r = run(base_cfg(512, 64, 2, 2));
+  expect_zero_steady_allocs(r, "fp64 2x2");
+}
+
+TEST(AllocSolve, SteadyStateZeroAllocsSimplePipeline) {
+  HplConfig cfg = base_cfg(512, 64, 2, 1);
+  cfg.pipeline = PipelineMode::Simple;
+  expect_zero_steady_allocs(run(cfg), "fp64 simple 2x1");
+}
+
+TEST(AllocSolve, SteadyStateZeroAllocsMixedPrecision) {
+  HplConfig cfg = base_cfg(512, 64, 1, 2);
+  cfg.precision = PrecisionMode::MXP32;
+  expect_zero_steady_allocs(run(cfg), "mxp32 1x2");
+}
+
+TEST(AllocSolve, SteadyStateZeroAllocsMultiRhs) {
+  HplConfig cfg = base_cfg(512, 64, 2, 2);
+  cfg.nrhs = 4;
+  expect_zero_steady_allocs(run(cfg), "nrhs=4 2x2");
+}
+
+TEST(AllocSolve, SteadyStateZeroAllocsNoPivot) {
+  HplConfig cfg = base_cfg(512, 64, 2, 2);
+  cfg.pivoting = PivotMode::None;
+  cfg.diag_dominant = true;
+  expect_zero_steady_allocs(run(cfg), "nopiv 2x2");
+}
+
+TEST(AllocSolve, SteadyStateZeroAllocsLateFirstPanelOwner) {
+  // Panel ownership rotates through the q process columns, so on 1x4 the
+  // last column factors its first panel only at iteration 3 — its
+  // first-touch pfact scratch must count as warmup (the window opens
+  // after one full rotation), not as a steady-state allocation.
+  HplConfig cfg = base_cfg(768, 64, 1, 4);
+  expect_zero_steady_allocs(run(cfg), "fp64 1x4 rotation");
+}
+
+TEST(AllocSolve, ShortRunIsAllWarmup) {
+  // Two panels: both warmup, no steady window to measure.
+  const HplResult r = run(base_cfg(128, 64, 1, 1));
+  EXPECT_TRUE(r.verify.passed);
+  EXPECT_FALSE(r.alloc.steady_measured);
+}
+
+// ------------------------------------------------------- ablation parity
+
+TEST(AllocSolve, PassthroughAblationMatchesBitwise) {
+  HplConfig cfg = base_cfg(384, 48, 2, 2);
+  const HplResult pooled = run(cfg);
+  cfg.alloc_pool = false;
+  const HplResult ablated = run(cfg);
+  EXPECT_TRUE(pooled.verify.passed);
+  EXPECT_TRUE(ablated.verify.passed);
+  // The pool only changes where scratch lives, never what is computed.
+  EXPECT_EQ(pooled.verify.residual, ablated.verify.residual);
+  EXPECT_FALSE(ablated.alloc.pool_enabled);
+  // Passthrough pays a system allocation per lease: steady-state stays
+  // hot, which is exactly what the ablation is for.
+  ASSERT_TRUE(ablated.alloc.steady_measured);
+  EXPECT_GT(ablated.alloc.steady_upstream_allocs, 0u);
+}
+
+TEST(AllocSolve, CacheLimitStillSolves) {
+  HplConfig cfg = base_cfg(256, 32, 1, 1);
+  cfg.alloc_cache_bytes = 1 << 20;  // far below the working set
+  const HplResult r = run(cfg);
+  EXPECT_TRUE(r.verify.passed);
+  EXPECT_TRUE(r.alloc.pool_enabled);
+}
+
+// ----------------------------------------------------- hazard integration
+
+TEST(AllocSolve, PooledReuseIsHazardClean) {
+  HplConfig cfg = base_cfg(256, 32, 2, 2);
+  cfg.hazard_check = true;
+  const HplResult r = run(cfg);
+  EXPECT_TRUE(r.verify.passed);
+  EXPECT_TRUE(r.hazard_checked);
+  EXPECT_TRUE(r.hazards.empty())
+      << "pooled lease reuse produced hazard violations";
+  EXPECT_TRUE(r.alloc.pool_enabled);
+}
+
+// --------------------------------------------------------------- report
+
+TEST(AllocSolve, ReportPrintsSteadyVerdictAndPoolRows) {
+  const HplResult r = run(base_cfg(512, 64, 1, 1));
+  std::ostringstream os;
+  print_alloc_report(os, r);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Memory pools"), std::string::npos);
+  EXPECT_NE(text.find("zero-alloc hot path"), std::string::npos);
+  EXPECT_NE(text.find("arena"), std::string::npos);
+  EXPECT_NE(text.find("comm"), std::string::npos);
+}
+
+// ------------------------------------------------ dominance runtime check
+
+TEST(AllocSolve, NoPivotRejectsNonDominantMatrix) {
+  // Classic random matrix, no +N diagonal shift: not diagonally
+  // dominant, so pivoting = none must fail fast on every rank (the
+  // verdict travels with the factored block's broadcast).
+  HplConfig cfg = base_cfg(192, 32, 2, 1);
+  cfg.pivoting = PivotMode::None;
+  cfg.diag_dominant = false;
+  EXPECT_THROW(run(cfg), Error);
+}
+
+TEST(AllocSolve, NoPivotAcceptsDominantMatrix) {
+  HplConfig cfg = base_cfg(192, 32, 2, 1);
+  cfg.pivoting = PivotMode::None;
+  cfg.diag_dominant = true;
+  const HplResult r = run(cfg);
+  EXPECT_TRUE(r.verify.passed);
+}
+
+}  // namespace
+}  // namespace hplx::core
