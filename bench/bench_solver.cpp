@@ -371,6 +371,59 @@ BENCHMARK(BM_SolverAlloc)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Comm-verifier ablation: checker off vs on. Args: {N, NB, P, Q, checked
+/// tag}. Off is the shipping configuration (every hook a single pointer
+/// test); on adds the collective descriptor table, the blocked-receive
+/// registry and the end-of-run orphan audit. The pair quantifies the
+/// checker's overhead for EXPERIMENTS.md §K-COMMCHECK; the checked run
+/// must also come back violation-free, so the benchmark doubles as a
+/// long-duration clean-sweep gate.
+void BM_SolverCommcheck(benchmark::State& state) {
+  core::HplConfig cfg;
+  cfg.n = state.range(0);
+  cfg.nb = static_cast<int>(state.range(1));
+  cfg.p = static_cast<int>(state.range(2));
+  cfg.q = static_cast<int>(state.range(3));
+  cfg.pipeline = core::PipelineMode::LookaheadSplit;
+  cfg.comm_check = state.range(4) != 0;
+  cfg.fact_threads = 2;
+
+  double gflops = 0.0, violations = 0.0;
+  long solves = 0;
+  for (auto _ : state) {
+    const core::HplResult r = solve_once(cfg);
+    if (!r.verify.passed) {
+      state.SkipWithError("residual check FAILED");
+      return;
+    }
+    if (cfg.comm_check && !r.comm_checked) {
+      state.SkipWithError("comm verifier did not run");
+      return;
+    }
+    gflops += r.gflops;
+    for (const auto& v : r.comm_violations)
+      violations += static_cast<double>(v.count);
+    ++solves;
+    benchmark::DoNotOptimize(r.seconds);
+  }
+  if (solves > 0) {
+    const double inv = 1.0 / static_cast<double>(solves);
+    state.counters["GF/s"] = gflops * inv;
+    state.counters["violations"] = violations * inv;
+  }
+  state.SetLabel(cfg.comm_check ? "checked" : "unchecked");
+}
+
+BENCHMARK(BM_SolverCommcheck)
+    // The acceptance pair: off vs on at N=2048 on one rank.
+    ->Args({2048, 256, 1, 1, 0})
+    ->Args({2048, 256, 1, 1, 1})
+    // Cross-rank: the verifier rides every split fabric and collective.
+    ->Args({1024, 128, 2, 2, 0})
+    ->Args({1024, 128, 2, 2, 1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
     });
     emit([&](std::ostream& os) { core::print_hpl_result(os, cfg, result); });
     emit([&](std::ostream& os) { core::print_hazard_report(os, result); });
+    emit([&](std::ostream& os) { core::print_comm_report(os, result); });
     emit([&](std::ostream& os) { core::print_alloc_report(os, result); });
     if (result.verify.passed) ++passed;
   }

@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# GCC static-analyzer leg: compile the transport layer (src/comm + src/util
+# by default — the code the comm verifier dynamically checks) with
+# -fanalyzer and fail on any finding not recorded in the checked-in
+# baseline (scripts/analyzer-baseline.txt).
+#
+# GCC's analyzer only understands C++ from GCC 12 on, and even there it
+# reports interprocedural false positives through libstdc++ internals
+# (mutex lock paths, string SSO). Findings are therefore normalized to
+# stable "file|function|-Wanalyzer-tag" triples and compared against the
+# baseline: a new triple fails the leg (a real regression or a new
+# suppression to review), a triple that disappeared is reported as stale
+# so the baseline can be pruned. Raw diagnostics for new findings are kept
+# in the scratch directory for inspection.
+#
+#   scripts/analyze.sh                         # src/comm src/util
+#   ANALYZE_SCOPE="src" scripts/analyze.sh     # whole library (slow)
+#   ANALYZE_UPDATE=1 scripts/analyze.sh        # rewrite the baseline
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+baseline="$repo/scripts/analyzer-baseline.txt"
+scope="${ANALYZE_SCOPE:-src/comm src/util}"
+cxx="${CXX:-g++}"
+
+major=$("$cxx" -dumpversion | cut -d. -f1)
+if [ "$major" -lt 12 ]; then
+  echo "analyze.sh: skipped ($cxx is GCC $major; -fanalyzer needs >= 12)"
+  exit 0
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+findings="$tmp/findings.txt"
+: > "$findings"
+
+for dir in $scope; do
+  for f in "$repo"/$dir/*.cpp; do
+    [ -e "$f" ] || continue
+    rel=${f#"$repo/"}
+    raw="$tmp/$(echo "$rel" | tr / _).log"
+    # -O1 so the analyzer sees the optimized CFG it is tuned for; compile
+    # only, the object is thrown away.
+    "$cxx" -std=c++17 -O1 -fanalyzer -I "$repo/src" -I "$repo" \
+      -c -o /dev/null "$f" 2> "$raw" || {
+      echo "analyze.sh: $rel failed to compile"; cat "$raw"; exit 1;
+    }
+    # Pair each -Wanalyzer warning with the innermost enclosing function
+    # GCC printed for it ("In member function '...'"). cc1plus-attributed
+    # warnings carry no file position, so the compiled source is the key.
+    awk -v src="$rel" '
+      /^In .*function/ {
+        fn = $0
+        sub(/^In [a-z ]*function ./, "", fn)
+        sub(/.:?$/, "", fn)
+        next
+      }
+      /warning:/ && match($0, /\[-Wanalyzer-[a-z-]+\]/) {
+        print src "|" fn "|" substr($0, RSTART + 1, RLENGTH - 2)
+      }' "$raw" | sort -u >> "$findings"
+  done
+done
+sort -u "$findings" -o "$findings"
+
+if [ "${ANALYZE_UPDATE:-0}" = "1" ]; then
+  cp "$findings" "$baseline"
+  echo "analyze.sh: baseline rewritten ($(wc -l < "$baseline") findings)"
+  exit 0
+fi
+
+[ -f "$baseline" ] || : > "$baseline"
+new=$(comm -23 "$findings" "$baseline")
+stale=$(comm -13 "$findings" "$baseline")
+
+if [ -n "$stale" ]; then
+  echo "analyze.sh: stale baseline entries (fixed or renamed; prune with"
+  echo "ANALYZE_UPDATE=1):"
+  echo "$stale" | sed 's/^/  /'
+fi
+if [ -n "$new" ]; then
+  echo "analyze.sh: NEW analyzer findings (not in baseline):"
+  echo "$new" | sed 's/^/  /'
+  echo "analyze.sh: full diagnostics under $tmp (kept):"
+  trap - EXIT
+  exit 1
+fi
+echo "analyze.sh: clean ($(wc -l < "$findings") baselined findings," \
+  "scope: $scope)"

@@ -66,5 +66,10 @@ cd "$out"
   --benchmark_min_time="$min_time" \
   --benchmark_out="$out/BENCH_alloc.json" \
   --benchmark_out_format=json
+"$build/bench/bench_solver" \
+  --benchmark_filter='BM_SolverCommcheck/' \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out/BENCH_commcheck.json" \
+  --benchmark_out_format=json
 
-echo "wrote $out/BENCH_{blas,comm,kernels,solver,streams,rowswap,mxp,variants,alloc}.json"
+echo "wrote $out/BENCH_{blas,comm,kernels,solver,streams,rowswap,mxp,variants,alloc,commcheck}.json"

@@ -11,12 +11,17 @@
 # solver-variant matrix (pfact variants × pivoting × nrhs × precision)
 # likewise carries "variants" and gets its own step and both sanitizer
 # legs, as does the unified-allocator suite ("alloc": size-class/stats
-# unit tests plus the zero-steady-state-allocation solve gates).
+# unit tests plus the zero-steady-state-allocation solve gates) and the
+# comm-verifier suite ("commcheck": adversarial injection tests for the
+# collective-matching/deadlock/leak checker plus clean solver sweeps).
+# A gcc -fanalyzer pass over the transport layer (scripts/analyze.sh,
+# baseline-gated) closes out the default build's steps.
 # This is what CI runs and what a perf PR must keep green.
 #
 #   scripts/check.sh             # build/ + build-tsan/ + build-asan/
 #   SKIP_TSAN=1 scripts/check.sh # skip the TSan leg (e.g. no TSan runtime)
 #   SKIP_ASAN=1 scripts/check.sh # skip the ASan leg
+#   SKIP_ANALYZE=1 scripts/check.sh # skip the gcc -fanalyzer pass
 #   JOBS=4 scripts/check.sh
 set -eu
 
@@ -40,6 +45,16 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs" -L variants
 echo "== alloc gate: ctest -L alloc ($build)"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" -L alloc
 
+echo "== commcheck gate: ctest -L commcheck ($build)"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L commcheck
+
+if [ "${SKIP_ANALYZE:-0}" = "1" ]; then
+  echo "== skipping static-analyzer pass (SKIP_ANALYZE=1)"
+else
+  echo "== static analysis: gcc -fanalyzer over the transport layer"
+  "$repo/scripts/analyze.sh"
+fi
+
 if [ "${SKIP_TSAN:-0}" = "1" ]; then
   echo "== skipping TSan pass (SKIP_TSAN=1)"
 else
@@ -48,7 +63,7 @@ else
     -DHPLX_WERROR=ON >/dev/null
   cmake --build "$build_tsan" -j "$jobs" \
     --target test_util test_blas test_comm test_comm_chunked test_device \
-             test_alloc test_mxp test_variants
+             test_alloc test_mxp test_variants test_commcheck
   ctest --test-dir "$build_tsan" --output-on-failure -j "$jobs" -L tsan
 fi
 
@@ -60,7 +75,7 @@ else
     -DHPLX_WERROR=ON >/dev/null
   cmake --build "$build_asan" -j "$jobs" \
     --target test_grid test_rng test_trace test_hazard test_comm_chunked \
-             test_alloc test_mxp test_variants
+             test_alloc test_mxp test_variants test_commcheck
   # LSan rides along with ASan by default on Linux; halt_on_error keeps UB
   # findings fatal so the leg cannot silently pass over them.
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \

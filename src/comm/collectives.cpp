@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "device/hazard.hpp"
+
 namespace hplx::comm {
 
 namespace {
@@ -15,6 +17,48 @@ constexpr int kTagScatterv = 3;
 constexpr int kTagAllgatherv = 4;
 constexpr int kTagGather = 5;
 constexpr int kTagAllgathervChunk = 6;
+
+/// RAII registration of one collective call with the fabric's verifier
+/// (single pointer test when checking is off). Nested implementations —
+/// Ring2Mod delegating to Ring1Mod, chunked allgatherv falling back to the
+/// blocking collective — register only their outermost call. On the
+/// outermost call the payload envelope is also declared to the rank's
+/// device::HazardTracker (the buffer-hazard bridge): a collective touching
+/// a buffer that unfenced in-flight device work still uses is reported
+/// even when the caller forgot its own HostAccessScope. `label` must have
+/// static storage duration.
+class CollGuard {
+ public:
+  CollGuard(Communicator& comm, Verifier::Coll c, int root, std::size_t bytes,
+            std::uint64_t count_sum, const char* label,
+            const void* buf = nullptr, std::size_t span_bytes = 0,
+            bool write = false)
+      : v_(comm.fabric().verifier()), rank_(comm.rank()) {
+    if (v_ == nullptr) return;
+    if (v_->begin_collective(rank_, c, root, bytes, count_sum) &&
+        buf != nullptr && span_bytes > 0) {
+      if (device::HazardTracker* hz = v_->hazard_tracker(rank_)) {
+        const device::MemSpan span{buf, span_bytes, write};
+        hz->on_host_access(label, &span, 1);
+      }
+    }
+  }
+  ~CollGuard() {
+    if (v_ != nullptr) v_->end_collective(rank_);
+  }
+  CollGuard(const CollGuard&) = delete;
+  CollGuard& operator=(const CollGuard&) = delete;
+
+ private:
+  Verifier* v_;
+  int rank_;
+};
+
+std::uint64_t counts_sum(const std::vector<std::size_t>& counts) {
+  std::uint64_t total = 0;
+  for (std::size_t c : counts) total += c;
+  return total;
+}
 
 /// Chunk boundaries for splitting `bytes` into `parts` nearly equal pieces.
 struct Chunking {
@@ -164,6 +208,7 @@ const char* to_string(BcastAlgo algo) {
 }
 
 void barrier(Communicator& comm) {
+  CollGuard guard(comm, Verifier::Coll::Barrier, -1, 0, 0, "comm.barrier");
   // Dissemination barrier: log2(n) rounds, each rank signals rank+2^k.
   const int n = comm.size();
   const int me = comm.rank();
@@ -182,6 +227,8 @@ void bcast_bytes(Communicator& comm, void* buf, std::size_t bytes, int root,
   HPLX_CHECK(root >= 0 && root < n);
   if (n == 1) return;
   const int me = comm.rank();
+  CollGuard guard(comm, Verifier::Coll::Bcast, root, bytes, bytes,
+                  "comm.bcast", buf, bytes, /*write=*/me != root);
 
   auto in_vrange = [&](int lo, int hi) {  // is my virtual rank in [lo, hi]?
     const int vr = (me - root + n) % n;
@@ -305,6 +352,8 @@ void bcast_two_level(Communicator& comm, void* buf, std::size_t bytes,
   HPLX_CHECK(ranks_per_node >= 1);
   if (n == 1) return;
   const int me = comm.rank();
+  CollGuard guard(comm, Verifier::Coll::Bcast, root, bytes, bytes,
+                  "comm.bcast2l", buf, bytes, /*write=*/me != root);
   const int my_node = me / ranks_per_node;
   const int root_node = root / ranks_per_node;
   const int nodes = (n + ranks_per_node - 1) / ranks_per_node;
@@ -342,6 +391,8 @@ void allreduce_bytes(
     const std::function<void(void* inout, const void* in)>& combine) {
   const int n = comm.size();
   if (n == 1) return;
+  CollGuard guard(comm, Verifier::Coll::Allreduce, -1, bytes, bytes,
+                  "comm.allreduce", buf, bytes, /*write=*/true);
   const int vr = comm.rank();  // root is rank 0 for the reduce tree
 
   // Binomial reduce to rank 0. Scratch for partner contributions comes
@@ -389,6 +440,13 @@ void scatterv_bytes(Communicator& comm, const void* sendbuf,
   HPLX_CHECK(root >= 0 && root < n);
   HPLX_CHECK(static_cast<int>(counts.size()) == n);
   const int me = comm.rank();
+  const std::uint64_t total = counts_sum(counts);
+  CollGuard guard(comm, Verifier::Coll::Scatterv, root,
+                  static_cast<std::size_t>(total), total, "comm.scatterv",
+                  me == root ? sendbuf : recvbuf,
+                  me == root ? static_cast<std::size_t>(total)
+                             : counts[static_cast<std::size_t>(me)],
+                  /*write=*/me != root);
 
   if (me == root) {
     const std::byte* base = static_cast<const std::byte*>(sendbuf);
@@ -431,6 +489,14 @@ void allgatherv_bytes(Communicator& comm, const void* sendbuf,
   HPLX_CHECK(static_cast<int>(displs.size()) == n);
   const int me = comm.rank();
   std::byte* base = static_cast<std::byte*>(recvbuf);
+  std::size_t extent = 0;
+  for (int i = 0; i < n; ++i)
+    extent = std::max(extent, displs[static_cast<std::size_t>(i)] +
+                                  counts[static_cast<std::size_t>(i)]);
+  const std::uint64_t total = counts_sum(counts);
+  CollGuard guard(comm, Verifier::Coll::Allgatherv, -1,
+                  static_cast<std::size_t>(total), total, "comm.allgatherv",
+                  recvbuf, extent, /*write=*/true);
 
   // Own contribution lands first.
   const std::size_t mine = counts[static_cast<std::size_t>(me)];
@@ -514,6 +580,17 @@ void allgatherv_chunked(
   HPLX_CHECK(static_cast<int>(grains.size()) == n);
   const int me = comm.rank();
   std::byte* base = static_cast<std::byte*>(recvbuf);
+  std::size_t extent = 0;
+  for (int i = 0; i < n; ++i)
+    extent = std::max(extent, displs[static_cast<std::size_t>(i)] +
+                                  counts[static_cast<std::size_t>(i)]);
+  const std::uint64_t total = counts_sum(counts);
+  // Same descriptor as the blocking allgatherv: chunking is an
+  // implementation detail (the RecursiveDoubling path even delegates to
+  // allgatherv_bytes, which nests under this registration).
+  CollGuard guard(comm, Verifier::Coll::Allgatherv, -1,
+                  static_cast<std::size_t>(total), total, "comm.allgatherv",
+                  recvbuf, extent, /*write=*/true);
 
   // Own contribution lands (and is delivered) first — no wire traffic.
   const std::size_t mine = counts[static_cast<std::size_t>(me)];
@@ -572,6 +649,11 @@ void gather_bytes(Communicator& comm, const void* sendbuf, std::size_t bytes,
   const int n = comm.size();
   HPLX_CHECK(root >= 0 && root < n);
   const int me = comm.rank();
+  CollGuard guard(comm, Verifier::Coll::Gather, root,
+                  static_cast<std::size_t>(n) * bytes, bytes, "comm.gather",
+                  me == root ? recvbuf : sendbuf,
+                  me == root ? static_cast<std::size_t>(n) * bytes : bytes,
+                  /*write=*/me == root);
   if (me == root) {
     std::byte* base = static_cast<std::byte*>(recvbuf);
     if (bytes > 0)

@@ -34,31 +34,41 @@ void do_recv(Fabric& fabric, int self, void* buf, std::size_t bytes, int src,
 }
 }  // namespace
 
-void Communicator::send_bytes(const void* buf, std::size_t bytes, int dst,
-                              int tag) {
+void Communicator::check_user_tag(int tag, const char* op) {
+  if (tag >= 0 && tag < kMaxUserTag) return;
+  // Record the contract violation before the hard check throws so the
+  // misuse shows up in the end-of-run report even when a test harness
+  // swallows the exception.
+  if (Verifier* v = fabric_->verifier()) v->on_reserved_tag(rank_, tag, op);
   HPLX_CHECK_MSG(tag >= 0 && tag < kMaxUserTag,
                  "user tag out of range: " << tag);
+}
+
+void Communicator::send_bytes(const void* buf, std::size_t bytes, int dst,
+                              int tag) {
+  check_user_tag(tag, "send");
   do_send(*fabric_, rank_, buf, bytes, dst, tag);
 }
 
 void Communicator::recv_bytes(void* buf, std::size_t bytes, int src, int tag) {
-  HPLX_CHECK_MSG(tag >= 0 && tag < kMaxUserTag,
-                 "user tag out of range: " << tag);
+  check_user_tag(tag, "recv");
   do_recv(*fabric_, rank_, buf, bytes, src, tag);
 }
 
 bool Communicator::iprobe(int src, int tag, std::size_t* bytes) {
-  HPLX_CHECK_MSG(tag >= 0 && tag < kMaxUserTag,
-                 "user tag out of range: " << tag);
+  check_user_tag(tag, "iprobe");
   return fabric_->mailbox(rank_).probe(src, tag, bytes);
 }
 
 bool Communicator::try_recv_bytes(void* buf, std::size_t bytes, int src,
                                   int tag) {
-  HPLX_CHECK_MSG(tag >= 0 && tag < kMaxUserTag,
-                 "user tag out of range: " << tag);
+  check_user_tag(tag, "try_recv");
   MessageEnvelope msg;
   if (!fabric_->mailbox(rank_).try_match(src, tag, msg)) return false;
+  if (msg.payload.size() != bytes) {
+    if (Verifier* v = fabric_->verifier())
+      v->on_size_mismatch(rank_, msg.src, msg.tag, bytes, msg.payload.size());
+  }
   HPLX_CHECK_MSG(msg.payload.size() == bytes,
                  "size mismatch in try_recv: expected " << bytes
                  << " bytes, got " << msg.payload.size());
@@ -80,6 +90,10 @@ PoolBuffer Communicator::recv_internal_buffer(std::size_t bytes, int src,
                                               int coll_tag) {
   MessageEnvelope msg =
       fabric_->mailbox(rank_).match(src, kMaxUserTag + coll_tag);
+  if (msg.payload.size() != bytes) {
+    if (Verifier* v = fabric_->verifier())
+      v->on_size_mismatch(rank_, msg.src, msg.tag, bytes, msg.payload.size());
+  }
   HPLX_CHECK_MSG(msg.payload.size() == bytes,
                  "size mismatch in recv: expected " << bytes << " bytes, got "
                  << msg.payload.size() << " (src=" << msg.src << ")");
@@ -100,6 +114,17 @@ Communicator Communicator::split(int color, int key) {
   Fabric& f = *fabric_;
   const std::uint64_t seq = split_seq_++;
   const int n = f.size();
+
+  // Split is a collective: register it in the verifier's matching table
+  // so a rank splitting while a peer runs bcast/barrier is reported as a
+  // descriptor mismatch. Color and key legitimately differ across ranks,
+  // so only the kind participates in matching.
+  Verifier* v = f.verifier();
+  const bool outermost =
+      v != nullptr && v->begin_collective(rank_, Verifier::Coll::Split,
+                                          /*root=*/-1, /*bytes=*/0,
+                                          /*count_sum=*/0);
+  (void)outermost;
 
   std::unique_lock<std::mutex> lock(f.split_mutex());
   Fabric::SplitSlot& slot = f.split_slot(seq);
@@ -129,6 +154,7 @@ Communicator Communicator::split(int color, int key) {
         ++j;
       auto child = std::make_shared<Fabric>(static_cast<int>(j - i));
       child->set_direct_threshold(f.direct_threshold());
+      if (v != nullptr) child->enable_verifier(v->config());
       for (std::size_t k = i; k < j; ++k) {
         const auto member = static_cast<std::size_t>(order[k]);
         slot.child_of_rank[member] = child;
@@ -138,13 +164,38 @@ Communicator Communicator::split(int color, int key) {
     }
     slot.ready = true;
     f.split_cv().notify_all();
-  } else {
+  } else if (v == nullptr) {
     f.split_cv().wait(lock, [&] { return slot.ready; });
+  } else {
+    // Verified wait: register in the wait-for registry (null mailbox — a
+    // split waiter is unstuck by peers arriving, never by a message) and
+    // wake on the poll tick so the verifier's deadlock abort
+    // (interrupt_all notifies split_cv) unsticks a rank whose peers never
+    // arrive at the split.
+    try {
+      v->on_block(rank_, nullptr, kAnySource, -1, "split");
+      while (!f.split_cv().wait_for(lock, v->poll_interval(),
+                                    [&] { return slot.ready; })) {
+        lock.unlock();
+        v->poll();
+        const bool dead = v->aborted();
+        if (dead) v->on_unblock(rank_);
+        lock.lock();
+        if (dead) v->throw_aborted();
+      }
+      lock.unlock();
+      v->on_unblock(rank_);
+      lock.lock();
+    } catch (...) {
+      v->end_collective(rank_);
+      throw;
+    }
   }
 
   auto child = slot.child_of_rank[static_cast<std::size_t>(rank_)];
   const int child_rank = slot.child_rank_of_rank[static_cast<std::size_t>(rank_)];
   lock.unlock();
+  if (v != nullptr) v->end_collective(rank_);
   return Communicator(child, child_rank);
 }
 

@@ -83,7 +83,13 @@ class Communicator {
     recv_bytes(buf, count * sizeof(T), src, tag);
   }
 
-  /// Simultaneous send+receive (no deadlock: sends are buffered).
+  /// Simultaneous send+receive. The send completes before the receive
+  /// starts and never blocks: small messages are eager-buffered by the
+  /// fabric, and large ones either match an already-posted receive (direct
+  /// delivery) or fall back to the eager path — so a symmetric exchange
+  /// (every rank sendrecv'ing with a partner) cannot deadlock, and the
+  /// comm verifier models the send as immediately complete (only the
+  /// receive half ever enters the wait-for graph).
   template <typename T>
   void sendrecv(const T* sendbuf, std::size_t sendcount, int dst, int sendtag,
                 T* recvbuf, std::size_t recvcount, int src, int recvtag) {
@@ -138,6 +144,10 @@ class Communicator {
   Fabric& fabric() { return *fabric_; }
 
  private:
+  /// Enforce the user-tag contract (0 <= tag < kMaxUserTag): records a
+  /// ReservedTag violation with the verifier (when attached), then throws.
+  void check_user_tag(int tag, const char* op);
+
   std::shared_ptr<Fabric> fabric_;
   int rank_;
   std::uint64_t split_seq_ = 0;

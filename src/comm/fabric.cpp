@@ -63,6 +63,36 @@ void Mailbox::deliver(int src, int tag, const void* data, std::size_t bytes,
   cv_.notify_all();
 }
 
+template <class Pred>
+void Mailbox::wait_verified(std::unique_lock<std::mutex>& lock, int src,
+                            int tag, const char* what, Pred&& pred) {
+  Verifier* v = verifier_;
+  const int self = self_rank_;
+  lock.unlock();
+  try {
+    v->on_block(self, this, src, tag, what);  // throws when already aborted
+  } catch (...) {
+    lock.lock();
+    throw;
+  }
+  lock.lock();
+  while (!pred()) {
+    cv_.wait_for(lock, v->poll_interval());
+    if (pred()) break;
+    lock.unlock();
+    v->poll();
+    if (v->aborted()) {
+      v->on_unblock(self);
+      lock.lock();
+      v->throw_aborted();  // lock held: caller unposts, then unwinds
+    }
+    lock.lock();
+  }
+  lock.unlock();
+  v->on_unblock(self);
+  lock.lock();
+}
+
 MessageEnvelope Mailbox::match(int src, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -73,7 +103,15 @@ MessageEnvelope Mailbox::match(int src, int tag) {
         return out;
       }
     }
-    cv_.wait(lock);
+    if (verifier_ == nullptr) {
+      cv_.wait(lock);
+    } else {
+      wait_verified(lock, src, tag, "recv", [&] {
+        for (const auto& m : queue_)
+          if (matches(m, src, tag)) return true;
+        return false;
+      });
+    }
   }
 }
 
@@ -85,11 +123,23 @@ void Mailbox::recv_into(int src, int tag, void* dst, std::size_t bytes) {
     return queue_.end();
   };
   auto consume = [&](std::deque<MessageEnvelope>::iterator it) {
+    if (verifier_ != nullptr && it->payload.size() != bytes)
+      verifier_->on_size_mismatch(self_rank_, it->src, it->tag, bytes,
+                                  it->payload.size());
     HPLX_CHECK_MSG(it->payload.size() == bytes,
                    "recv size mismatch: expected " + std::to_string(bytes) +
                        " bytes, got " + std::to_string(it->payload.size()));
     if (bytes != 0) std::memcpy(dst, it->payload.data(), bytes);
     queue_.erase(it);  // envelope dies here, payload returns to the pool
+  };
+  PostedRecv pr{src, tag, dst, bytes, false};
+  auto unpost = [&] {
+    for (auto pit = posted_.begin(); pit != posted_.end(); ++pit) {
+      if (*pit == &pr) {
+        posted_.erase(pit);
+        break;
+      }
+    }
   };
 
   auto it = find_queued();
@@ -99,21 +149,27 @@ void Mailbox::recv_into(int src, int tag, void* dst, std::size_t bytes) {
   }
   // Nothing queued: post the receive so a large incoming message can be
   // written straight into dst by the sender (single copy).
-  PostedRecv pr{src, tag, dst, bytes, false};
   posted_.push_back(&pr);
   std::deque<MessageEnvelope>::iterator qit;
-  cv_.wait(lock, [&] {
+  auto pred = [&] {
     if (pr.done) return true;
     qit = find_queued();
     return qit != queue_.end();
-  });
-  if (pr.done) return;  // delivered directly; sender removed the post
-  for (auto pit = posted_.begin(); pit != posted_.end(); ++pit) {
-    if (*pit == &pr) {
-      posted_.erase(pit);
-      break;
+  };
+  if (verifier_ == nullptr) {
+    cv_.wait(lock, pred);
+  } else {
+    try {
+      wait_verified(lock, src, tag, "recv", pred);
+    } catch (...) {
+      // wait_verified throws with the lock held; remove the posted
+      // receive before unwinding so no dangling pointer stays behind.
+      unpost();
+      throw;
     }
   }
+  if (pr.done) return;  // delivered directly; sender removed the post
+  unpost();
   consume(qit);
 }
 
@@ -145,11 +201,44 @@ std::size_t Mailbox::pending() const {
   return queue_.size();
 }
 
+void Mailbox::set_verifier(Verifier* v, int self_rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  verifier_ = v;
+  self_rank_ = self_rank;
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
 Fabric::Fabric(int size) : size_(size) {
   HPLX_CHECK(size >= 1);
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Fabric::~Fabric() {
+  // End-of-life leak audit: anything still queued was sent but never
+  // received. Mailboxes are alive for the whole destructor body.
+  if (Verifier* v = verifier()) v->check_orphans();
+}
+
+void Fabric::enable_verifier(const Verifier::Config& cfg) {
+  std::lock_guard<std::mutex> lock(verifier_mutex_);
+  if (verifier_ != nullptr) return;
+  verifier_ = std::make_shared<Verifier>(*this, cfg);
+  for (int i = 0; i < size_; ++i)
+    mailboxes_[static_cast<std::size_t>(i)]->set_verifier(verifier_.get(), i);
+  verifier_raw_.store(verifier_.get(), std::memory_order_release);
+}
+
+std::shared_ptr<Verifier> Fabric::verifier_shared() const {
+  std::lock_guard<std::mutex> lock(verifier_mutex_);
+  return verifier_;
+}
+
+void Fabric::interrupt_all() {
+  for (auto& box : mailboxes_) box->interrupt();
+  split_cv_.notify_all();
 }
 
 Mailbox& Fabric::mailbox(int rank) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "comm/buffer_pool.hpp"
+#include "comm/verify.hpp"
 
 namespace hplx::comm {
 
@@ -80,6 +81,22 @@ class Mailbox {
   /// Number of queued messages (diagnostics/tests).
   std::size_t pending() const;
 
+  /// Attach the fabric's verifier; `self_rank` is the rank owning this
+  /// mailbox (blocked receives register under it).
+  void set_verifier(Verifier* v, int self_rank);
+
+  /// Wake any blocked waiter without delivering anything (the verifier's
+  /// deadlock abort: woken waiters observe Verifier::aborted and throw).
+  void interrupt();
+
+  /// Enumerate queued-but-unconsumed envelopes as (src, tag, bytes) — the
+  /// verifier's orphan audit.
+  template <class Fn>
+  void for_each_queued(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& m : queue_) fn(m.src, m.tag, m.payload.size());
+  }
+
  private:
   struct PostedRecv {
     int src;
@@ -89,10 +106,22 @@ class Mailbox {
     bool done = false;
   };
 
+  /// Verified blocking wait: registers the blocked receive, waits in poll
+  /// ticks running the deadlock check, unregisters on wake. Entered and
+  /// exited with `lock` held; on deadlock abort it throws with `lock`
+  /// HELD so callers can unpost their receive under the same lock.
+  /// on_block/on_unblock/poll are never invoked while `lock` is held
+  /// (lock order: Verifier::blocked_mutex_ before Mailbox::mutex_).
+  template <class Pred>
+  void wait_verified(std::unique_lock<std::mutex>& lock, int src, int tag,
+                     const char* what, Pred&& pred);
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<MessageEnvelope> queue_;
   std::deque<PostedRecv*> posted_;  // waiting blocking receives, FIFO
+  Verifier* verifier_ = nullptr;    // guarded by mutex_
+  int self_rank_ = -1;
 };
 
 /// The transport shared by all ranks of one communicator (and its
@@ -101,8 +130,32 @@ class Fabric {
  public:
   explicit Fabric(int size);
 
+  /// Runs the verifier's orphan audit (unconsumed queued messages) when
+  /// checking is enabled; records land in the verifier, which test code
+  /// can keep alive past the fabric via verifier_shared().
+  ~Fabric();
+
   int size() const { return size_; }
   Mailbox& mailbox(int rank);
+
+  /// Attach a Verifier to this fabric and all its mailboxes. Idempotent
+  /// and thread-safe — every rank may call it concurrently; the first
+  /// caller's config wins.
+  void enable_verifier(const Verifier::Config& cfg);
+
+  /// Null when checking is off; call sites pay one pointer test.
+  Verifier* verifier() const {
+    return verifier_raw_.load(std::memory_order_acquire);
+  }
+
+  /// Shared handle for inspection after the fabric dies. Only the results
+  /// accessors (report/counts/format_report) are valid once the fabric is
+  /// gone — the verifier holds a reference to it otherwise.
+  std::shared_ptr<Verifier> verifier_shared() const;
+
+  /// Wake every blocked waiter (mailbox cvs + split cv) without
+  /// delivering; used by the verifier's deadlock abort.
+  void interrupt_all();
 
   BufferPool& pool() { return pool_; }
   BufferPool::Stats pool_stats() const { return pool_.stats(); }
@@ -147,6 +200,10 @@ class Fabric {
   std::mutex split_mutex_;
   std::condition_variable split_cv_;
   std::vector<std::unique_ptr<SplitSlot>> split_slots_;
+
+  mutable std::mutex verifier_mutex_;
+  std::shared_ptr<Verifier> verifier_;          // guarded by verifier_mutex_
+  std::atomic<Verifier*> verifier_raw_{nullptr};
 };
 
 }  // namespace hplx::comm

@@ -228,6 +228,15 @@ struct HplConfig {
   /// variable; off by default (zero instrumentation cost when off).
   bool hazard_check = false;
 
+  /// Attach the communication-verification runtime (comm::Verifier) to
+  /// the world fabric and every split-off child: collectives are matched
+  /// across ranks, p2p misuse and orphaned messages are recorded, and
+  /// blocked receives run wait-for deadlock detection instead of hanging.
+  /// Violations land in HplResult::comm_violations. OR-combined with the
+  /// HPLX_COMM_CHECK environment variable; off by default (single pointer
+  /// test per call site when off).
+  bool comm_check = false;
+
   /// Test-only: keep the RowSwapper's scatter-fence *wait* but hide the
   /// happens-before edge from the hazard tracker (reintroduces the PR 4
   /// bug class on purpose). Per-instance — every RowSwapper of the solve

@@ -34,6 +34,7 @@ namespace {
 
 constexpr int kTagTrace = 201;
 constexpr int kTagHazard = 202;
+constexpr int kTagComm = 203;
 
 /// Per-iteration phase accumulators (the Fig. 7 timers).
 struct IterStats {
@@ -94,6 +95,17 @@ class Solver {
     // and trace records grow to known maxima, so size them up front.
     for (auto& p : pivots_) p.reserve(static_cast<std::size_t>(cfg.nb));
     my_records_.reserve(pivots_.size());
+    // Buffer-hazard bridge: when both checkers run, collectives declare
+    // their payload envelopes to this rank's hazard tracker, so a
+    // collective touching a buffer that unfenced device work still uses
+    // is caught at the comm layer.
+    if (dev_.hazard() != nullptr) {
+      for (comm::Communicator* c :
+           {&grid_.all_comm(), &grid_.row_comm(), &grid_.col_comm()}) {
+        if (comm::Verifier* v = c->fabric().verifier())
+          v->set_hazard_tracker(c->rank(), dev_.hazard());
+      }
+    }
   }
 
   HplResult solve() {
@@ -162,6 +174,7 @@ class Solver {
     collect_trace(result);
     collect_hazards(result);
     collect_alloc(result);
+    collect_comm(result);
     return result;
   }
 
@@ -885,6 +898,55 @@ class Solver {
     }
   }
 
+  /// Gather every grid fabric's deduplicated comm-verifier records onto
+  /// rank 0 (same shape as collect_hazards). The double-barrier protocol
+  /// makes the end-of-run orphan audit exact: after the first barrier all
+  /// solve traffic is consumed (entering the barrier implies every prior
+  /// receive finished, so anything still queued is a leak), and each
+  /// fabric's rank 0 audits it; the second barrier holds ranks back until
+  /// every audit is done, so the gather's own messages cannot be mistaken
+  /// for orphans. The world fabric the grid split from is appended by
+  /// run_hpl — its verifier outlives this solver.
+  void collect_comm(HplResult& result) {
+    comm::Communicator& world = grid_.all_comm();
+    if (world.fabric().verifier() == nullptr) return;
+    result.comm_checked = true;
+    comm::barrier(world);
+    std::vector<trace::CommViolationRecord> mine;
+    std::vector<const comm::Fabric*> audited;
+    for (comm::Communicator* c :
+         {&grid_.all_comm(), &grid_.row_comm(), &grid_.col_comm()}) {
+      if (c->rank() != 0) continue;
+      const comm::Fabric* f = &c->fabric();
+      if (std::find(audited.begin(), audited.end(), f) != audited.end())
+        continue;
+      audited.push_back(f);
+      comm::Verifier* v = c->fabric().verifier();
+      if (v == nullptr) continue;
+      v->check_orphans();
+      const auto recs = v->report();
+      mine.insert(mine.end(), recs.begin(), recs.end());
+    }
+    comm::barrier(world);
+    if (world.rank() == 0) {
+      result.comm_violations = std::move(mine);
+      for (int r = 1; r < world.size(); ++r) {
+        long c = 0;
+        world.recv(&c, 1, r, kTagComm);
+        std::vector<trace::CommViolationRecord> theirs(
+            static_cast<std::size_t>(c));
+        if (c > 0) world.recv(theirs.data(), theirs.size(), r, kTagComm);
+        result.comm_violations.insert(result.comm_violations.end(),
+                                      theirs.begin(), theirs.end());
+      }
+    } else {
+      const long count = static_cast<long>(mine.size());
+      world.send(&count, 1, 0, kTagComm);
+      if (count > 0) world.send(mine.data(), mine.size(), 0, kTagComm);
+      result.comm_violations = std::move(mine);
+    }
+  }
+
   const HplConfig& cfg_;
   grid::ProcessGrid grid_;
   device::Device dev_;
@@ -1005,6 +1067,12 @@ HplResult run_hpl(comm::Communicator& world, const HplConfig& cfg) {
   // atomic every rank stores identically, and set_num_threads is a no-op
   // when the team already has the requested size.
   world.fabric().set_direct_threshold(cfg.comm_eager_bytes);
+  // Communication verifier: enabled on the world fabric here, before any
+  // split — Communicator::split propagates enablement to every child
+  // fabric (row, column, dup), so the whole comm tree of the run is
+  // checked. Idempotent; every rank calls it.
+  if (cfg.comm_check || comm::comm_check_env_enabled())
+    world.fabric().enable_verifier(comm::Verifier::Config::from_env());
   if (cfg.blas_threads > 0) blas::set_num_threads(cfg.blas_threads);
   // swap_tile_cols = 0 asks for the measured width: a one-shot ~10 ms
   // startup probe shared by every rank (they are threads of one process).
@@ -1016,10 +1084,27 @@ HplResult run_hpl(comm::Communicator& world, const HplConfig& cfg) {
   // per-chunk latency); negative values pin the unchunked seed path.
   long chunk_bytes = cfg.swap_chunk_bytes;
   if (chunk_bytes == 0) chunk_bytes = device::autotune_swap_chunk_bytes();
-  if (cfg.precision != PrecisionMode::FP64)
-    return run_mxp(world, cfg, chunk_bytes);
-  Solver<double> solver(world, cfg, chunk_bytes);
-  return solver.solve();
+  HplResult result;
+  if (cfg.precision != PrecisionMode::FP64) {
+    result = run_mxp(world, cfg, chunk_bytes);
+  } else {
+    Solver<double> solver(world, cfg, chunk_bytes);
+    result = solver.solve();
+  }
+  // Append the world fabric's own verifier records (mismatched splits,
+  // stray world traffic) — the grid fabrics were collected inside
+  // solve(), but the world fabric outlives the solver. No orphan audit
+  // here: the caller may legitimately keep world traffic in flight
+  // around the solve; ~Fabric audits at end of life.
+  if (comm::Verifier* wv = world.fabric().verifier()) {
+    result.comm_checked = true;
+    if (world.rank() == 0) {
+      const auto recs = wv->report();
+      result.comm_violations.insert(result.comm_violations.end(),
+                                    recs.begin(), recs.end());
+    }
+  }
+  return result;
 }
 
 }  // namespace hplx::core

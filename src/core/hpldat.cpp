@@ -305,6 +305,11 @@ HplDat parse_hpldat(std::istream& in) {
   if (!r.eof()) {
     dat.alloc_cache_bytes = r.integer("alloc cache bytes");
   }
+  if (!r.eof()) {
+    dat.comm_check = static_cast<int>(r.integer("comm check"));
+    HPLX_CHECK_MSG(dat.comm_check == 0 || dat.comm_check == 1,
+                   "HPL.dat: comm check must be 0 or 1");
+  }
   return dat;
 }
 
@@ -375,6 +380,7 @@ std::vector<HplConfig> expand_configs(const HplDat& dat) {
                   cfg.nrhs = dat.nrhs;
                   cfg.alloc_pool = dat.alloc_pool != 0;
                   cfg.alloc_cache_bytes = dat.alloc_cache_bytes;
+                  cfg.comm_check = dat.comm_check != 0;
                   out.push_back(cfg);
                 }
               }
@@ -473,6 +479,8 @@ std::string format_hpldat(const HplDat& dat) {
      << "  alloc pool (hplx extension, 0=passthrough,1=pooled)\n";
   os << dat.alloc_cache_bytes
      << "  alloc cache bytes (hplx extension, <0=unbounded)\n";
+  os << dat.comm_check
+     << "  comm check (hplx extension, 0=off,1=on)\n";
   return os.str();
 }
 

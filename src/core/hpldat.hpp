@@ -86,6 +86,9 @@ struct HplDat {
   int alloc_pool = 1;
   /// Cap on bytes parked on the pool freelists (< 0 = unbounded).
   long alloc_cache_bytes = -1;
+  /// 1 = attach the communication verifier (comm::Verifier) to every
+  /// fabric of the run.
+  int comm_check = 0;
 };
 
 /// Parse an HPL.dat stream. Throws hplx::Error with a line diagnostic on

@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <ostream>
 
+#include "comm/verify.hpp"
 #include "device/hazard.hpp"
 
 namespace hplx::core {
@@ -165,6 +166,29 @@ void print_hazard_report(std::ostream& os, const HplResult& result) {
     os << "  " << std::left << std::setw(22)
        << device::HazardTracker::kind_name(
               static_cast<device::HazardTracker::Kind>(r.kind))
+       << std::setw(8) << r.count << r.op_a;
+    if (r.op_b[0] != '\0') os << " vs " << r.op_b;
+    os << "\n      " << r.detail << '\n';
+  }
+  os << kDash;
+}
+
+void print_comm_report(std::ostream& os, const HplResult& result) {
+  if (!result.comm_checked) return;
+  if (result.comm_violations.empty()) {
+    os << "Comm check: no violations detected.\n";
+    return;
+  }
+  std::uint64_t total = 0;
+  for (const auto& r : result.comm_violations) total += r.count;
+  os << kDash << "Comm check: " << total << " violation(s) in "
+     << result.comm_violations.size() << " distinct site(s):\n";
+  os << "  " << std::left << std::setw(22) << "kind" << std::setw(8)
+     << "count" << "ops\n";
+  for (const auto& r : result.comm_violations) {
+    os << "  " << std::left << std::setw(22)
+       << comm::Verifier::kind_name(
+              static_cast<comm::Verifier::Kind>(r.kind))
        << std::setw(8) << r.count << r.op_a;
     if (r.op_b[0] != '\0') os << " vs " << r.op_b;
     os << "\n      " << r.detail << '\n';

@@ -48,6 +48,13 @@ void print_phase_breakdown(std::ostream& os, const HplResult& result);
 /// off.
 void print_hazard_report(std::ostream& os, const HplResult& result);
 
+/// End-of-run comm-verifier table (result.comm_violations): one row per
+/// deduplicated violation with its kind, occurrence count, both ranks'
+/// call descriptors and the first occurrence's context. Prints a one-line
+/// all-clear when the run was checked and clean; prints nothing when
+/// checking was off.
+void print_comm_report(std::ostream& os, const HplResult& result);
+
 /// End-of-run memory-allocator table (result.alloc): the steady-window
 /// verdict (system allocations after warmup — 0 is the pool's guarantee —
 /// and the worst-rank hit rate), then one row per pool with lifetime

@@ -59,6 +59,25 @@ struct HazardRecord {
   }
 };
 
+/// One deduplicated communication-verifier violation (comm::Verifier).
+/// Same wire constraints as HazardRecord: records are gathered onto rank 0
+/// as raw bytes, so labels are fixed char arrays. `kind` matches
+/// comm::Verifier::Kind (kept as int so trace/ does not depend on comm/).
+struct CommViolationRecord {
+  int kind = 0;
+  /// Occurrences collapsed into this record (same kind + label pair).
+  std::uint64_t count = 0;
+  char op_a[48] = {};    ///< label of the later / detecting rank's call
+  char op_b[48] = {};    ///< label of the conflicting peer's call
+  char detail[96] = {};  ///< first occurrence's context (sizes, peers)
+
+  void set_labels(const char* a, const char* b, const char* d) {
+    std::strncpy(op_a, a ? a : "", sizeof(op_a) - 1);
+    std::strncpy(op_b, b ? b : "", sizeof(op_b) - 1);
+    std::strncpy(detail, d ? d : "", sizeof(detail) - 1);
+  }
+};
+
 struct RunTrace {
   std::vector<IterationRecord> iterations;
 

@@ -52,14 +52,20 @@ TEST(DriverTrace, PhasesAreNonNegativeAndBounded) {
 TEST(DriverTrace, DiagonalOwnersRecordFactTime) {
   // With look-ahead, iteration j's record includes the FACT of panel j+1,
   // performed by panel j+1's owner column — but the record belongs to
-  // iteration j's diagonal owner. What must hold globally: total FACT time
-  // across the run is positive and the prologue's FACT is included in the
-  // run totals.
+  // iteration j's diagonal owner. Each record carries the *owner's* FACT
+  // time while r.fact_seconds is rank 0's accumulator, so only rank 0's
+  // own records can be compared against it exactly: on a 4x1 grid rank 0
+  // owns the diagonal of iterations 0, 4, ... (block-cyclic rows), and
+  // their sum is a subset of the terms rank 0 folded into fact_seconds.
+  // (Summing every rank's records against rank 0's total is a timing
+  // race — cross-rank FACT jitter made that comparison flaky.)
   const HplResult r = run(128, 16, 4, 1, PipelineMode::LookaheadSplit);
   EXPECT_GT(r.fact_seconds, 0.0);
-  double sum_fact = 0.0;
-  for (const auto& it : r.trace.iterations) sum_fact += it.fact_s;
-  EXPECT_LE(sum_fact, r.fact_seconds + 1e-9);
+  double rank0_fact = 0.0;
+  for (const auto& it : r.trace.iterations)
+    if (it.iteration % 4 == 0) rank0_fact += it.fact_s;
+  EXPECT_GT(rank0_fact, 0.0);
+  EXPECT_LE(rank0_fact, r.fact_seconds + 1e-9);
 }
 
 TEST(DriverTrace, RaggedLastPanelTraced) {

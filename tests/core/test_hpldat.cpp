@@ -186,7 +186,10 @@ const char kAllExtensions[] =
     "8.0          IR tolerance\n"
     "1            pivoting\n"
     "1            diag dominant\n"
-    "4            RHS count\n";
+    "4            RHS count\n"
+    "0            alloc pool\n"
+    "1048576      alloc cache bytes\n"
+    "1            comm check\n";
 
 TEST(HplDat, ParsesEveryExtensionKnob) {
   const HplDat dat = parse_hpldat_string(std::string(kClassic) +
@@ -208,6 +211,9 @@ TEST(HplDat, ParsesEveryExtensionKnob) {
   EXPECT_EQ(dat.pivoting, 1);
   EXPECT_EQ(dat.diag_dominant, 1);
   EXPECT_EQ(dat.nrhs, 4);
+  EXPECT_EQ(dat.alloc_pool, 0);
+  EXPECT_EQ(dat.alloc_cache_bytes, 1048576);
+  EXPECT_EQ(dat.comm_check, 1);
 }
 
 TEST(HplDat, EveryKnobRoundTripsThroughFormat) {
@@ -253,6 +259,23 @@ TEST(HplDat, EveryKnobRoundTripsThroughFormat) {
   EXPECT_EQ(again.pivoting, dat.pivoting);
   EXPECT_EQ(again.diag_dominant, dat.diag_dominant);
   EXPECT_EQ(again.nrhs, dat.nrhs);
+  EXPECT_EQ(again.alloc_pool, dat.alloc_pool);
+  EXPECT_EQ(again.alloc_cache_bytes, dat.alloc_cache_bytes);
+  EXPECT_EQ(again.comm_check, dat.comm_check);
+}
+
+TEST(HplDat, CommCheckExpandsIntoConfigs) {
+  const HplDat dat = parse_hpldat_string(std::string(kClassic) +
+                                         kAllExtensions);
+  for (const HplConfig& cfg : expand_configs(dat)) {
+    EXPECT_TRUE(cfg.comm_check);
+  }
+}
+
+TEST(HplDat, BadCommCheckThrows) {
+  std::string text = std::string(kClassic) + kAllExtensions;
+  text.replace(text.rfind("1            comm check"), 1, "7");
+  EXPECT_THROW(parse_hpldat_string(text), hplx::Error);
 }
 
 TEST(HplDat, PrecisionExpandsIntoConfigs) {
