@@ -173,7 +173,14 @@ Communicator Communicator::split(int color, int key) {
     // (interrupt_all notifies split_cv) unsticks a rank whose peers never
     // arrive at the split.
     try {
+      // Hook discipline (verify.hpp lock order): on_block/on_unblock/poll
+      // are never invoked with a transport lock held — drop split_mutex_
+      // across them, mirroring Mailbox::wait_verified. The wait_for
+      // predicate re-checks slot.ready after the relock, so a split that
+      // completed inside the window is not missed.
+      lock.unlock();
       v->on_block(rank_, nullptr, kAnySource, -1, "split");
+      lock.lock();
       while (!f.split_cv().wait_for(lock, v->poll_interval(),
                                     [&] { return slot.ready; })) {
         lock.unlock();

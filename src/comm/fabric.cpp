@@ -65,12 +65,14 @@ void Mailbox::deliver(int src, int tag, const void* data, std::size_t bytes,
 
 template <class Pred>
 void Mailbox::wait_verified(std::unique_lock<std::mutex>& lock, int src,
-                            int tag, const char* what, Pred&& pred) {
+                            int tag, const char* what, const bool* done,
+                            Pred&& pred) {
   Verifier* v = verifier_;
   const int self = self_rank_;
   lock.unlock();
   try {
-    v->on_block(self, this, src, tag, what);  // throws when already aborted
+    // throws when already aborted
+    v->on_block(self, this, src, tag, what, done);
   } catch (...) {
     lock.lock();
     throw;
@@ -91,6 +93,15 @@ void Mailbox::wait_verified(std::unique_lock<std::mutex>& lock, int src,
   lock.unlock();
   v->on_unblock(self);
   lock.lock();
+  // on_unblock ran with the lock dropped, and a concurrent deliver()/
+  // deposit() push_back in that window invalidates every queue_ iterator
+  // the predicate may have cached (std::deque insertion invalidates all
+  // iterators). pred only latches false->true — queued envelopes are
+  // consumed solely by this mailbox's owning thread, and deliver()
+  // disables direct completion while a queued match exists — so
+  // re-evaluating here refreshes any cached state without waiting.
+  const bool satisfied = pred();
+  HPLX_CHECK(satisfied);
 }
 
 MessageEnvelope Mailbox::match(int src, int tag) {
@@ -106,7 +117,7 @@ MessageEnvelope Mailbox::match(int src, int tag) {
     if (verifier_ == nullptr) {
       cv_.wait(lock);
     } else {
-      wait_verified(lock, src, tag, "recv", [&] {
+      wait_verified(lock, src, tag, "recv", /*done=*/nullptr, [&] {
         for (const auto& m : queue_)
           if (matches(m, src, tag)) return true;
         return false;
@@ -160,7 +171,7 @@ void Mailbox::recv_into(int src, int tag, void* dst, std::size_t bytes) {
     cv_.wait(lock, pred);
   } else {
     try {
-      wait_verified(lock, src, tag, "recv", pred);
+      wait_verified(lock, src, tag, "recv", &pr.done, pred);
     } catch (...) {
       // wait_verified throws with the lock held; remove the posted
       // receive before unwinding so no dangling pointer stays behind.

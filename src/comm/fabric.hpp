@@ -97,6 +97,18 @@ class Mailbox {
     for (const auto& m : queue_) fn(m.src, m.tag, m.payload.size());
   }
 
+  /// Read a posted receive's completion flag under the mailbox lock (the
+  /// flag is written by deliver() under the same lock). Used by the
+  /// verifier's poll to recognize a rank whose blocked receive was already
+  /// satisfied by direct delivery but whose thread has not run yet. `flag`
+  /// outlives the read: the receiver unregisters from the wait-for
+  /// registry before its PostedRecv leaves scope, and poll() holds
+  /// Verifier::blocked_mutex_ across the call.
+  bool posted_done(const bool* flag) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return *flag;
+  }
+
  private:
   struct PostedRecv {
     int src;
@@ -112,9 +124,13 @@ class Mailbox {
   /// HELD so callers can unpost their receive under the same lock.
   /// on_block/on_unblock/poll are never invoked while `lock` is held
   /// (lock order: Verifier::blocked_mutex_ before Mailbox::mutex_).
+  /// `done` (optional) is the caller's PostedRecv completion flag,
+  /// registered so poll() can see a direct delivery that beat the wakeup.
+  /// On normal return pred() has been re-evaluated under the lock held
+  /// continuously since, so iterators it cached are valid.
   template <class Pred>
   void wait_verified(std::unique_lock<std::mutex>& lock, int src, int tag,
-                     const char* what, Pred&& pred);
+                     const char* what, const bool* done, Pred&& pred);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -13,12 +13,23 @@ namespace hplx::comm {
 
 namespace {
 
+/// Cap on distinct violation records kept (deduplication labels); the
+/// occurrence count stays exact past it via Verifier::dropped_.
+constexpr std::size_t kMaxRecords = 256;
+
 long env_ms(const char* name, long fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || v[0] == '\0') return fallback;
   char* end = nullptr;
   const long parsed = std::strtol(v, &end, 10);
-  return (end != v && parsed > 0) ? parsed : fallback;
+  // 0 is a valid override (report immediately); only malformed or
+  // negative values fall back, and never silently.
+  if (end != v && *end == '\0' && parsed >= 0) return parsed;
+  std::fprintf(stderr,
+               "hplx comm verifier: ignoring %s=\"%s\" (expected a "
+               "non-negative integer in ms); using %ld\n",
+               name, v, fallback);
+  return fallback;
 }
 
 /// Render a tag for humans: internal collective tags (>= kMaxUserTag) show
@@ -39,6 +50,7 @@ const char* Verifier::kind_name(Kind k) {
     case Kind::ReservedTag: return "reserved-tag";
     case Kind::OrphanMessage: return "orphan-message";
     case Kind::Deadlock: return "deadlock";
+    case Kind::Truncated: return "records-truncated";
   }
   return "?";
 }
@@ -86,7 +98,13 @@ void Verifier::add_violation(Kind kind, const char* a, const char* b,
       return;
     }
   }
-  if (records_.size() >= 256) return;  // bounded; counts keep the first 256
+  if (records_.size() >= kMaxRecords) {
+    // Bounded: labels keep the first kMaxRecords distinct sites, but the
+    // occurrences beyond them stay counted and are surfaced as a
+    // synthetic Truncated record in report()/format_report().
+    ++dropped_;
+    return;
+  }
   trace::CommViolationRecord rec;
   rec.kind = static_cast<int>(kind);
   rec.count = 1;
@@ -205,7 +223,7 @@ void Verifier::check_orphans() {
 // ------------------------------------------------------ deadlock detection
 
 void Verifier::on_block(int rank, Mailbox* box, int src, int tag,
-                        const char* what) {
+                        const char* what, const bool* done) {
   if (aborted()) throw_aborted();
   const bool coll = in_collective(rank);
   std::lock_guard<std::mutex> lock(blocked_mutex_);
@@ -215,6 +233,7 @@ void Verifier::on_block(int rank, Mailbox* box, int src, int tag,
   op.src = src;
   op.tag = tag;
   op.what = what;
+  op.done = done;
   op.collective = coll;
   op.since = std::chrono::steady_clock::now();
   ++blocked_count_;
@@ -272,12 +291,23 @@ void Verifier::poll() {
   if (aborted()) return;
   const auto now = std::chrono::steady_clock::now();
 
+  // A registered op whose posted receive was already completed by direct
+  // delivery is logically awake — its thread just has not been scheduled
+  // to unregister yet. On an oversubscribed host that descheduling can
+  // outlast the grace period (or even the hard timeout), so such ops
+  // must never count as stuck. Reading the flag takes the mailbox lock
+  // (allowed: blocked_mutex_ -> Mailbox::mutex_).
+  auto satisfied = [](const BlockedOp& op) {
+    return op.box != nullptr && op.done != nullptr &&
+           op.box->posted_done(op.done);
+  };
+
   // Hard watchdog: any receive blocked past the timeout is reported even
   // without a full local cycle (the peer may be stuck on another fabric,
   // or its thread may have died unwinding an exception).
   for (int r = 0; r < fabric_.size(); ++r) {
     const BlockedOp& op = blocked_[static_cast<std::size_t>(r)];
-    if (op.id != 0 && now - op.since >= cfg_.timeout) {
+    if (op.id != 0 && !satisfied(op) && now - op.since >= cfg_.timeout) {
       report_deadlock("timeout");
       return;
     }
@@ -286,11 +316,10 @@ void Verifier::poll() {
   // Cycle check: every rank of the fabric is blocked and none has a
   // deliverable match. Shared-memory delivery makes the edges exact — a
   // completed send is visible in the destination queue before the sender
-  // proceeds — except for the tiny window where a direct delivery has set
-  // a posted receive done but the receiver has not woken (its queue shows
-  // no match). Requiring the same blocked-op id set to persist across the
-  // grace period absorbs that window: a woken-but-not-yet-unregistered op
-  // cannot stay registered for a full grace interval.
+  // proceeds — and the direct-delivery window where a posted receive is
+  // done but the receiver has not woken is covered exactly by the
+  // satisfied() flag check below; the grace period then only absorbs the
+  // symmetric window in match()-style waits that post no receive.
   if (blocked_count_ != static_cast<std::size_t>(fabric_.size())) {
     cycle_sig_ = 0;
     return;
@@ -300,9 +329,10 @@ void Verifier::poll() {
     const BlockedOp& op = blocked_[static_cast<std::size_t>(r)];
     // Split waiters register with a null mailbox: no message can wake
     // them, so they always count as stuck.
-    if (op.box != nullptr && op.box->probe(op.src, op.tag, nullptr)) {
-      cycle_sig_ = 0;  // a match is deliverable; this rank will wake
-      return;
+    if (op.box != nullptr &&
+        (op.box->probe(op.src, op.tag, nullptr) || satisfied(op))) {
+      cycle_sig_ = 0;  // a match is deliverable or already delivered;
+      return;          // this rank will wake
     }
     sig = sig * 1000003u + op.id;
   }
@@ -337,19 +367,34 @@ device::HazardTracker* Verifier::hazard_tracker(int rank) const {
 
 std::vector<trace::CommViolationRecord> Verifier::report() const {
   std::lock_guard<std::mutex> lock(records_mutex_);
-  return records_;
+  std::vector<trace::CommViolationRecord> out = records_;
+  if (dropped_ > 0) {
+    // Synthetic truncation marker: flows through the gather and the
+    // report table like any record, so downstream totals stay exact even
+    // though the dropped sites' labels are gone.
+    trace::CommViolationRecord rec;
+    rec.kind = static_cast<int>(Kind::Truncated);
+    rec.count = dropped_;
+    rec.set_labels("record table full", "", "");
+    std::snprintf(rec.detail, sizeof(rec.detail),
+                  "violation(s) at further distinct sites beyond the %zu-"
+                  "record cap (labels untracked)",
+                  kMaxRecords);
+    out.push_back(rec);
+  }
+  return out;
 }
 
 std::uint64_t Verifier::violation_count() const {
   std::lock_guard<std::mutex> lock(records_mutex_);
-  std::uint64_t total = 0;
+  std::uint64_t total = dropped_;
   for (const auto& r : records_) total += r.count;
   return total;
 }
 
 std::uint64_t Verifier::count_of(Kind k) const {
   std::lock_guard<std::mutex> lock(records_mutex_);
-  std::uint64_t total = 0;
+  std::uint64_t total = (k == Kind::Truncated) ? dropped_ : 0;
   for (const auto& r : records_)
     if (r.kind == static_cast<int>(k)) total += r.count;
   return total;
@@ -367,7 +412,7 @@ std::string Verifier::format_report() const {
   std::lock_guard<std::mutex> lock(records_mutex_);
   if (records_.empty()) return "";
   std::ostringstream os;
-  std::uint64_t total = 0;
+  std::uint64_t total = dropped_;
   for (const auto& r : records_) total += r.count;
   os << "comm check: " << total << " violation(s), " << records_.size()
      << " distinct\n";
@@ -377,6 +422,9 @@ std::string Verifier::format_report() const {
     if (r.op_b[0] != '\0') os << " vs " << r.op_b;
     os << "  (" << r.detail << ")\n";
   }
+  if (dropped_ > 0)
+    os << "  (+" << dropped_ << " violation(s) at further distinct sites "
+       << "beyond the " << kMaxRecords << "-record cap)\n";
   return os.str();
 }
 

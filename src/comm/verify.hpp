@@ -73,6 +73,7 @@ class Verifier {
     ReservedTag,         ///< user p2p call with a tag >= kMaxUserTag
     OrphanMessage,       ///< message never consumed (comm-level leak)
     Deadlock,            ///< wait-for cycle or blocked-receive timeout
+    Truncated,           ///< synthetic: violations past the record cap
   };
   static const char* kind_name(Kind k);
 
@@ -101,7 +102,9 @@ class Verifier {
     /// a rank that died or is stuck on another fabric).
     std::chrono::milliseconds timeout{30000};
 
-    /// Apply HPLX_COMM_GRACE_MS / HPLX_COMM_TIMEOUT_MS overrides.
+    /// Apply HPLX_COMM_GRACE_MS / HPLX_COMM_TIMEOUT_MS overrides. 0 is
+    /// accepted and means "report immediately"; malformed or negative
+    /// values are ignored with a stderr warning.
     static Config from_env();
   };
 
@@ -139,8 +142,12 @@ class Verifier {
 
   /// A receive on `box` (owned by `rank`) found no match and is about to
   /// block. Never called with the mailbox lock held. Throws immediately
-  /// when the verifier has already aborted.
-  void on_block(int rank, Mailbox* box, int src, int tag, const char* what);
+  /// when the verifier has already aborted. `done` (optional) points at
+  /// the caller's posted-receive completion flag — poll() reads it via
+  /// Mailbox::posted_done so a receive already satisfied by direct
+  /// delivery (but whose thread has not run yet) is not counted as stuck.
+  void on_block(int rank, Mailbox* box, int src, int tag, const char* what,
+                const bool* done = nullptr);
   void on_unblock(int rank);
 
   /// Periodic deadlock check, run by blocked threads on their wait tick
@@ -187,6 +194,7 @@ class Verifier {
     int src = 0;
     int tag = 0;
     const char* what = "";
+    const bool* done = nullptr;  ///< posted-receive completion flag
     bool collective = false;
     std::chrono::steady_clock::time_point since;
   };
@@ -202,7 +210,10 @@ class Verifier {
 
   // Lock order (strict): blocked_mutex_ -> any Mailbox::mutex_ ->
   // records_mutex_. coll_mutex_ is terminal and never nests with the
-  // others except above records_mutex_.
+  // others except above records_mutex_. Fabric::split_mutex_ never nests
+  // with any of these: on_block/on_unblock/poll are not invoked while it
+  // is held (Communicator::split drops it around them, mirroring
+  // Mailbox::wait_verified).
   mutable std::mutex coll_mutex_;
   std::vector<std::uint64_t> seq_;          ///< per-rank collective counter
   std::vector<int> depth_;                  ///< per-rank nesting depth
@@ -222,6 +233,10 @@ class Verifier {
 
   mutable std::mutex records_mutex_;
   std::vector<trace::CommViolationRecord> records_;
+  /// Occurrences of *new* distinct sites dropped once records_ hit its
+  /// cap; surfaced as a synthetic Kind::Truncated record so counts and
+  /// reports never silently undercount.
+  std::uint64_t dropped_ = 0;
 
   std::vector<std::atomic<device::HazardTracker*>> hazard_;
 };

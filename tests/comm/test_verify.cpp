@@ -140,6 +140,43 @@ TEST(CommVerify, ReservedAndNegativeTagsAreRecordedBeforeThrow) {
   EXPECT_EQ(v->violation_count(), 4u);  // the legal boundary send is clean
 }
 
+TEST(CommVerify, RecordCapTruncationIsCountedAndSurfaced) {
+  // Past the distinct-record cap, new sites lose their labels but never
+  // their counts: a synthetic records-truncated entry carries the excess
+  // so totals and the report table stay exact.
+  Fabric fabric(1);
+  fabric.enable_verifier(Verifier::Config{});
+  std::shared_ptr<Verifier> v = fabric.verifier_shared();
+  ASSERT_TRUE(v);
+  constexpr int kDistinct = 300;  // cap is 256
+  for (int t = 0; t < kDistinct; ++t) v->on_reserved_tag(0, -1000 - t, "send");
+  EXPECT_EQ(v->violation_count(), static_cast<std::uint64_t>(kDistinct));
+  EXPECT_EQ(v->count_of(Verifier::Kind::ReservedTag), 256u);
+  EXPECT_EQ(v->count_of(Verifier::Kind::Truncated),
+            static_cast<std::uint64_t>(kDistinct - 256));
+  const auto recs = v->report();
+  ASSERT_EQ(recs.size(), 257u);
+  EXPECT_EQ(recs.back().kind, static_cast<int>(Verifier::Kind::Truncated));
+  EXPECT_EQ(recs.back().count, static_cast<std::uint64_t>(kDistinct - 256));
+  EXPECT_NE(v->format_report().find("record cap"), std::string::npos);
+  // A repeat of an already-tracked site still dedups into its record.
+  v->on_reserved_tag(0, -1000, "send");
+  EXPECT_EQ(v->violation_count(), static_cast<std::uint64_t>(kDistinct + 1));
+  EXPECT_EQ(v->report().size(), 257u);
+}
+
+TEST(CommVerify, ZeroAndMalformedEnvKnobs) {
+  // 0 is a legal override (report immediately); malformed values keep the
+  // default instead of being half-parsed.
+  ASSERT_EQ(setenv("HPLX_COMM_GRACE_MS", "0", 1), 0);
+  ASSERT_EQ(setenv("HPLX_COMM_TIMEOUT_MS", "junk", 1), 0);
+  const Verifier::Config cfg = Verifier::Config::from_env();
+  EXPECT_EQ(cfg.grace.count(), 0);
+  EXPECT_EQ(cfg.timeout.count(), Verifier::Config{}.timeout.count());
+  unsetenv("HPLX_COMM_GRACE_MS");
+  unsetenv("HPLX_COMM_TIMEOUT_MS");
+}
+
 // ---------------------------------------------------------- leak detection
 
 TEST(CommVerify, UnreceivedMessageIsReportedAtFabricTeardown) {
